@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/rt/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate the paper's evaluation (plain text) and the Markdown report.
+experiments:
+	$(GO) run ./cmd/experiments
+	$(GO) run ./cmd/experiments -markdown > /tmp/perturb-report.md && \
+		echo "report: /tmp/perturb-report.md"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/livermore17
+	$(GO) run ./examples/doacross
+	$(GO) run ./examples/locks
+	$(GO) run ./examples/goroutines
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,248 @@
+package perturb_test
+
+import (
+	"io"
+	"testing"
+
+	"perturb"
+	"perturb/internal/experiments"
+)
+
+// Benchmarks regenerating the paper's evaluation. Each benchmark runs the
+// complete pipeline behind one table or figure — simulate the actual run,
+// simulate the instrumented run, apply the perturbation analysis, derive
+// the statistic — and reports the headline reproduced value as a custom
+// metric next to the timing.
+
+// BenchmarkFigure1 regenerates Figure 1: sequential Livermore loops under
+// full instrumentation, time-based model recovery. The reported metric is
+// the mean absolute relative error of the model against actual time.
+func BenchmarkFigure1(b *testing.B) {
+	env := experiments.PaperEnv()
+	var meanErr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var s float64
+		for _, row := range res.Rows {
+			e := row.Model - 1
+			if e < 0 {
+				e = -e
+			}
+			s += e
+		}
+		meanErr = s / float64(len(res.Rows))
+	}
+	b.ReportMetric(meanErr, "model-abs-err")
+}
+
+// BenchmarkTable1 regenerates Table 1: time-based analysis of loops 3, 4
+// and 17. Reported metrics are the reproduced Approximated/Actual ratios.
+func BenchmarkTable1(b *testing.B) { benchTable(b, experiments.Table1) }
+
+// BenchmarkTable2 regenerates Table 2: event-based analysis of loops 3, 4
+// and 17.
+func BenchmarkTable2(b *testing.B) { benchTable(b, experiments.Table2) }
+
+func benchTable(b *testing.B, f func(experiments.Env) (*experiments.TableResult, error)) {
+	b.Helper()
+	env := experiments.PaperEnv()
+	var res *experiments.TableResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = f(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		switch row.Loop {
+		case 3:
+			b.ReportMetric(row.Approx, "LL3-approx-ratio")
+		case 4:
+			b.ReportMetric(row.Approx, "LL4-approx-ratio")
+		case 17:
+			b.ReportMetric(row.Approx, "LL17-approx-ratio")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: per-processor waiting percentages
+// in loop 17's approximated execution. The reported metric is the mean
+// waiting percentage.
+func BenchmarkTable3(b *testing.B) {
+	env := experiments.PaperEnv()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.Average
+	}
+	b.ReportMetric(avg, "mean-waiting-pct")
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the waiting timeline of loop 17,
+// including rendering. The reported metric is the total number of waiting
+// spans across processors.
+func BenchmarkFigure4(b *testing.B) {
+	env := experiments.PaperEnv()
+	var spans int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Render(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		spans = 0
+		for _, n := range res.WaitSpans {
+			spans += n
+		}
+	}
+	b.ReportMetric(float64(spans), "wait-spans")
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the parallelism profile of loop
+// 17. The reported metric is the average parallelism over the concurrent
+// portion (paper: 7.5).
+func BenchmarkFigure5(b *testing.B) {
+	env := experiments.PaperEnv()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = res.Average
+	}
+	b.ReportMetric(avg, "avg-parallelism")
+}
+
+// Component benchmarks: the simulator and the analyses in isolation, per
+// Livermore DOACROSS kernel.
+
+func benchLoopSetup(b *testing.B, n int) (*perturb.Loop, perturb.MachineConfig, perturb.Overheads, perturb.Calibration) {
+	b.Helper()
+	loop, err := perturb.LivermoreLoop(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := perturb.Alliant()
+	ovh := perturb.PaperOverheads()
+	return loop, cfg, ovh, perturb.ExactCalibration(ovh, cfg)
+}
+
+func benchSimulate(b *testing.B, n int) {
+	loop, cfg, ovh, _ := benchLoopSetup(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Events == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+func BenchmarkSimulateLoop3(b *testing.B)  { benchSimulate(b, 3) }
+func BenchmarkSimulateLoop4(b *testing.B)  { benchSimulate(b, 4) }
+func BenchmarkSimulateLoop17(b *testing.B) { benchSimulate(b, 17) }
+
+func benchAnalysis(b *testing.B, n int, f func(*perturb.Trace, perturb.Calibration) (*perturb.Approximation, error)) {
+	loop, cfg, ovh, cal := benchLoopSetup(b, n)
+	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(measured.Trace, cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(measured.Events)/1000, "kevents")
+}
+
+func BenchmarkTimeBasedLoop3(b *testing.B)   { benchAnalysis(b, 3, perturb.AnalyzeTimeBased) }
+func BenchmarkEventBasedLoop3(b *testing.B)  { benchAnalysis(b, 3, perturb.AnalyzeEventBased) }
+func BenchmarkEventBasedLoop17(b *testing.B) { benchAnalysis(b, 17, perturb.AnalyzeEventBased) }
+
+// Ablation benchmarks: the design-choice sweeps of DESIGN.md (probe cost,
+// statement coverage, calibration error), each running its full sweep per
+// iteration. The reported metric is the worst event-based error observed.
+
+func benchAblation(b *testing.B, f func(experiments.Env, int) (*experiments.AblationResult, error)) {
+	b.Helper()
+	env := experiments.PaperEnv()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := f(env, 17)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, p := range res.Points {
+			if p.EventBasedErr > worst {
+				worst = p.EventBasedErr
+			}
+		}
+	}
+	b.ReportMetric(worst*100, "worst-eb-err-pct")
+}
+
+func BenchmarkAblationProbeCost(b *testing.B)   { benchAblation(b, experiments.AblationProbeCost) }
+func BenchmarkAblationCoverage(b *testing.B)    { benchAblation(b, experiments.AblationCoverage) }
+func BenchmarkAblationCalibration(b *testing.B) { benchAblation(b, experiments.AblationCalibration) }
+
+// BenchmarkScaling runs the processor-scaling study for loop 17; the
+// reported metric is the recovered speedup at 8 CEs.
+func BenchmarkScaling(b *testing.B) {
+	env := experiments.PaperEnv()
+	var at8 float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scaling(env, 17, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		at8 = res.Points[1].RecoveredSpeedup
+	}
+	b.ReportMetric(at8, "recovered-speedup-8ce")
+}
+
+// BenchmarkLocks runs the ordered-vs-unordered critical-section study; the
+// reported metric is the lock flavour's recovery ratio.
+func BenchmarkLocks(b *testing.B) {
+	env := experiments.PaperEnv()
+	var rec float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Locks(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec = res.Rows[1].Recovered
+	}
+	b.ReportMetric(rec, "lock-recovered-ratio")
+}
+
+// BenchmarkLiberalLoop17 measures the reschedule-aware liberal analysis.
+func BenchmarkLiberalLoop17(b *testing.B) {
+	loop, cfg, ovh, cal := benchLoopSetup(b, 17)
+	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := perturb.LiberalOptions{Procs: cfg.Procs, Distance: loop.Distance, Schedule: perturb.Interleaved}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perturb.AnalyzeLiberal(measured.Trace, cal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

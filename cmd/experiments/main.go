@@ -1,0 +1,115 @@
+// Command experiments regenerates the paper's evaluation: Figure 1,
+// Tables 1-3 and Figures 4-5, printing each with the paper's values
+// alongside for comparison.
+//
+// Usage:
+//
+//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation] [-noise N] [-exact]
+//
+// -noise sets the calibration error in per mille (default 8, the
+// paper-scale environment); -exact forces perfect calibration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"perturb/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation")
+	noise := flag.Int("noise", 8, "calibration error in per mille")
+	exact := flag.Bool("exact", false, "use exact calibration (overrides -noise)")
+	markdown := flag.Bool("markdown", false, "emit the full evaluation as a Markdown report")
+	flag.Parse()
+
+	env := experiments.PaperEnv()
+	env.CalNoisePerMille = *noise
+	if *exact {
+		env.CalNoisePerMille = 0
+	}
+
+	if *markdown {
+		if err := experiments.WriteMarkdownReport(os.Stdout, env); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := run(os.Stdout, *which, env); err != nil {
+		log.Fatal(err)
+	}
+}
+
+type renderer interface{ Render(io.Writer) error }
+
+func run(w io.Writer, which string, env experiments.Env) error {
+	one := func(f func(experiments.Env) (renderer, error)) error {
+		r, err := f(env)
+		if err != nil {
+			return err
+		}
+		return r.Render(w)
+	}
+	switch which {
+	case "all":
+		return experiments.RunAll(w, env)
+	case "fig1":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Figure1(e) })
+	case "table1":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Table1(e) })
+	case "table2":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Table2(e) })
+	case "table3":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Table3(e) })
+	case "fig4":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Figure4(e) })
+	case "fig5":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Figure5(e) })
+	case "timing":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.EventTiming(e) })
+	case "vector":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.ScalarVector(e) })
+	case "locks":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Locks(e) })
+	case "scaling":
+		for _, n := range []int{3, 4, 17} {
+			res, err := experiments.Scaling(env, n, nil)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "ablation":
+		for _, f := range []func(experiments.Env, int) (*experiments.AblationResult, error){
+			experiments.AblationProbeCost,
+			experiments.AblationCoverage,
+			experiments.AblationCalibration,
+		} {
+			res, err := f(env, 17)
+			if err != nil {
+				return err
+			}
+			if err := res.Render(w); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+func TestRunSelectsExperiments(t *testing.T) {
+	env := experiments.ExactEnv()
+	cases := map[string]string{
+		"fig1":   "Figure 1",
+		"table1": "Table 1",
+		"table2": "Table 2",
+		"table3": "Table 3",
+		"fig4":   "Figure 4",
+		"fig5":   "Figure 5",
+	}
+	for which, want := range cases {
+		var buf bytes.Buffer
+		if err := run(&buf, which, env); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s: output lacks %q", which, want)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "bogus", experiments.ExactEnv()); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunExtensionExperiments(t *testing.T) {
+	env := experiments.ExactEnv()
+	cases := map[string]string{
+		"timing":   "Per-event",
+		"vector":   "vector",
+		"scaling":  "scaling of LL3",
+		"ablation": "Ablation",
+	}
+	for which, want := range cases {
+		var buf bytes.Buffer
+		if err := run(&buf, which, env); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("%s: output lacks %q", which, want)
+		}
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", experiments.ExactEnv()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("all: output incomplete")
+	}
+}

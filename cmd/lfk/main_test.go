@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunKernelsRange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runKernels(&buf, 3, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"kernel  3", "kernel  4", "kernel  5", "checksum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if err := runKernels(&buf, 25, 25, 1); err == nil {
+		t.Error("kernel 25 should fail")
+	}
+}
+
+func TestRunDoacross(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runDoacross(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"untraced wall time", "approximated time", "checksum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "2.469196e+02") {
+		t.Errorf("checksum should match the sequential inner product: %s", out)
+	}
+}

@@ -1,0 +1,291 @@
+// Command perturb simulates a Livermore loop on the modeled machine,
+// instruments it, runs perturbation analysis, and reports execution-time
+// ratios and waiting statistics. Traces can be saved and re-analyzed.
+//
+// Usage:
+//
+//	perturb -loop 17 [flags]
+//
+// Flags:
+//
+//	-loop N        Livermore kernel number (default 17)
+//	-analysis S    time | event | liberal (default event)
+//	-sync          instrument advance/await operations (default true)
+//	-probe D       per-event probe cost, e.g. 5us (default paper costs)
+//	-procs N       processors (default 8)
+//	-schedule S    interleaved | blocked | dynamic (default interleaved)
+//	-save FILE     write the measured trace (text format) to FILE
+//	-load FILE     skip simulation, analyze the trace in FILE
+//	-waiting       print per-processor waiting statistics
+//	-timeline      print the busy/waiting timeline
+//	-critpath      print the critical path summary
+//	-profile       print the per-statement time profile
+//	-svg FILE      write the approximated timeline as SVG to FILE
+//	-quiet         print only the summary line
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"perturb"
+	"perturb/internal/textplot"
+)
+
+// options collects everything main parses from flags, so the study itself
+// is testable.
+type options struct {
+	loop     int
+	analysis string
+	withSync bool
+	probe    time.Duration
+	procs    int
+	schedule string
+	saveFile string
+	loadFile string
+	waiting  bool
+	timeline bool
+	critpath bool
+	profile  bool
+	svgFile  string
+	quiet    bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perturb: ")
+
+	var o options
+	flag.IntVar(&o.loop, "loop", 17, "Livermore kernel number (1-24)")
+	flag.StringVar(&o.analysis, "analysis", "event", "analysis: time, event or liberal")
+	flag.BoolVar(&o.withSync, "sync", true, "instrument advance/await operations")
+	flag.DurationVar(&o.probe, "probe", 0, "uniform per-event probe cost (0 = paper costs)")
+	flag.IntVar(&o.procs, "procs", 8, "number of processors")
+	flag.StringVar(&o.schedule, "schedule", "interleaved", "iteration schedule: interleaved, blocked or dynamic")
+	flag.StringVar(&o.saveFile, "save", "", "write the measured trace (text) to this file")
+	flag.StringVar(&o.loadFile, "load", "", "analyze a previously saved trace instead of simulating")
+	flag.BoolVar(&o.waiting, "waiting", false, "print per-processor waiting statistics")
+	flag.BoolVar(&o.timeline, "timeline", false, "print the busy/waiting timeline")
+	flag.BoolVar(&o.critpath, "critpath", false, "print the critical path summary")
+	flag.BoolVar(&o.profile, "profile", false, "print the per-statement time profile")
+	flag.StringVar(&o.svgFile, "svg", "", "write the approximated timeline as SVG to this file")
+	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
+	flag.Parse()
+
+	if err := study(os.Stdout, o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// study runs the simulate / instrument / analyze / report pipeline.
+func study(w io.Writer, o options) error {
+	cfg := perturb.Alliant()
+	cfg.Procs = o.procs
+	switch strings.ToLower(o.schedule) {
+	case "interleaved":
+		cfg.Schedule = perturb.Interleaved
+	case "blocked":
+		cfg.Schedule = perturb.Blocked
+	case "dynamic":
+		cfg.Schedule = perturb.Dynamic
+	default:
+		return fmt.Errorf("unknown schedule %q", o.schedule)
+	}
+
+	ovh := perturb.PaperOverheads()
+	if o.probe > 0 {
+		ovh = perturb.UniformOverheads(perturb.Time(o.probe.Nanoseconds()))
+	}
+	cal := perturb.ExactCalibration(ovh, cfg)
+
+	loop, err := perturb.LivermoreLoop(o.loop)
+	if err != nil {
+		return err
+	}
+
+	var measured *perturb.Trace
+	var actualDur perturb.Time
+	haveActual := false
+	if o.loadFile != "" {
+		f, err := os.Open(o.loadFile)
+		if err != nil {
+			return err
+		}
+		measured, err = perturb.ReadTraceText(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
+		if err != nil {
+			return err
+		}
+		actualDur = actual.Duration
+		haveActual = true
+		res, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, o.withSync), cfg)
+		if err != nil {
+			return err
+		}
+		measured = res.Trace
+	}
+
+	if o.saveFile != "" {
+		f, err := os.Create(o.saveFile)
+		if err != nil {
+			return err
+		}
+		err = measured.WriteText(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+
+	var approx *perturb.Approximation
+	switch strings.ToLower(o.analysis) {
+	case "time":
+		approx, err = perturb.AnalyzeTimeBased(measured, cal)
+	case "event":
+		approx, err = perturb.AnalyzeEventBased(measured, cal)
+	case "liberal":
+		approx, err = perturb.AnalyzeLiberal(measured, cal, perturb.LiberalOptions{
+			Procs: cfg.Procs, Distance: loop.Distance, Schedule: cfg.Schedule,
+		})
+	default:
+		return fmt.Errorf("unknown analysis %q", o.analysis)
+	}
+	if err != nil {
+		return err
+	}
+
+	mdur := time.Duration(measured.End()) * time.Nanosecond
+	adur := time.Duration(approx.Duration) * time.Nanosecond
+	if haveActual {
+		act := time.Duration(actualDur) * time.Nanosecond
+		fmt.Fprintf(w, "LL%d (%s): actual %v  measured %v (%.2fx)  approximated %v (%.3fx of actual)\n",
+			o.loop, loop.Name, act, mdur,
+			float64(measured.End())/float64(actualDur),
+			adur, float64(approx.Duration)/float64(actualDur))
+	} else {
+		fmt.Fprintf(w, "LL%d (%s): measured %v  approximated %v (%.3fx of measured)\n",
+			o.loop, loop.Name, mdur, adur, float64(approx.Duration)/float64(measured.End()))
+	}
+	if o.svgFile != "" {
+		if err := writeSVG(o, cal, approx); err != nil {
+			return err
+		}
+	}
+	if o.quiet {
+		return nil
+	}
+	fmt.Fprintf(w, "events: %d   waits kept %d, removed %d, introduced %d\n",
+		measured.Len(), approx.WaitsKept, approx.WaitsRemoved, approx.WaitsIntroduced)
+
+	if o.waiting {
+		ws, err := perturb.Waiting(approx.Trace, cal)
+		if err != nil {
+			return err
+		}
+		pct := perturb.WaitingPercent(ws, approx.Duration)
+		fmt.Fprintln(w, "\nper-processor waiting (approximated execution):")
+		for p, pw := range ws {
+			fmt.Fprintf(w, "  proc %d: await %8v  barrier %8v  (%.2f%% of total)\n",
+				p, time.Duration(pw.Await), time.Duration(pw.Barrier), pct[p])
+		}
+	}
+
+	if o.critpath {
+		path, err := perturb.AnalyzeCriticalPath(approx.Trace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s\n", path)
+		fmt.Fprintf(w, "  per-processor shares:")
+		for pr, d := range path.ProcTime {
+			if d > 0 {
+				fmt.Fprintf(w, "  p%d=%v", pr, time.Duration(d))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if o.profile {
+		prof, err := perturb.StatementProfile(approx.Trace)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "\nper-statement profile (approximated execution):")
+		shown := 0
+		for _, p := range prof {
+			if p.Stmt < 0 {
+				continue // runtime markers
+			}
+			label := ""
+			if s, ok := loop.StmtByID(p.Stmt); ok {
+				label = s.Label
+			}
+			fmt.Fprintf(w, "  s%-4d %-40s count %6d  total %10v  mean %8v\n",
+				p.Stmt, label, p.Count, time.Duration(p.Total), time.Duration(p.Mean()))
+			shown++
+			if shown >= 12 {
+				break
+			}
+		}
+	}
+
+	if o.timeline {
+		lanes, err := timelineLanes(cal, approx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := textplot.Gantt(w, "approximated timeline", lanes, 0, approx.Duration, 96); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// timelineLanes converts the approximation's busy/waiting intervals into
+// plot lanes.
+func timelineLanes(cal perturb.Calibration, approx *perturb.Approximation) ([]textplot.Lane, error) {
+	tl, err := perturb.Timeline(approx.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	lanes := make([]textplot.Lane, len(tl))
+	for p, ivs := range tl {
+		lanes[p].Label = fmt.Sprintf("proc %d", p)
+		for _, iv := range ivs {
+			lanes[p].Spans = append(lanes[p].Spans,
+				textplot.Span{Start: iv.Start, End: iv.End, Waiting: iv.Waiting})
+		}
+	}
+	return lanes, nil
+}
+
+// writeSVG renders the approximated timeline to the -svg file.
+func writeSVG(o options, cal perturb.Calibration, approx *perturb.Approximation) error {
+	lanes, err := timelineLanes(cal, approx)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(o.svgFile)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("LL%d approximated timeline", o.loop)
+	err = textplot.GanttSVG(f, title, lanes, 0, approx.Duration, 960)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func defaults() options {
+	return options{
+		loop:     17,
+		analysis: "event",
+		withSync: true,
+		procs:    8,
+		schedule: "interleaved",
+	}
+}
+
+func TestStudyDefault(t *testing.T) {
+	var buf bytes.Buffer
+	if err := study(&buf, defaults()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "LL17") || !strings.Contains(out, "approximated") {
+		t.Errorf("summary missing: %s", out)
+	}
+	if !strings.Contains(out, "waits kept") {
+		t.Error("diagnostics missing")
+	}
+}
+
+func TestStudyReports(t *testing.T) {
+	o := defaults()
+	o.waiting, o.timeline, o.critpath, o.profile = true, true, true, true
+	var buf bytes.Buffer
+	if err := study(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"per-processor waiting", "critical path", "per-statement profile", "approximated timeline",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestStudyAnalyses(t *testing.T) {
+	for _, a := range []string{"time", "event", "liberal"} {
+		o := defaults()
+		o.analysis = a
+		o.quiet = true
+		var buf bytes.Buffer
+		if err := study(&buf, o); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestStudySaveAndLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	o := defaults()
+	o.saveFile = path
+	o.quiet = true
+	var buf bytes.Buffer
+	if err := study(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not saved: %v", err)
+	}
+	// Re-analyze the saved trace.
+	o2 := defaults()
+	o2.loadFile = path
+	buf.Reset()
+	if err := study(&buf, o2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "of measured") {
+		t.Errorf("loaded-trace summary missing: %s", buf.String())
+	}
+}
+
+func TestStudyErrors(t *testing.T) {
+	bad := defaults()
+	bad.schedule = "chaotic"
+	if err := study(&bytes.Buffer{}, bad); err == nil {
+		t.Error("unknown schedule should fail")
+	}
+	bad = defaults()
+	bad.analysis = "psychic"
+	if err := study(&bytes.Buffer{}, bad); err == nil {
+		t.Error("unknown analysis should fail")
+	}
+	bad = defaults()
+	bad.loop = 99
+	if err := study(&bytes.Buffer{}, bad); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+	bad = defaults()
+	bad.loadFile = "/nonexistent/trace.txt"
+	if err := study(&bytes.Buffer{}, bad); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}
+
+func TestStudySVGExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "timeline.svg")
+	o := defaults()
+	o.quiet = true
+	o.svgFile = path
+	if err := study(&bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Errorf("not an SVG: %q", data[:20])
+	}
+}

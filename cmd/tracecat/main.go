@@ -1,0 +1,141 @@
+// Command tracecat inspects trace files: it prints summaries, converts
+// between the text and binary codecs, filters by processor or kind, and
+// validates structural invariants.
+//
+// Usage:
+//
+//	tracecat [-summary] [-validate] [-proc N] [-kind K] [-o FILE [-binary]] FILE
+//
+// The input format (text or binary) is auto-detected.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"perturb"
+)
+
+type options struct {
+	summary  bool
+	validate bool
+	proc     int
+	kind     string
+	out      string
+	binary   bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecat: ")
+
+	var o options
+	flag.BoolVar(&o.summary, "summary", false, "print a summary instead of events")
+	flag.BoolVar(&o.validate, "validate", false, "validate the trace and exit")
+	flag.IntVar(&o.proc, "proc", -1, "only events of this processor")
+	flag.StringVar(&o.kind, "kind", "", "only events of this kind (e.g. advance, awaitB)")
+	flag.StringVar(&o.out, "o", "", "write the (filtered) trace to FILE")
+	flag.BoolVar(&o.binary, "binary", false, "write -o output in the binary codec")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: tracecat [flags] FILE")
+	}
+	if err := run(os.Stdout, o, flag.Arg(0)); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer, o options, path string) error {
+	tr, err := readAuto(path)
+	if err != nil {
+		return err
+	}
+
+	if o.proc >= 0 || o.kind != "" {
+		tr = tr.Filter(func(e perturb.Event) bool {
+			if o.proc >= 0 && e.Proc != o.proc {
+				return false
+			}
+			if o.kind != "" && e.Kind.String() != o.kind {
+				return false
+			}
+			return true
+		})
+	}
+
+	if o.validate {
+		if err := tr.Validate(); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(w, "ok")
+		return err
+	}
+
+	if o.out != "" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		if o.binary {
+			err = tr.WriteBinary(f)
+		} else {
+			err = tr.WriteText(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	if o.summary {
+		return printSummary(w, tr)
+	}
+	return tr.WriteText(w)
+}
+
+func readAuto(path string) (*perturb.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("PTRACE1\x00")) {
+		return perturb.ReadTraceBinary(bytes.NewReader(data))
+	}
+	return perturb.ReadTraceText(bytes.NewReader(data))
+}
+
+func printSummary(w io.Writer, tr *perturb.Trace) error {
+	fmt.Fprintf(w, "events:   %d\n", tr.Len())
+	fmt.Fprintf(w, "procs:    %d\n", tr.Procs)
+	fmt.Fprintf(w, "span:     %v .. %v (duration %v)\n",
+		time.Duration(tr.Start()), time.Duration(tr.End()), time.Duration(tr.Duration()))
+	kinds := map[perturb.Kind]int{}
+	perProc := make([]int, tr.Procs)
+	for _, e := range tr.Events {
+		kinds[e.Kind]++
+		if e.Proc >= 0 && e.Proc < tr.Procs {
+			perProc[e.Proc]++
+		}
+	}
+	fmt.Fprintln(w, "by kind:")
+	for k := perturb.Kind(0); int(k) < 16; k++ {
+		if n, ok := kinds[k]; ok {
+			fmt.Fprintf(w, "  %-16s %d\n", k, n)
+		}
+	}
+	fmt.Fprintln(w, "by proc:")
+	for p, n := range perProc {
+		fmt.Fprintf(w, "  proc %-3d %d\n", p, n)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(w, "validate: FAILED: %v\n", err)
+	} else {
+		fmt.Fprintln(w, "validate: ok")
+	}
+	return nil
+}

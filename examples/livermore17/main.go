@@ -1,0 +1,104 @@
+// Livermore loop 17 case study: reproduce the paper's §5 analysis for the
+// implicit-conditional-computation kernel — execution-time ratios,
+// per-processor waiting (Table 3), the waiting timeline (Figure 4) and the
+// parallelism profile (Figure 5) — all derived from the event-based
+// approximation of a heavily instrumented run.
+//
+// Run with: go run ./examples/livermore17
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"perturb"
+	"perturb/internal/textplot"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	loop, err := perturb.LivermoreLoop(17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := perturb.Alliant()
+	ovh := perturb.PaperOverheads()
+	cal := perturb.ExactCalibration(ovh, cfg)
+
+	actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Livermore loop 17 (%s)\n", loop.Name)
+	fmt.Printf("  actual       %v\n", time.Duration(actual.Duration))
+	fmt.Printf("  measured     %v  (%.2fx slowdown — the paper saw 14.08x)\n",
+		time.Duration(measured.Duration), float64(measured.Duration)/float64(actual.Duration))
+	fmt.Printf("  approximated %v  (%.3fx of actual — the paper saw 0.97)\n\n",
+		time.Duration(approx.Duration), float64(approx.Duration)/float64(actual.Duration))
+
+	// Table 3: per-processor waiting in the approximated execution.
+	ws, err := perturb.Waiting(approx.Trace, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pct := perturb.WaitingPercent(ws, approx.Duration)
+	fmt.Println("waiting time per processor (approximated execution):")
+	for p, v := range pct {
+		fmt.Printf("  processor %d: %5.2f%%\n", p, v)
+	}
+
+	// Figure 4: waiting timeline.
+	tl, err := perturb.Timeline(approx.Trace, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lanes := make([]textplot.Lane, len(tl))
+	for p, ivs := range tl {
+		lanes[p].Label = fmt.Sprintf("Processor %d", p)
+		for _, iv := range ivs {
+			lanes[p].Spans = append(lanes[p].Spans,
+				textplot.Span{Start: iv.Start, End: iv.End, Waiting: iv.Waiting})
+		}
+	}
+	fmt.Println()
+	if err := textplot.Gantt(os.Stdout, "approximated waiting behaviour",
+		lanes, 0, approx.Duration, 96); err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 5: parallelism profile.
+	prof, err := perturb.Parallelism(approx.Trace, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := textplot.StepCurve(os.Stdout, "approximated parallelism",
+		prof.Times, prof.Level, 0, approx.Duration, 96, cfg.Procs); err != nil {
+		log.Fatal(err)
+	}
+	var loopBegin, release perturb.Time = -1, -1
+	for _, e := range approx.Trace.Events {
+		switch e.Kind {
+		case perturb.KindLoopBegin:
+			if loopBegin < 0 {
+				loopBegin = e.Time
+			}
+		case perturb.KindBarrierRelease:
+			release = e.Time
+		}
+	}
+	fmt.Printf("average parallelism over the concurrent portion: %.2f (paper: 7.5)\n",
+		prof.Average(loopBegin, release))
+}

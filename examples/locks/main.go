@@ -1,0 +1,91 @@
+// Ordered vs unordered critical sections: the same reduction built two
+// ways — advance/await (iteration-ordered, the Alliant DOACROSS way) and a
+// FIFO lock (order decided at run time) — measured under heavy
+// instrumentation and recovered with event-based analysis.
+//
+// The lock version admits more schedules (any acquisition order), so the
+// uninstrumented loop runs slightly faster; the advance/await version
+// serializes in iteration order but gives the analysis a fully determined
+// dependence structure. Event-based analysis recovers both, using the
+// advance/await model for one and the semaphore (measured-acquisition-
+// order) model for the other.
+//
+// Run with: go run ./examples/locks
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"perturb"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		iters = 256
+		pre   = 3 * perturb.Microsecond
+		crit  = 2 * perturb.Microsecond
+	)
+
+	ordered := perturb.NewLoop("reduction via advance/await", perturb.DOACROSS, iters).
+		ComputeJitter("partial result", pre, 4*perturb.Microsecond).
+		CriticalBegin(0).
+		Compute("fold into accumulator", crit).
+		CriticalEnd(0).
+		Loop()
+
+	unordered := perturb.NewLoop("reduction via lock", perturb.DOALL, iters).
+		ComputeJitter("partial result", pre, 4*perturb.Microsecond).
+		LockStmt(0).
+		Compute("fold into accumulator", crit).
+		UnlockStmt(0).
+		Loop()
+
+	cfg := perturb.Alliant()
+	ovh := perturb.UniformOverheads(5 * perturb.Microsecond)
+	cal := perturb.ExactCalibration(ovh, cfg)
+
+	for _, tc := range []struct {
+		name string
+		loop *perturb.Loop
+	}{
+		{"advance/await (iteration order)", ordered},
+		{"FIFO lock (request order)", unordered},
+	} {
+		actual, err := perturb.Simulate(tc.loop, perturb.NoInstrumentation(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		measured, err := perturb.Simulate(tc.loop, perturb.FullInstrumentation(ovh, true), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := perturb.CheckFeasible(measured.Trace, approx.Trace); err != nil {
+			log.Fatalf("%s: approximation infeasible: %v", tc.name, err)
+		}
+		path, err := perturb.AnalyzeCriticalPath(approx.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", tc.name)
+		fmt.Printf("  actual       %10v   (total waiting %v)\n",
+			time.Duration(actual.Duration), time.Duration(actual.TotalWaiting()))
+		fmt.Printf("  measured     %10v   (%.2fx)\n",
+			time.Duration(measured.Duration),
+			float64(measured.Duration)/float64(actual.Duration))
+		fmt.Printf("  approximated %10v   (%.3fx of actual)\n",
+			time.Duration(approx.Duration),
+			float64(approx.Duration)/float64(actual.Duration))
+		fmt.Printf("  critical path: %d steps, %.1f%% synchronization\n\n",
+			len(path.Steps), 100*float64(path.SyncGap)/float64(path.Total))
+	}
+	fmt.Println("Both forms are recovered from 10x-perturbed measurements; the lock")
+	fmt.Println("form is conservatively approximated in its measured acquisition order.")
+}

@@ -1,0 +1,3 @@
+module perturb
+
+go 1.22

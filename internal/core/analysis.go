@@ -1,0 +1,192 @@
+// Package core implements the paper's perturbation analyses: the recovery
+// of an approximation to the actual (uninstrumented) execution from a
+// measured (instrumented) event trace and the calibrated instrumentation
+// overheads.
+//
+// Two analyses are provided:
+//
+//   - TimeBased (paper §3) removes per-event instrumentation overhead from
+//     each thread's timeline independently. It is exact for execution whose
+//     event times are execution independent (sequential, vector, simple
+//     fork-join), and systematically wrong for dependent concurrent
+//     execution: it cannot remove waiting that instrumentation introduced,
+//     nor restore waiting that instrumentation hid.
+//
+//   - EventBased (paper §4) additionally models synchronization operations.
+//     Advance and await events are paired by their recorded (variable,
+//     iteration) identifier; an awaitE is re-timed from the approximated
+//     time of its advance using the s_nowait/s_wait rules of §4.2.3, and
+//     the end-of-loop barrier is re-timed to the maximum of its
+//     participants' approximated arrival times. The result is a
+//     conservative approximation: a feasible execution that preserves the
+//     measured ordering of dependent events.
+//
+// Both analyses are constructive: they resolve approximate times ta(x)
+// event by event, each event's basis being its same-thread predecessor
+// (and, for synchronization events, the events it depends on).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// Approximation is the outcome of a perturbation analysis: the measured
+// trace re-timed to approximate the actual execution.
+type Approximation struct {
+	// Trace holds the input events with approximated times, re-sorted
+	// into canonical order.
+	Trace *trace.Trace
+
+	// Times holds the approximated time of each input event, aligned
+	// with the input trace's event order (before re-sorting).
+	Times []trace.Time
+
+	// Duration is the approximated total execution time (last event
+	// time; the analysis normalizes the start to time zero).
+	Duration trace.Time
+
+	// WaitsKept counts awaitE events approximated on the waiting path
+	// (ta(advance) > ta(awaitB)); WaitsRemoved counts awaitE events that
+	// waited in the measured execution (measured gap exceeded the
+	// no-wait cost) but not in the approximation; WaitsIntroduced counts
+	// the converse (Figure 2's two cases). All three are zero for
+	// time-based analysis, which does not interpret synchronization.
+	WaitsKept, WaitsRemoved, WaitsIntroduced int
+}
+
+// ErrUnresolvable is returned when the constructive resolution cannot make
+// progress: some synchronization event's dependencies never resolve (for
+// example an awaitE whose paired advance is missing while other events
+// block behind it, or a barrier with a missing participant).
+var ErrUnresolvable = errors.New("core: analysis cannot resolve all events")
+
+// resolver carries the shared mechanics of constructive trace resolution.
+type resolver struct {
+	in  *trace.Trace
+	cal instr.Calibration
+
+	perProc [][]int // event indices per processor, in trace order
+	ta      []trace.Time
+	done    []bool
+
+	// Fork fences: every loop-begin event. A processor's first event
+	// after a fence (in trace order) is execution dependent on the fence
+	// rather than on its own, possibly long-idle, previous event — this
+	// is what anchors concurrent threads at each phase's fork. forkIdx
+	// is the first fence (-1 if none); forkIdxs lists all of them.
+	forkIdx  int
+	forkIdxs []int
+}
+
+func newResolver(in *trace.Trace, cal instr.Calibration) (*resolver, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input trace: %w", err)
+	}
+	r := &resolver{
+		in:      in,
+		cal:     cal,
+		perProc: make([][]int, in.Procs),
+		ta:      make([]trace.Time, in.Len()),
+		done:    make([]bool, in.Len()),
+		forkIdx: -1,
+	}
+	for i, e := range in.Events {
+		r.perProc[e.Proc] = append(r.perProc[e.Proc], i)
+		if e.Kind == trace.KindLoopBegin {
+			if r.forkIdx < 0 {
+				r.forkIdx = i
+			}
+			r.forkIdxs = append(r.forkIdxs, i)
+		}
+	}
+	return r, nil
+}
+
+// fenceBetween returns the latest fork fence with trace index strictly
+// between prevIdx and idx that lies on a different processor than proc, or
+// -1 if none. Fences on the same processor are part of that processor's
+// own chain and never apply.
+func (r *resolver) fenceBetween(prevIdx, idx, proc int) int {
+	// forkIdxs is in increasing order; scan from the back (fence counts
+	// are tiny: one per loop phase).
+	for k := len(r.forkIdxs) - 1; k >= 0; k-- {
+		f := r.forkIdxs[k]
+		if f >= idx {
+			continue
+		}
+		if f <= prevIdx {
+			return -1
+		}
+		if r.in.Events[f].Proc != proc {
+			return f
+		}
+	}
+	return -1
+}
+
+// overhead returns the calibrated probe cost for the event kind.
+func (r *resolver) overhead(k trace.Kind) trace.Time {
+	return r.cal.Overheads.ForKind(k)
+}
+
+// basis returns the time basis (approximated time, measured time) for the
+// event at position pos within proc's event list, and whether the basis is
+// available yet. The basis is the same-processor predecessor, unless a
+// fork fence (loop-begin) separates the two in trace order — then the
+// fence is the basis, anchoring the processor at that phase's fork.
+func (r *resolver) basis(proc, pos int) (ta, tm trace.Time, ok bool) {
+	idx := r.perProc[proc][pos]
+	prevIdx := -1
+	if pos > 0 {
+		prevIdx = r.perProc[proc][pos-1]
+	}
+	if f := r.fenceBetween(prevIdx, idx, proc); f >= 0 {
+		if !r.done[f] {
+			return 0, 0, false
+		}
+		return r.ta[f], r.in.Events[f].Time, true
+	}
+	if prevIdx >= 0 {
+		if !r.done[prevIdx] {
+			return 0, 0, false
+		}
+		return r.ta[prevIdx], r.in.Events[prevIdx].Time, true
+	}
+	return 0, 0, true
+}
+
+// resolveDefault applies the execution-timing rule: the approximated time
+// is the basis plus the measured gap minus the event's probe overhead.
+func (r *resolver) resolveDefault(idx int, taBase, tmBase trace.Time) {
+	e := r.in.Events[idx]
+	gap := e.Time - tmBase - r.overhead(e.Kind)
+	if gap < 0 {
+		// Calibration error can slightly exceed a short measured gap;
+		// clamp so approximated per-thread time stays monotonic.
+		gap = 0
+	}
+	r.ta[idx] = taBase + gap
+	r.done[idx] = true
+}
+
+// finish assembles the Approximation from resolved times.
+func (r *resolver) finish() *Approximation {
+	a := &Approximation{
+		Trace: trace.New(r.in.Procs),
+		Times: r.ta,
+	}
+	// No renormalization: the basis rule anchors each thread at the
+	// execution origin (time zero), so approximated times are already in
+	// actual-execution coordinates.
+	for i, e := range r.in.Events {
+		e.Time = r.ta[i]
+		a.Trace.Append(e)
+	}
+	a.Trace.Sort()
+	a.Duration = a.Trace.End()
+	return a
+}

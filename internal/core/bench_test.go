@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+)
+
+func benchTraceSetup(b *testing.B) (*machine.Result, instr.Calibration) {
+	b.Helper()
+	cfg := machine.Alliant()
+	l := testLoop(2048)
+	ovh := instr.Uniform(5 * us)
+	measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return measured, exactCalFor(cfg, ovh)
+}
+
+func BenchmarkTimeBasedThroughput(b *testing.B) {
+	measured, cal := benchTraceSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.TimeBased(measured.Trace, cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(measured.Events)/1000, "kevents")
+}
+
+func BenchmarkEventBasedThroughput(b *testing.B) {
+	measured, cal := benchTraceSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EventBased(measured.Trace, cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(measured.Events)/1000, "kevents")
+}
+
+func BenchmarkLiberalThroughput(b *testing.B) {
+	measured, cal := benchTraceSetup(b)
+	opts := core.LiberalOptions{Procs: 8, Distance: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LiberalEventBased(measured.Trace, cal, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package core_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/order"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+// TestFigure2WaitRemoved reproduces the paper's Figure 2 case (A): in the
+// measurement the await blocked only because instrumentation delayed the
+// advancing thread; the approximation removes the waiting.
+//
+// Hand-built two-thread trace. Calibration: probes 10, s_nowait 1,
+// s_wait 2, advance op included in measured gaps.
+//
+//	proc 0: compute(50+10=60), advance at 60+5+10=75  (op cost 5)
+//	proc 1: compute(20+10=30), awaitB 30+10=40, blocked until advance:
+//	        awaitE = 75 + 2 + 10(probe) = 87
+//
+// Approximated: proc0 advance at 55; proc1 awaitB at 20+10=30... probe
+// removed: awaitB ta = 20; advance ta = 55; 55 > 20 so waiting remains?
+// No: choose numbers so the approximated advance lands before the
+// approximated awaitB.
+func TestFigure2WaitRemoved(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(10), SNoWait: 1, SWait: 2, AdvanceOp: 5}
+	tr := trace.New(2)
+	// proc 0: one heavy-probed compute then advance.
+	// clean compute cost 5; probe 10 => event at 15.
+	tr.Append(trace.Event{Time: 15, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	// advance: op 5 + probe 10 => 30. Clean: 5+5=10.
+	tr.Append(trace.Event{Time: 30, Proc: 0, Stmt: 2, Kind: trace.KindAdvance, Iter: 0, Var: 0})
+	// proc 1: compute clean 12, probe 10 => 22. Clean: 12.
+	tr.Append(trace.Event{Time: 22, Proc: 1, Stmt: 3, Kind: trace.KindCompute, Iter: 1, Var: trace.NoVar})
+	// awaitB: probe 10 => 32. Clean: 12.
+	tr.Append(trace.Event{Time: 32, Proc: 1, Stmt: 4, Kind: trace.KindAwaitB, Iter: 0, Var: 0})
+	// blocked in measurement: advance at 30 < awaitB 32? The await began
+	// at 32 with the advance already posted at 30 => measured no-wait:
+	// awaitE = 32 + 1 + 10 = 43. To create measured waiting, make the
+	// advance later: shift proc 0's probes up by using a second compute.
+	tr.Sort()
+
+	// Simpler: rebuild with the advance measured later.
+	tr = trace.New(2)
+	tr.Append(trace.Event{Time: 25, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar}) // clean 15
+	tr.Append(trace.Event{Time: 50, Proc: 0, Stmt: 2, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar}) // clean 15
+	tr.Append(trace.Event{Time: 65, Proc: 0, Stmt: 3, Kind: trace.KindAdvance, Iter: 0, Var: 0})           // clean 5 (op)
+	tr.Append(trace.Event{Time: 22, Proc: 1, Stmt: 4, Kind: trace.KindCompute, Iter: 1, Var: trace.NoVar}) // clean 12
+	tr.Append(trace.Event{Time: 60, Proc: 1, Stmt: 5, Kind: trace.KindAwaitB, Iter: 0, Var: 0})            // clean 28
+	tr.Append(trace.Event{Time: 77, Proc: 1, Stmt: 5, Kind: trace.KindAwaitE, Iter: 0, Var: 0})            // waited: 65+2+10
+	tr.Sort()
+
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximated: proc0 advance ta = 15+15+5 = 35. proc1 awaitB ta =
+	// 12+28 = 40 > 35 => no waiting in the approximation: awaitE =
+	// 40 + s_nowait = 41.
+	if a.WaitsRemoved != 1 || a.WaitsKept != 0 {
+		t.Errorf("waits removed = %d kept = %d, want 1/0", a.WaitsRemoved, a.WaitsKept)
+	}
+	got := findEvent(t, a.Trace, trace.KindAwaitE)
+	if got.Time != 41 {
+		t.Errorf("awaitE approximated at %d, want 41", got.Time)
+	}
+}
+
+// TestFigure2WaitIntroduced reproduces Figure 2 case (B): no waiting in
+// the measurement (probes delayed the awaiting thread), but the
+// approximation restores it.
+func TestFigure2WaitIntroduced(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(10), SNoWait: 1, SWait: 2, AdvanceOp: 5}
+	tr := trace.New(2)
+	// proc 0 advances quickly: clean 5 compute, then op 5.
+	tr.Append(trace.Event{Time: 15, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar}) // clean 5
+	tr.Append(trace.Event{Time: 30, Proc: 0, Stmt: 2, Kind: trace.KindAdvance, Iter: 0, Var: 0})           // clean 5
+	// proc 1: three heavily probed cheap statements delay the await past
+	// the advance in the measurement.
+	tr.Append(trace.Event{Time: 11, Proc: 1, Stmt: 3, Kind: trace.KindCompute, Iter: 1, Var: trace.NoVar}) // clean 1
+	tr.Append(trace.Event{Time: 22, Proc: 1, Stmt: 4, Kind: trace.KindCompute, Iter: 1, Var: trace.NoVar}) // clean 1
+	tr.Append(trace.Event{Time: 33, Proc: 1, Stmt: 5, Kind: trace.KindAwaitB, Iter: 0, Var: 0})            // clean 1
+	tr.Append(trace.Event{Time: 44, Proc: 1, Stmt: 5, Kind: trace.KindAwaitE, Iter: 0, Var: 0})            // no wait: 33+1+10
+	tr.Sort()
+
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximated: advance ta = 5+5 = 10; awaitB ta = 1+1+1 = 3;
+	// 10 > 3 => waiting appears: awaitE = 10 + 2 = 12.
+	if a.WaitsIntroduced != 1 || a.WaitsKept != 1 {
+		t.Errorf("waits introduced = %d kept = %d, want 1/1", a.WaitsIntroduced, a.WaitsKept)
+	}
+	got := findEvent(t, a.Trace, trace.KindAwaitE)
+	if got.Time != 12 {
+		t.Errorf("awaitE approximated at %d, want 12", got.Time)
+	}
+}
+
+func findEvent(t *testing.T, tr *trace.Trace, kind trace.Kind) trace.Event {
+	t.Helper()
+	for _, e := range tr.Events {
+		if e.Kind == kind {
+			return e
+		}
+	}
+	t.Fatalf("no %v event", kind)
+	return trace.Event{}
+}
+
+// TestZeroOverheadIdentity: analyzing an actual (zero-probe) trace with
+// exact calibration returns it unchanged — for both analyses, over random
+// workloads. (Event-based requires static schedules for exactness.)
+func TestZeroOverheadIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.StaticConfig(r)
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(instr.Zero, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		eb, err := core.EventBased(actual.Trace, cal)
+		if err != nil {
+			t.Fatalf("case %d event-based: %v", i, err)
+		}
+		for j := range actual.Trace.Events {
+			if eb.Trace.Events[j] != actual.Trace.Events[j] {
+				t.Fatalf("case %d (%s): event-based identity broken at event %d: %v vs %v",
+					i, l.Name, j, eb.Trace.Events[j], actual.Trace.Events[j])
+			}
+		}
+	}
+}
+
+// TestApproximationMonotonicPerProc: approximated per-processor times are
+// non-decreasing, for random loops and overheads, both analyses.
+func TestApproximationMonotonicPerProc(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		for _, analyze := range []func(*trace.Trace, instr.Calibration) (*core.Approximation, error){
+			core.TimeBased, core.EventBased,
+		} {
+			a, err := analyze(measured.Trace, cal)
+			if err != nil {
+				t.Fatalf("case %d: %v", i, err)
+			}
+			if err := a.Trace.Validate(); err != nil {
+				t.Fatalf("case %d: approximated trace invalid: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestApproximationPreservesPartialOrder: the conservative approximation
+// is a feasible execution — it preserves the happened-before relation of
+// the measured trace (paper §4.1).
+func TestApproximationPreservesPartialOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 60; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := order.Build(measured.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		a, err := core.EventBased(measured.Trace, cal)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		reordered := a.Trace.Clone()
+		reordered.Sort()
+		if err := rel.Check(reordered); err != nil {
+			t.Fatalf("case %d (%s, %v): approximation violates the measured partial order: %v",
+				i, l.Name, cfg.Schedule, err)
+		}
+	}
+}
+
+// TestSequentialTimeBasedExact: for sequential loops, time-based analysis
+// with exact calibration recovers the actual execution exactly (the paper's
+// §3 success case).
+func TestSequentialTimeBasedExact(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 40; i++ {
+		l := testgen.Loop(r)
+		if l.Mode != 0 && l.Mode != 1 { // Sequential, Vector
+			continue
+		}
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := machine.Run(l, instr.FullPlan(ovh, false), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		a, err := core.TimeBased(measured.Trace, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Duration != actual.Duration {
+			t.Fatalf("case %d (%s): time-based sequential recovery %d != actual %d",
+				i, l.Name, a.Duration, actual.Duration)
+		}
+	}
+}
+
+func TestUnresolvableTrace(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(1), SNoWait: 1, SWait: 2}
+	tr := trace.New(2)
+	// A barrier release whose second participant never arrives: the
+	// release on proc 0 blocks forever on proc 1's arrival... proc 1 has
+	// an arrive event AFTER an awaitE that waits on a missing-but-present
+	// advance. Build a cycle: proc1 awaitE pairs with an advance that
+	// appears later on proc 1 itself after the awaitE — impossible order,
+	// so resolution cannot progress.
+	tr.Append(trace.Event{Time: 10, Proc: 1, Stmt: 1, Kind: trace.KindAwaitB, Iter: 5, Var: 0})
+	tr.Append(trace.Event{Time: 20, Proc: 1, Stmt: 1, Kind: trace.KindAwaitE, Iter: 5, Var: 0})
+	tr.Append(trace.Event{Time: 30, Proc: 1, Stmt: 2, Kind: trace.KindAdvance, Iter: 5, Var: 0})
+	tr.Sort()
+	_, err := core.EventBased(tr, cal)
+	if !errors.Is(err, core.ErrUnresolvable) {
+		t.Errorf("self-dependent await should be unresolvable, got %v", err)
+	}
+}
+
+// TestMissingAdvanceTreatedAsNoWait: an awaitE whose pair never advanced
+// in the trace is approximated on the no-wait path rather than failing.
+func TestMissingAdvanceTreatedAsNoWait(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(1), SNoWait: 3, SWait: 5}
+	tr := trace.New(1)
+	tr.Append(trace.Event{Time: 10, Proc: 0, Stmt: 1, Kind: trace.KindAwaitB, Iter: -1, Var: 0})
+	tr.Append(trace.Event{Time: 14, Proc: 0, Stmt: 1, Kind: trace.KindAwaitE, Iter: -1, Var: 0})
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := findEvent(t, a.Trace, trace.KindAwaitE)
+	// awaitB ta = 9; awaitE = 9 + s_nowait = 12.
+	if e.Time != 12 {
+		t.Errorf("awaitE at %d, want 12", e.Time)
+	}
+}
+
+func TestAnalysesRejectInvalidTrace(t *testing.T) {
+	bad := trace.New(1)
+	bad.Append(trace.Event{Time: 5, Proc: 3, Kind: trace.KindCompute})
+	cal := instr.Calibration{}
+	if _, err := core.TimeBased(bad, cal); err == nil {
+		t.Error("time-based should reject invalid traces")
+	}
+	if _, err := core.EventBased(bad, cal); err == nil {
+		t.Error("event-based should reject invalid traces")
+	}
+}
+
+// TestNegativeGapClamped: a calibrated overhead larger than a measured gap
+// must not drive approximated time backwards.
+func TestNegativeGapClamped(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(100)}
+	tr := trace.New(1)
+	tr.Append(trace.Event{Time: 10, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: trace.NoIter, Var: trace.NoVar})
+	tr.Append(trace.Event{Time: 15, Proc: 0, Stmt: 2, Kind: trace.KindCompute, Iter: trace.NoIter, Var: trace.NoVar})
+	a, err := core.TimeBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Events[0].Time != 0 || a.Trace.Events[1].Time != 0 {
+		t.Errorf("over-calibrated gaps should clamp to zero: %v", a.Trace.Events)
+	}
+	if err := a.Trace.Validate(); err != nil {
+		t.Errorf("clamped approximation should stay valid: %v", err)
+	}
+}

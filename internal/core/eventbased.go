@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// EventBased applies event-based perturbation analysis (paper §4.2.3).
+// Ordinary events follow the time-based rule; synchronization events are
+// modeled:
+//
+//	ta(advance) = ta(u) + tm(advance) - tm(u) - alpha
+//	ta(awaitB)  = ta(v) + tm(awaitB)  - tm(v) - beta
+//	ta(awaitE)  = ta(awaitB) + s_nowait   if ta(advance) <= ta(awaitB)
+//	            = ta(advance) + s_wait    otherwise
+//
+// where u and v are the same-thread predecessors. The end-of-DOACROSS
+// barrier is handled with the barrier model (paper footnote 7): the release
+// is approximated as the latest participant arrival plus the barrier cost.
+//
+// Lock-based critical sections (lock-req/lock-acq/lock-rel events) are
+// modeled conservatively with the semaphore rule: the k-th acquisition of a
+// lock in the measured order depends on the (k-1)-th release, and
+//
+//	ta(lockAcq) = ta(lockReq) + s_nowait   if ta(prevRel) <= ta(lockReq)
+//	            = ta(prevRel) + s_wait     otherwise
+//
+// preserving the measured acquisition order (the conservative choice: the
+// actual order is a run-time outcome the analysis cannot re-derive without
+// liberal assumptions).
+//
+// Because an awaitE cannot be resolved before its paired advance — which
+// typically occurs on another processor and possibly later in the measured
+// total order — resolution is a worklist fixpoint over processors: each
+// pass resolves every processor's events up to its first blocked
+// synchronization event, and terminates when all events are resolved or no
+// progress is possible (ErrUnresolvable).
+func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
+	r, err := newResolver(m, cal)
+	if err != nil {
+		return nil, err
+	}
+
+	advIdx := m.PairIndex() // pairing key -> advance event index
+	// Barrier participants: (var, iter) -> arrive event indices.
+	arrives := make(map[trace.PairKey][]int)
+	// Lock serialization: for each lock-acq event index, the event index
+	// of the previous holder's lock-rel (-1 for the first acquisition).
+	prevRel := make(map[int]int)
+	lastRel := make(map[int]int) // lock id -> latest lock-rel event index
+	for i, e := range m.Events {
+		switch e.Kind {
+		case trace.KindBarrierArrive:
+			arrives[e.Pair()] = append(arrives[e.Pair()], i)
+		case trace.KindLockAcq:
+			if ri, ok := lastRel[e.Var]; ok {
+				prevRel[i] = ri
+			} else {
+				prevRel[i] = -1
+			}
+		case trace.KindLockRel:
+			lastRel[e.Var] = i
+		}
+	}
+
+	stats := struct{ kept, removed, introduced int }{}
+
+	resolveSync := func(idx int, taBase, tmBase trace.Time) bool {
+		e := m.Events[idx]
+		switch e.Kind {
+		case trace.KindAwaitE:
+			taAwaitB := taBase // predecessor of awaitE is its awaitB
+			advPos, paired := advIdx[e.Pair()]
+			if paired && !r.done[advPos] {
+				return false // blocked on the advance
+			}
+			var taA trace.Time
+			if paired {
+				taA = r.ta[advPos]
+			}
+			if paired && taA > taAwaitB {
+				r.ta[idx] = taA + cal.SWait
+				stats.kept++
+			} else {
+				r.ta[idx] = taAwaitB + cal.SNoWait
+			}
+			r.done[idx] = true
+			// Classify against the measured behaviour (Figure 2): the
+			// await waited in the measurement iff its measured gap
+			// exceeds the no-wait processing plus probe cost.
+			measuredGap := e.Time - tmBase
+			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
+			waitedApprox := paired && taA > taAwaitB
+			if waitedMeasured && !waitedApprox {
+				stats.removed++
+			} else if !waitedMeasured && waitedApprox {
+				stats.introduced++
+			}
+			return true
+
+		case trace.KindLockAcq:
+			taReq := taBase // predecessor of lock-acq is its lock-req
+			ri := prevRel[idx]
+			if ri >= 0 && !r.done[ri] {
+				return false // blocked on the previous holder's release
+			}
+			var taRel trace.Time
+			held := ri >= 0
+			if held {
+				taRel = r.ta[ri]
+			}
+			if held && taRel > taReq {
+				r.ta[idx] = taRel + cal.SWait
+				stats.kept++
+			} else {
+				r.ta[idx] = taReq + cal.SNoWait
+			}
+			r.done[idx] = true
+			measuredGap := e.Time - tmBase
+			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.ForKind(e.Kind)+cal.SNoWait/2
+			waitedApprox := held && taRel > taReq
+			if waitedMeasured && !waitedApprox {
+				stats.removed++
+			} else if !waitedMeasured && waitedApprox {
+				stats.introduced++
+			}
+			return true
+
+		case trace.KindBarrierRelease:
+			parts := arrives[e.Pair()]
+			var latest trace.Time
+			for _, ai := range parts {
+				if !r.done[ai] {
+					return false
+				}
+				if r.ta[ai] > latest {
+					latest = r.ta[ai]
+				}
+			}
+			r.ta[idx] = latest + cal.Barrier
+			r.done[idx] = true
+			return true
+
+		default:
+			r.resolveDefault(idx, taBase, tmBase)
+			return true
+		}
+	}
+
+	pos := make([]int, m.Procs) // next unresolved position per processor
+	remaining := m.Len()
+	for remaining > 0 {
+		progress := false
+		for p := 0; p < m.Procs; p++ {
+			for pos[p] < len(r.perProc[p]) {
+				idx := r.perProc[p][pos[p]]
+				taBase, tmBase, ok := r.basis(p, pos[p])
+				if !ok {
+					break
+				}
+				if !resolveSync(idx, taBase, tmBase) {
+					break
+				}
+				pos[p]++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
+				ErrUnresolvable, remaining)
+		}
+	}
+
+	a := r.finish()
+	a.WaitsKept = stats.kept
+	a.WaitsRemoved = stats.removed
+	a.WaitsIntroduced = stats.introduced
+	return a, nil
+}

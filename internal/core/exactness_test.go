@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+const us = trace.Microsecond
+
+// testLoop returns a small DOACROSS loop with a critical region, the shape
+// of Livermore loops 3/4: many cheap statements of independent strip work
+// followed by a small serialized shared update.
+func testLoop(iters int) *program.Loop {
+	b := program.NewBuilder("test doacross", 0, program.DOACROSS, iters)
+	b.Head("setup", 3*us)
+	for i := 0; i < 8; i++ {
+		b.Compute("strip work", us/2)
+	}
+	b.CriticalBegin(0)
+	b.Compute("shared update", 1*us)
+	b.CriticalEnd(0)
+	b.Compute("store", us/2)
+	b.Tail("reduce", 2*us)
+	return b.Loop()
+}
+
+func exactCalFor(cfg machine.Config, o instr.Overheads) instr.Calibration {
+	return instr.Exact(o, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+}
+
+// TestEventBasedExactRecovery checks the central soundness property: with
+// exact calibration and a static schedule, event-based analysis of the
+// measured trace reproduces the actual execution event for event.
+func TestEventBasedExactRecovery(t *testing.T) {
+	for _, sched := range []program.Schedule{program.Interleaved, program.Blocked} {
+		cfg := machine.Alliant()
+		cfg.Schedule = sched
+		l := testLoop(512)
+
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatalf("actual run: %v", err)
+		}
+		ovh := instr.Uniform(5 * us)
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("measured run: %v", err)
+		}
+		if measured.Duration <= actual.Duration {
+			t.Fatalf("instrumentation did not slow the run: measured %d <= actual %d",
+				measured.Duration, actual.Duration)
+		}
+
+		approx, err := core.EventBased(measured.Trace, exactCalFor(cfg, ovh))
+		if err != nil {
+			t.Fatalf("event-based analysis (%v): %v", sched, err)
+		}
+		if got, want := approx.Trace.Len(), actual.Trace.Len(); got != want {
+			t.Fatalf("schedule %v: event count %d, want %d", sched, got, want)
+		}
+		for i := range approx.Trace.Events {
+			g, w := approx.Trace.Events[i], actual.Trace.Events[i]
+			if g != w {
+				t.Fatalf("schedule %v: event %d = %v, want %v", sched, i, g, w)
+			}
+		}
+		if approx.Duration != actual.Duration {
+			t.Fatalf("schedule %v: duration %d, want %d", sched, approx.Duration, actual.Duration)
+		}
+	}
+}
+
+// TestTimeBasedMissesWaiting checks the paper's §3 failure mode for loops
+// 3/4 (Table 1): with statement-only instrumentation, probe overhead in the
+// independent work delays arrival at the critical section and hides the
+// blocking that dominates the actual execution. Time-based analysis removes
+// only the probes, so it under-approximates; event-based analysis of a
+// sync-instrumented trace restores the waiting and is exact.
+func TestTimeBasedMissesWaiting(t *testing.T) {
+	cfg := machine.Alliant()
+	l := testLoop(512)
+
+	actual, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual.TotalWaiting() == 0 {
+		t.Fatal("test loop should block in the actual run; adjust parameters")
+	}
+	ovh := instr.Uniform(8 * us)
+
+	// Table 1 configuration: statements only, no sync probes.
+	measuredT1, err := machine.Run(l, instr.FullPlan(ovh, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := core.TimeBased(measuredT1.Trace, exactCalFor(cfg, ovh))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Table 2 configuration: statements plus sync probes.
+	measuredT2, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := core.EventBased(measuredT2.Trace, exactCalFor(cfg, ovh))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if measuredT2.Duration <= measuredT1.Duration {
+		t.Errorf("sync instrumentation should add overhead: %d <= %d",
+			measuredT2.Duration, measuredT1.Duration)
+	}
+	tbRatio := ratio(tb.Duration, actual.Duration)
+	ebRatio := ratio(eb.Duration, actual.Duration)
+	if tbRatio >= 0.9 {
+		t.Errorf("time-based approximation should underestimate: ratio %.3f", tbRatio)
+	}
+	if ebRatio < 0.999 || ebRatio > 1.001 {
+		t.Errorf("event-based approximation should be exact: ratio %.6f", ebRatio)
+	}
+}
+
+func ratio(a, b trace.Time) float64 { return float64(a) / float64(b) }

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+// mutate applies one random corruption to a copy of the trace: dropping,
+// duplicating or reordering events, retyping kinds, breaking pairing ids,
+// or skewing times. The result may or may not still be a valid trace —
+// the analyses must either handle it or reject it, never panic or loop.
+func mutate(r *rand.Rand, t *trace.Trace) *trace.Trace {
+	m := t.Clone()
+	if m.Len() == 0 {
+		return m
+	}
+	i := r.Intn(m.Len())
+	switch r.Intn(7) {
+	case 0: // drop an event
+		m.Events = append(m.Events[:i], m.Events[i+1:]...)
+	case 1: // duplicate an event
+		m.Events = append(m.Events, m.Events[i])
+		m.Sort()
+	case 2: // retype
+		m.Events[i].Kind = trace.Kind(r.Intn(11))
+	case 3: // break the pairing id
+		m.Events[i].Iter = r.Intn(100) - 50
+	case 4: // break the variable
+		m.Events[i].Var = r.Intn(5) - 2
+	case 5: // skew the time (possibly violating monotonicity)
+		m.Events[i].Time += trace.Time(r.Intn(20001) - 10000)
+		m.Sort()
+	case 6: // truncate the tail
+		m.Events = m.Events[:i]
+	}
+	return m
+}
+
+// TestAnalysesSurviveCorruptTraces: across hundreds of corrupted traces,
+// every analysis either errors or returns a structurally valid
+// approximation. A panic or livelock fails the test (the worklist must
+// detect non-progress).
+func TestAnalysesSurviveCorruptTraces(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	cfg := machine.Alliant()
+	for i := 0; i < 150; i++ {
+		l := testgen.Loop(r)
+		ovh := testgen.Overheads(r)
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		bad := measured.Trace
+		for k := 0; k < 1+r.Intn(3); k++ {
+			bad = mutate(r, bad)
+		}
+		for name, analyze := range map[string]func(*trace.Trace, instr.Calibration) (*core.Approximation, error){
+			"time-based":  core.TimeBased,
+			"event-based": core.EventBased,
+		} {
+			a, err := analyze(bad, cal)
+			if err != nil {
+				continue // rejection is fine
+			}
+			if got := a.Trace.Validate(); got != nil {
+				t.Fatalf("case %d %s: accepted corrupt input but produced invalid output: %v",
+					i, name, got)
+			}
+		}
+		// Liberal analysis with plausible options.
+		if _, err := core.LiberalEventBased(bad, cal, core.LiberalOptions{
+			Procs: cfg.Procs, Distance: 1,
+		}); err != nil {
+			continue
+		}
+	}
+}
+
+// TestEventBasedDuplicateAdvances: duplicate advance events for one pairing
+// key must not break resolution (first occurrence wins).
+func TestEventBasedDuplicateAdvances(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(1), SNoWait: 1, SWait: 2}
+	tr := trace.New(2)
+	tr.Append(trace.Event{Time: 10, Proc: 0, Stmt: 1, Kind: trace.KindAdvance, Iter: 0, Var: 0})
+	tr.Append(trace.Event{Time: 20, Proc: 0, Stmt: 1, Kind: trace.KindAdvance, Iter: 0, Var: 0})
+	tr.Append(trace.Event{Time: 5, Proc: 1, Stmt: 2, Kind: trace.KindAwaitB, Iter: 0, Var: 0})
+	tr.Append(trace.Event{Time: 15, Proc: 1, Stmt: 2, Kind: trace.KindAwaitE, Iter: 0, Var: 0})
+	tr.Sort()
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEventBasedOrphanBarrierRelease: a barrier release with no arrivals
+// resolves (empty participant set yields basis zero plus barrier cost)
+// rather than deadlocking.
+func TestEventBasedOrphanBarrierRelease(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(1), Barrier: 3}
+	tr := trace.New(1)
+	tr.Append(trace.Event{Time: 10, Proc: 0, Stmt: -2, Kind: trace.KindBarrierRelease, Iter: 0, Var: 0})
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Events[0].Time != 3 {
+		t.Errorf("orphan release at %d, want 3", a.Trace.Events[0].Time)
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"perturb/internal/instr"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// LiberalOptions parameterizes the liberal (reschedule-aware) analysis with
+// the external execution information the paper says conservative analysis
+// lacks (§4.1, §4.2.3): the loop's scheduling discipline and dependence
+// distance, plus the processor count to re-simulate scheduling over.
+type LiberalOptions struct {
+	Procs    int
+	Distance int
+	Schedule program.Schedule
+}
+
+// iterSegment is one event of an iteration with its instrumentation-free
+// cost relative to the previous event of the same processor.
+type iterSegment struct {
+	ev   trace.Event
+	cost trace.Time
+}
+
+// iterWork is the instrumentation-free work profile of one loop iteration
+// extracted from the measured trace.
+type iterWork struct {
+	iter            int
+	pre, crit, post []iterSegment
+	awaitB, awaitE  trace.Event
+	advance         trace.Event
+	hasSync         bool
+}
+
+// LiberalEventBased performs event-based perturbation analysis with work
+// reassignment: instead of keeping the measured iteration-to-processor
+// mapping (which instrumentation may have distorted, especially under
+// self-scheduling), it extracts each iteration's instrumentation-free costs
+// from the measured trace and re-simulates the loop under the given
+// scheduling discipline. The approximated execution may therefore assign
+// iterations to different processors than the measured one — a liberal
+// approximation in the paper's terminology: closer to a likely execution,
+// but no longer provably order-preserving.
+//
+// The input trace must come from a single concurrent loop whose body has at
+// most one await...advance critical region (the structure of Livermore
+// loops 3, 4 and 17), with loop markers enabled; sync instrumentation is
+// required for DOACROSS inputs.
+func LiberalEventBased(m *trace.Trace, cal instr.Calibration, opts LiberalOptions) (*Approximation, error) {
+	if opts.Procs < 1 {
+		return nil, fmt.Errorf("core: liberal analysis requires Procs >= 1, got %d", opts.Procs)
+	}
+	if opts.Distance < 1 {
+		opts.Distance = 1
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input trace: %w", err)
+	}
+	forkIdx := -1
+	for i, e := range m.Events {
+		switch e.Kind {
+		case trace.KindLockReq, trace.KindLockAcq, trace.KindLockRel:
+			// Re-simulating lock acquisition order under a different
+			// schedule would require modeling arbitration outcomes the
+			// trace does not determine; refuse rather than guess.
+			return nil, fmt.Errorf("core: liberal analysis does not support lock-based critical sections (event %v)", e)
+		case trace.KindLoopBegin:
+			if forkIdx < 0 {
+				forkIdx = i
+			}
+		}
+	}
+	if forkIdx < 0 {
+		return nil, fmt.Errorf("core: liberal analysis requires a loop-begin marker in the trace")
+	}
+
+	ex, err := extractWork(m, cal, forkIdx, opts.Distance)
+	if err != nil {
+		return nil, err
+	}
+	if !ex.barrierSeen {
+		return nil, fmt.Errorf("core: liberal analysis requires barrier events in the trace")
+	}
+
+	// Re-simulate. The head executes on processor 0; every processor
+	// begins iterating at headEnd + forkGap.
+	out := trace.New(opts.Procs)
+	var clock0 trace.Time
+	for _, seg := range ex.head {
+		clock0 += seg.cost
+		e := seg.ev
+		e.Time = clock0
+		e.Proc = 0
+		out.Append(e)
+	}
+	forkEv := m.Events[forkIdx]
+	forkEv.Time = clock0
+	forkEv.Proc = 0
+	out.Append(forkEv)
+	start := clock0 + ex.forkGap
+
+	clocks := make([]trace.Time, opts.Procs)
+	for p := range clocks {
+		clocks[p] = start
+	}
+	advT := make(map[int]trace.Time, len(ex.work))
+	chunk := (len(ex.work) + opts.Procs - 1) / opts.Procs
+	if chunk == 0 {
+		chunk = 1
+	}
+	kept, removed, introduced := 0, 0, 0
+
+	for n, w := range ex.work {
+		p := 0
+		switch opts.Schedule {
+		case program.Blocked:
+			p = n / chunk
+		case program.Dynamic:
+			for q := 1; q < opts.Procs; q++ {
+				if clocks[q] < clocks[p] {
+					p = q
+				}
+			}
+		default: // Interleaved
+			p = n % opts.Procs
+		}
+		c := clocks[p]
+		emit := func(segs []iterSegment) {
+			for _, seg := range segs {
+				c += seg.cost
+				e := seg.ev
+				e.Time = c
+				e.Proc = p
+				out.Append(e)
+			}
+		}
+		emit(w.pre)
+		if w.hasSync {
+			arrival := c
+			eB := w.awaitB
+			eB.Time = arrival
+			eB.Proc = p
+			out.Append(eB)
+			target := w.iter - opts.Distance
+			rel, posted := trace.Time(0), false
+			if target >= 0 {
+				rel, posted = advT[target]
+			}
+			measuredWaited := w.awaitE.Time-w.awaitB.Time > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
+			if posted && rel > arrival {
+				c = rel + cal.SWait
+				kept++
+				if !measuredWaited {
+					introduced++
+				}
+			} else {
+				c = arrival + cal.SNoWait
+				if measuredWaited {
+					removed++
+				}
+			}
+			eE := w.awaitE
+			eE.Time = c
+			eE.Proc = p
+			out.Append(eE)
+			emit(w.crit)
+			c += cal.AdvanceOp
+			eA := w.advance
+			eA.Time = c
+			eA.Proc = p
+			out.Append(eA)
+			advT[w.iter] = c
+		}
+		emit(w.post)
+		clocks[p] = c
+	}
+
+	// Implicit end-of-loop barrier.
+	var latest trace.Time
+	for _, c := range clocks {
+		if c > latest {
+			latest = c
+		}
+	}
+	release := latest + cal.Barrier
+	for p := 0; p < opts.Procs; p++ {
+		out.Append(trace.Event{Time: clocks[p], Stmt: -2, Proc: p, Kind: trace.KindBarrierArrive, Iter: 0, Var: 0})
+		out.Append(trace.Event{Time: release, Stmt: -2, Proc: p, Kind: trace.KindBarrierRelease, Iter: 0, Var: 0})
+	}
+	c0 := release
+	out.Append(trace.Event{Time: c0, Stmt: -1, Proc: 0, Kind: trace.KindLoopEnd, Iter: trace.NoIter, Var: trace.NoVar})
+	for _, seg := range ex.tail {
+		c0 += seg.cost
+		e := seg.ev
+		e.Time = c0
+		e.Proc = 0
+		out.Append(e)
+	}
+
+	out.Sort()
+	return &Approximation{
+		Trace:           out,
+		Duration:        out.End(),
+		WaitsKept:       kept,
+		WaitsRemoved:    removed,
+		WaitsIntroduced: introduced,
+	}, nil
+}
+
+// extraction is the decomposed measured trace.
+type extraction struct {
+	work        []*iterWork
+	head, tail  []iterSegment
+	forkGap     trace.Time
+	barrierSeen bool
+}
+
+type segRec struct {
+	ev          trace.Event
+	clean       trace.Time
+	firstOnProc bool
+}
+
+// extractWork decomposes the measured trace into per-iteration work
+// profiles with instrumentation overheads removed, plus head/tail segments
+// and the fork gap (loop start offset).
+func extractWork(m *trace.Trace, cal instr.Calibration, forkIdx, distance int) (*extraction, error) {
+	ex := &extraction{}
+	forkEv := m.Events[forkIdx]
+	forkProc := forkEv.Proc
+	perProc := m.ByProc()
+
+	// Pass A: per-processor clean gaps.
+	recs := make([][]segRec, len(perProc))
+	for p, evs := range perProc {
+		prev := forkEv.Time
+		if p == forkProc {
+			prev = 0
+		}
+		for j, e := range evs {
+			clean := e.Time - prev - cal.Overheads.ForKind(e.Kind)
+			if clean < 0 {
+				clean = 0
+			}
+			recs[p] = append(recs[p], segRec{ev: e, clean: clean, firstOnProc: j == 0 && p != forkProc})
+			prev = e.Time
+		}
+	}
+
+	// Per-statement base cost estimate: the minimum clean gap over all
+	// non-first occurrences of each compute statement. Used to split a
+	// processor's first-event gap into fork overhead plus statement cost.
+	minClean := make(map[int]trace.Time)
+	for _, rs := range recs {
+		for _, r := range rs {
+			if r.ev.Kind == trace.KindCompute && !r.firstOnProc && r.ev.Iter != trace.NoIter {
+				if v, ok := minClean[r.ev.Stmt]; !ok || r.clean < v {
+					minClean[r.ev.Stmt] = r.clean
+				}
+			}
+		}
+	}
+	forkGap := trace.Time(-1)
+	for _, rs := range recs {
+		if len(rs) == 0 || !rs[0].firstOnProc {
+			continue
+		}
+		lead := rs[0].clean
+		if base, ok := minClean[rs[0].ev.Stmt]; ok && rs[0].ev.Kind == trace.KindCompute {
+			lead -= base
+		}
+		if lead < 0 {
+			lead = 0
+		}
+		if forkGap < 0 || lead < forkGap {
+			forkGap = lead
+		}
+	}
+	if forkGap < 0 {
+		forkGap = 0
+	}
+	ex.forkGap = forkGap
+
+	// Pass B: assemble iterations. Await events record the paper's
+	// await(A, i) argument — the *target* iteration — so the executing
+	// iteration is target + distance.
+	byIter := make(map[int]*iterWork)
+	get := func(iter int) *iterWork {
+		w, ok := byIter[iter]
+		if !ok {
+			w = &iterWork{iter: iter}
+			byIter[iter] = w
+		}
+		return w
+	}
+	const (
+		phasePre = iota
+		phaseCrit
+		phasePost
+	)
+	for p, rs := range recs {
+		beforeFork := p == forkProc
+		afterRelease := false
+		phase := make(map[int]int)
+		for _, r := range rs {
+			e := r.ev
+			clean := r.clean
+			if r.firstOnProc && e.Kind == trace.KindCompute {
+				// Replace fork-contaminated first gap with the
+				// statement's estimated base cost.
+				if base, ok := minClean[e.Stmt]; ok {
+					clean = base
+				}
+			}
+			switch e.Kind {
+			case trace.KindLoopBegin:
+				beforeFork = false
+			case trace.KindBarrierArrive:
+				ex.barrierSeen = true
+			case trace.KindBarrierRelease:
+				afterRelease = true
+			case trace.KindLoopEnd:
+				// Marker re-emitted by the re-simulation.
+			case trace.KindCompute:
+				switch {
+				case beforeFork:
+					ex.head = append(ex.head, iterSegment{ev: e, cost: clean})
+				case afterRelease || e.Iter == trace.NoIter:
+					ex.tail = append(ex.tail, iterSegment{ev: e, cost: clean})
+				default:
+					w := get(e.Iter)
+					seg := iterSegment{ev: e, cost: clean}
+					switch phase[e.Iter] {
+					case phaseCrit:
+						w.crit = append(w.crit, seg)
+					case phasePost:
+						w.post = append(w.post, seg)
+					default:
+						w.pre = append(w.pre, seg)
+					}
+				}
+			case trace.KindAwaitB:
+				i := e.Iter + distance
+				w := get(i)
+				w.awaitB = e
+				w.hasSync = true
+				// The awaitB gap minus probe is pre-region work;
+				// fold it into the last pre segment (or keep it as a
+				// synthetic segment if none exists).
+				if clean > 0 {
+					if len(w.pre) > 0 {
+						w.pre[len(w.pre)-1].cost += clean
+					} else {
+						w.pre = append(w.pre, iterSegment{ev: syntheticCompute(e, i), cost: clean})
+					}
+				}
+				phase[i] = phaseCrit
+			case trace.KindAwaitE:
+				i := e.Iter + distance
+				w := get(i)
+				w.awaitE = e
+				// The awaitE gap is replaced by the sync model.
+			case trace.KindAdvance:
+				w := get(e.Iter)
+				w.advance = e
+				w.hasSync = true
+				// The advance gap minus probe includes the advance
+				// operation cost, re-added explicitly during the
+				// re-simulation, plus any unattributed statement cost.
+				opClean := clean - cal.AdvanceOp
+				if opClean > 0 {
+					w.crit = append(w.crit, iterSegment{ev: syntheticCompute(e, e.Iter), cost: opClean})
+				}
+				phase[e.Iter] = phasePost
+			}
+		}
+	}
+
+	ex.work = make([]*iterWork, 0, len(byIter))
+	for _, w := range byIter {
+		ex.work = append(ex.work, w)
+	}
+	sort.Slice(ex.work, func(i, j int) bool { return ex.work[i].iter < ex.work[j].iter })
+	for n, w := range ex.work {
+		if n != w.iter {
+			return nil, fmt.Errorf("core: liberal analysis: iteration %d missing from trace (found %d at position %d)", n, w.iter, n)
+		}
+		if w.hasSync && (w.awaitB.Kind != trace.KindAwaitB || w.awaitE.Kind != trace.KindAwaitE || w.advance.Kind != trace.KindAdvance) {
+			return nil, fmt.Errorf("core: liberal analysis: iteration %d has incomplete synchronization events", w.iter)
+		}
+	}
+	return ex, nil
+}
+
+// syntheticCompute returns a compute event carrying extracted cost that had
+// no event of its own (await/advance processing remainders).
+func syntheticCompute(like trace.Event, iter int) trace.Event {
+	e := like
+	e.Kind = trace.KindCompute
+	e.Stmt = -3
+	e.Iter = iter
+	e.Var = trace.NoVar
+	return e
+}

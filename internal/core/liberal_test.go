@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+func liberalLoop(iters int, jitter trace.Time) *program.Loop {
+	b := program.NewBuilder("liberal test", 0, program.DOACROSS, iters)
+	b.Head("setup", 2*us)
+	b.ComputeJitter("work", 3*us, jitter)
+	b.Compute("pack", us)
+	b.CriticalBegin(0)
+	b.Compute("update", us/2)
+	b.CriticalEnd(0)
+	b.Compute("post", us/2)
+	b.Tail("teardown", us)
+	return b.Loop()
+}
+
+func runMeasured(t *testing.T, l *program.Loop, cfg machine.Config, ovh instr.Overheads) *machine.Result {
+	t.Helper()
+	res, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLiberalMatchesConservativeOnStaticSchedule: with the measured
+// schedule as the target, the liberal re-simulation agrees with the
+// conservative analysis (within the fork-extraction tolerance).
+func TestLiberalMatchesConservativeOnStaticSchedule(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := instr.Uniform(5 * us)
+	cal := exactCalFor(cfg, ovh)
+	l := liberalLoop(128, 0)
+	measured := runMeasured(t, l, cfg, ovh)
+
+	conservative, err := core.EventBased(measured.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liberal, err := core.LiberalEventBased(measured.Trace, cal, core.LiberalOptions{
+		Procs: cfg.Procs, Distance: l.Distance, Schedule: program.Interleaved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(liberal.Duration) / float64(conservative.Duration)
+	if r < 0.97 || r > 1.03 {
+		t.Errorf("liberal/conservative = %.4f, want ~1 on the measured schedule", r)
+	}
+	if err := liberal.Trace.Validate(); err != nil {
+		t.Errorf("liberal trace invalid: %v", err)
+	}
+}
+
+// TestLiberalPredictsOtherSchedules: liberal analysis of an
+// interleaved-schedule measurement predicts the actual duration under
+// blocked and dynamic schedules.
+func TestLiberalPredictsOtherSchedules(t *testing.T) {
+	base := machine.Alliant()
+	ovh := instr.Uniform(5 * us)
+	cal := exactCalFor(base, ovh)
+	l := liberalLoop(128, 4*us)
+	measured := runMeasured(t, l, base, ovh)
+
+	for _, sched := range []program.Schedule{program.Blocked, program.Dynamic} {
+		predicted, err := core.LiberalEventBased(measured.Trace, cal, core.LiberalOptions{
+			Procs: base.Procs, Distance: l.Distance, Schedule: sched,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		cfg := base
+		cfg.Schedule = sched
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := float64(predicted.Duration) / float64(actual.Duration)
+		if r < 0.9 || r > 1.1 {
+			t.Errorf("schedule %v: predicted/actual = %.4f, want within 10%%", sched, r)
+		}
+	}
+}
+
+// TestLiberalReassignsWork: under a blocked target schedule, iterations
+// appear on blocked-style processors in the liberal approximation.
+func TestLiberalReassignsWork(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := instr.Uniform(5 * us)
+	cal := exactCalFor(cfg, ovh)
+	l := liberalLoop(64, 0)
+	measured := runMeasured(t, l, cfg, ovh)
+
+	liberal, err := core.LiberalEventBased(measured.Trace, cal, core.LiberalOptions{
+		Procs: cfg.Procs, Distance: l.Distance, Schedule: program.Blocked,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := 64 / cfg.Procs
+	for _, e := range liberal.Trace.Events {
+		if e.Kind != trace.KindCompute || e.Iter == trace.NoIter || e.Stmt < 0 {
+			continue
+		}
+		if want := e.Iter / chunk; e.Proc != want {
+			t.Fatalf("iteration %d on proc %d, blocked schedule wants %d", e.Iter, e.Proc, want)
+		}
+	}
+}
+
+func TestLiberalErrorCases(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := instr.Uniform(5 * us)
+	cal := exactCalFor(cfg, ovh)
+	l := liberalLoop(16, 0)
+	measured := runMeasured(t, l, cfg, ovh)
+
+	if _, err := core.LiberalEventBased(measured.Trace, cal, core.LiberalOptions{Procs: 0}); err == nil {
+		t.Error("Procs=0 should fail")
+	}
+
+	// Missing loop markers.
+	noMarkers := measured.Trace.Filter(func(e trace.Event) bool {
+		return e.Kind != trace.KindLoopBegin
+	})
+	_, err := core.LiberalEventBased(noMarkers, cal, core.LiberalOptions{Procs: 8})
+	if err == nil || !strings.Contains(err.Error(), "loop-begin") {
+		t.Errorf("missing markers: err = %v", err)
+	}
+
+	// Missing barrier events.
+	noBarrier := measured.Trace.Filter(func(e trace.Event) bool {
+		return e.Kind != trace.KindBarrierArrive && e.Kind != trace.KindBarrierRelease
+	})
+	_, err = core.LiberalEventBased(noBarrier, cal, core.LiberalOptions{Procs: 8})
+	if err == nil || !strings.Contains(err.Error(), "barrier") {
+		t.Errorf("missing barrier: err = %v", err)
+	}
+
+	// A hole in the iteration space (every event of executing iteration
+	// 5: its computes and advance record Iter 5, its awaits record the
+	// target 5-distance).
+	holed := measured.Trace.Filter(func(e trace.Event) bool {
+		switch e.Kind {
+		case trace.KindAwaitB, trace.KindAwaitE:
+			return e.Iter != 5-l.Distance
+		default:
+			return e.Iter != 5
+		}
+	})
+	_, err = core.LiberalEventBased(holed, cal, core.LiberalOptions{Procs: 8, Distance: l.Distance})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("iteration hole: err = %v", err)
+	}
+
+	// Incomplete synchronization: drop only iteration 5's advance.
+	noAdv := measured.Trace.Filter(func(e trace.Event) bool {
+		return !(e.Kind == trace.KindAdvance && e.Iter == 5)
+	})
+	_, err = core.LiberalEventBased(noAdv, cal, core.LiberalOptions{Procs: 8, Distance: l.Distance})
+	if err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("missing advance: err = %v", err)
+	}
+
+	// Invalid trace.
+	bad := trace.New(1)
+	bad.Append(trace.Event{Time: 1, Proc: 9, Kind: trace.KindCompute})
+	if _, err := core.LiberalEventBased(bad, cal, core.LiberalOptions{Procs: 2}); err == nil {
+		t.Error("invalid trace should be rejected")
+	}
+}
+
+// TestLiberalRandomizedAgainstGroundTruth sweeps random imbalanced loops
+// and checks blocked-schedule predictions stay within tolerance.
+func TestLiberalRandomizedAgainstGroundTruth(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	base := machine.Alliant()
+	ovh := instr.Uniform(5 * us)
+	cal := exactCalFor(base, ovh)
+	for i := 0; i < 10; i++ {
+		iters := 32 + 8*r.Intn(12)
+		l := liberalLoop(iters, trace.Time(r.Intn(6))*us)
+		measured := runMeasured(t, l, base, ovh)
+		predicted, err := core.LiberalEventBased(measured.Trace, cal, core.LiberalOptions{
+			Procs: base.Procs, Distance: l.Distance, Schedule: program.Blocked,
+		})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		cfg := base
+		cfg.Schedule = program.Blocked
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(predicted.Duration) / float64(actual.Duration)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("case %d (iters %d): predicted/actual = %.4f", i, iters, ratio)
+		}
+	}
+}

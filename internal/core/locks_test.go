@@ -1,0 +1,173 @@
+package core_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+func lockTestLoop(iters int, pre, crit trace.Time) *program.Loop {
+	return program.NewBuilder("lock loop", 0, program.DOALL, iters).
+		Compute("independent", pre).
+		LockStmt(0).
+		Compute("critical", crit).
+		UnlockStmt(0).
+		Loop()
+}
+
+// TestLockModelHandCase: the semaphore rule on a hand-built two-processor
+// trace. Calibration: probes 10, SNoWait 1, SWait 2, AdvanceOp 5.
+//
+//	proc 0: compute clean 5 (tm 15), lock-req clean 0 (tm 25),
+//	        lock-acq no-wait (tm 36 = 25+1+10), crit clean 20 (tm 66),
+//	        lock-rel clean 5=op (tm 81)
+//	proc 1: compute clean 30 (tm 40), lock-req (tm 50),
+//	        lock-acq waited: rel 81 + 2 + 10 = 93, crit (tm 123),
+//	        lock-rel (tm 138)
+//
+// Approximated: p0: compute 5, req 5, acq 6, crit 26, rel 31.
+// p1: compute 30, req 30; prevRel ta=31 > 30 => acq = 31+2 = 33;
+// crit 53; rel 58.
+func TestLockModelHandCase(t *testing.T) {
+	cal := instr.Calibration{Overheads: instr.Uniform(10), SNoWait: 1, SWait: 2, AdvanceOp: 5}
+	tr := trace.New(2)
+	add := func(tm trace.Time, p, s int, k trace.Kind, iter int) {
+		v := trace.NoVar
+		if k != trace.KindCompute {
+			v = 0
+		}
+		tr.Append(trace.Event{Time: tm, Proc: p, Stmt: s, Kind: k, Iter: iter, Var: v})
+	}
+	add(15, 0, 1, trace.KindCompute, 0)
+	add(25, 0, 2, trace.KindLockReq, 0)
+	add(36, 0, 2, trace.KindLockAcq, 0)
+	add(66, 0, 3, trace.KindCompute, 0)
+	add(81, 0, 4, trace.KindLockRel, 0)
+	add(40, 1, 1, trace.KindCompute, 1)
+	add(50, 1, 2, trace.KindLockReq, 1)
+	add(93, 1, 2, trace.KindLockAcq, 1)
+	add(123, 1, 3, trace.KindCompute, 1)
+	add(138, 1, 4, trace.KindLockRel, 1)
+	tr.Sort()
+
+	a, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p int, k trace.Kind) trace.Time {
+		for _, e := range a.Trace.Events {
+			if e.Proc == p && e.Kind == k {
+				return e.Time
+			}
+		}
+		t.Fatalf("missing %v on proc %d", k, p)
+		return 0
+	}
+	if got := get(0, trace.KindLockAcq); got != 6 {
+		t.Errorf("p0 acq ta = %d, want 6", got)
+	}
+	if got := get(0, trace.KindLockRel); got != 31 {
+		t.Errorf("p0 rel ta = %d, want 31", got)
+	}
+	if got := get(1, trace.KindLockAcq); got != 33 {
+		t.Errorf("p1 acq ta = %d, want 33", got)
+	}
+	if got := get(1, trace.KindLockRel); got != 58 {
+		t.Errorf("p1 rel ta = %d, want 58", got)
+	}
+	if a.WaitsKept != 1 {
+		t.Errorf("waits kept = %d, want 1", a.WaitsKept)
+	}
+}
+
+// TestLockRecoveryAccuracy: event-based analysis of an instrumented
+// lock-contended loop recovers the actual duration closely when uniform
+// probes preserve the acquisition order.
+func TestLockRecoveryAccuracy(t *testing.T) {
+	cfg := machine.Alliant()
+	l := lockTestLoop(256, 2*us, 3*us) // heavy contention: crit ~ pre
+	actual, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if actual.TotalWaiting() == 0 {
+		t.Fatal("loop should contend; adjust parameters")
+	}
+	ovh := instr.Uniform(5 * us)
+	measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.EventBased(measured.Trace, exactCalFor(cfg, ovh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := float64(a.Duration) / float64(actual.Duration)
+	if r < 0.95 || r > 1.05 {
+		t.Errorf("lock recovery ratio = %.4f (measured was %.2fx)",
+			r, float64(measured.Duration)/float64(actual.Duration))
+	}
+	tb, err := core.TimeBased(measured.Trace, exactCalFor(cfg, ovh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbr := float64(tb.Duration) / float64(actual.Duration)
+	if tbr > 0.95 && tbr < 1.05 {
+		t.Errorf("time-based analysis should not recover a contended lock loop accurately: %.4f", tbr)
+	}
+}
+
+// TestLockApproxMutualExclusion: the approximation never overlaps lock
+// holdings (acquisitions follow the preserved measured order).
+func TestLockApproxMutualExclusion(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	cfg := machine.Alliant()
+	for i := 0; i < 10; i++ {
+		l := lockTestLoop(64, trace.Time(r.Intn(4000)), trace.Time(500+r.Intn(4000)))
+		ovh := instr.Uniform(trace.Time(r.Intn(8000)))
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := core.EventBased(measured.Trace, exactCalFor(cfg, ovh))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// In approximated time order, acq and rel must alternate.
+		state := 0
+		for _, e := range a.Trace.Events {
+			switch e.Kind {
+			case trace.KindLockAcq:
+				if state != 0 {
+					t.Fatalf("case %d: overlapping acquisitions at %v", i, e)
+				}
+				state = 1
+			case trace.KindLockRel:
+				if state != 1 {
+					t.Fatalf("case %d: release without holder at %v", i, e)
+				}
+				state = 0
+			}
+		}
+	}
+}
+
+func TestLiberalRejectsLocks(t *testing.T) {
+	cfg := machine.Alliant()
+	l := lockTestLoop(16, us, us)
+	measured, err := machine.Run(l, instr.FullPlan(instr.Uniform(us), true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.LiberalEventBased(measured.Trace, exactCalFor(cfg, instr.Uniform(us)),
+		core.LiberalOptions{Procs: cfg.Procs})
+	if err == nil || !strings.Contains(err.Error(), "lock") {
+		t.Errorf("liberal analysis should refuse lock traces, got %v", err)
+	}
+}

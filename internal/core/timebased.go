@@ -1,0 +1,50 @@
+package core
+
+import (
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// TimeBased applies time-based perturbation analysis (paper §3): for every
+// event, the approximated time is the same-thread predecessor's
+// approximated time plus the measured gap minus the event's calibrated
+// probe overhead. Threads are treated as independent; synchronization
+// events receive no special handling, so measured waiting is preserved
+// verbatim (minus overhead) and waiting that instrumentation suppressed is
+// not restored. This is the analysis whose failure on Livermore loops 3, 4
+// and 17 motivates the event-based method (Table 1).
+//
+// The only cross-thread information used is the fork basis: the first event
+// of each thread other than the forking one is based on the loop-begin
+// event, without which concurrent threads would have no time origin.
+func TimeBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
+	r, err := newResolver(m, cal)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the forking processor first so the fork basis is available,
+	// then every other processor in a single linear pass each.
+	order := make([]int, 0, m.Procs)
+	forkProc := 0
+	if r.forkIdx >= 0 {
+		forkProc = m.Events[r.forkIdx].Proc
+	}
+	order = append(order, forkProc)
+	for p := 0; p < m.Procs; p++ {
+		if p != forkProc {
+			order = append(order, p)
+		}
+	}
+	for _, p := range order {
+		for pos, idx := range r.perProc[p] {
+			taBase, tmBase, ok := r.basis(p, pos)
+			if !ok {
+				// Only possible if the fork event's own chain is
+				// broken, which Validate precludes.
+				return nil, ErrUnresolvable
+			}
+			r.resolveDefault(idx, taBase, tmBase)
+		}
+	}
+	return r.finish(), nil
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// TimeBasedTotal is the crudest member of the time-based model family
+// (the technical-report lineage the paper's §3 summarizes): it
+// approximates only the total execution time, as each processor's measured
+// end time minus the summed probe overheads charged on that processor,
+// maximized across processors. No per-event times are produced.
+//
+// For sequential execution it coincides with TimeBased's duration. For
+// concurrent execution it is cruder still: overhead accumulated before the
+// fork on the forking processor inflates every other processor's start,
+// and — like TimeBased — synchronization waiting is passed through
+// unmodeled. It exists as the cheap baseline the ablation studies compare
+// against.
+func TimeBasedTotal(m *trace.Trace, cal instr.Calibration) (trace.Time, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	end := make(map[int]trace.Time)
+	ovh := make(map[int]trace.Time)
+	for _, e := range m.Events {
+		end[e.Proc] = e.Time
+		ovh[e.Proc] += cal.Overheads.ForKind(e.Kind)
+	}
+	var total trace.Time
+	for p, t := range end {
+		est := t - ovh[p]
+		if est < 0 {
+			est = 0
+		}
+		if est > total {
+			total = est
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+// TestTimeBasedTotalSequentialMatchesTimeBased: on sequential loops the
+// aggregate model agrees exactly with the per-event model's duration.
+func TestTimeBasedTotalSequentialMatchesTimeBased(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	checked := 0
+	for i := 0; i < 80 && checked < 20; i++ {
+		l := testgen.Loop(r)
+		if l.Mode != program.Sequential && l.Mode != program.Vector {
+			continue
+		}
+		checked++
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+		measured, err := machine.Run(l, instr.FullPlan(ovh, false), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		perEvent, err := core.TimeBased(measured.Trace, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := core.TimeBasedTotal(measured.Trace, cal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != perEvent.Duration {
+			t.Fatalf("case %d (%s): aggregate %d != per-event %d",
+				i, l.Name, total, perEvent.Duration)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no sequential cases generated")
+	}
+}
+
+// TestTimeBasedTotalConcurrentIsCruder: on a DOACROSS loop the aggregate
+// model is no better than the per-event model (it keeps the head overhead
+// in other processors' timelines).
+func TestTimeBasedTotalConcurrentIsCruder(t *testing.T) {
+	cfg := machine.Alliant()
+	l := testLoop(256)
+	ovh := instr.Uniform(5 * us)
+	measured, err := machine.Run(l, instr.FullPlan(ovh, false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := exactCalFor(cfg, ovh)
+	perEvent, err := core.TimeBased(measured.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := core.TimeBasedTotal(measured.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < perEvent.Duration {
+		t.Errorf("aggregate %d below per-event %d; it should retain at least as much perturbation",
+			total, perEvent.Duration)
+	}
+}
+
+func TestTimeBasedTotalErrors(t *testing.T) {
+	bad := trace.New(1)
+	bad.Append(trace.Event{Time: 1, Proc: 5, Kind: trace.KindCompute})
+	if _, err := core.TimeBasedTotal(bad, instr.Calibration{}); err == nil {
+		t.Error("invalid trace should be rejected")
+	}
+	// Over-calibration clamps at zero rather than going negative.
+	tr := trace.New(1)
+	tr.Append(trace.Event{Time: 5, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	got, err := core.TimeBasedTotal(tr, instr.Calibration{Overheads: instr.Uniform(100)})
+	if err != nil || got != 0 {
+		t.Errorf("clamped total = %d, %v; want 0, nil", got, err)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// The ablation sweeps quantify the paper's §1 Instrumentation Uncertainty
+// Principle ("volume and accuracy are antithetical") and its §5.2
+// counterpoint (synchronization instrumentation adds volume yet improves
+// accuracy):
+//
+//   - AblationCoverage varies how many statements carry probes;
+//   - AblationProbeCost varies the per-event probe cost;
+//   - AblationCalibration varies the analyst's overhead-calibration error.
+//
+// Each point reports the measured slowdown and the absolute relative error
+// of both analyses, so the trade-off curves can be compared directly.
+
+// AblationPoint is one sweep sample.
+type AblationPoint struct {
+	X             float64 // the swept parameter
+	Events        int     // measured trace size
+	Slowdown      float64 // measured/actual
+	TimeBasedErr  float64 // |time-based approx/actual - 1|
+	EventBasedErr float64 // |event-based approx/actual - 1|
+}
+
+// AblationResult is one complete sweep.
+type AblationResult struct {
+	Name   string
+	XLabel string
+	Points []AblationPoint
+}
+
+// AblationProbeCost sweeps the per-event probe cost on the given Livermore
+// DOACROSS kernel from a fraction of a microsecond to well past the paper's
+// 5us, measuring how perturbation grows and how each analysis copes.
+func AblationProbeCost(env Env, loopN int) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:   fmt.Sprintf("Ablation: probe cost sweep on LL%d", loopN),
+		XLabel: "probe cost (us)",
+	}
+	for _, us := range []float64{0.5, 1, 2, 5, 10, 20} {
+		ovh := instr.Uniform(trace.Time(us * 1000))
+		pt, err := ablationPoint(env, loopN, loopN, ovh, nil, us)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+// AblationCoverage sweeps the fraction of compute statements carrying
+// probes (synchronization probes stay on, as event-based analysis requires
+// them) at the environment's probe costs.
+func AblationCoverage(env Env, loopN int) (*AblationResult, error) {
+	def, err := loops.Get(loopN)
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{
+		Name:   fmt.Sprintf("Ablation: statement coverage sweep on LL%d", loopN),
+		XLabel: "fraction of statements instrumented",
+	}
+	var computeIDs []int
+	for _, s := range def.Stmts() {
+		if s.Kind == program.Compute {
+			computeIDs = append(computeIDs, s.ID)
+		}
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		sel := make(map[int]bool)
+		n := int(frac * float64(len(computeIDs)))
+		for _, id := range computeIDs[:n] {
+			sel[id] = true
+		}
+		pt, err := ablationPoint(env, loopN, loopN, env.Ovh, sel, frac)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+// AblationCalibration sweeps the calibration error (per mille) at full
+// instrumentation, isolating how analysis accuracy degrades with overhead
+// measurement noise. Each point averages over several independent
+// calibration draws (the deterministic skew of a single draw can land
+// anywhere within its bound).
+func AblationCalibration(env Env, loopN int) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:   fmt.Sprintf("Ablation: calibration error sweep on LL%d", loopN),
+		XLabel: "calibration error (per mille)",
+	}
+	const draws = 5
+	for _, noise := range []int{0, 5, 10, 20, 50, 100} {
+		var acc AblationPoint
+		for d := 0; d < draws; d++ {
+			e := env
+			e.CalNoisePerMille = noise
+			pt, err := ablationPoint(e, loopN*1000+d*7+1, loopN, env.Ovh, nil, float64(noise))
+			if err != nil {
+				return nil, err
+			}
+			acc.Events = pt.Events
+			acc.Slowdown = pt.Slowdown
+			acc.TimeBasedErr += pt.TimeBasedErr / draws
+			acc.EventBasedErr += pt.EventBasedErr / draws
+		}
+		acc.X = float64(noise)
+		res.Points = append(res.Points, acc)
+	}
+	return res, nil
+}
+
+// ablationPoint runs the full pipeline once: actual run, measured run with
+// the given probes and statement selection (nil = all), both analyses.
+// calSeed selects the calibration-noise draw (usually the kernel number).
+func ablationPoint(env Env, calSeed, loopN int, ovh instr.Overheads, sel map[int]bool, x float64) (*AblationPoint, error) {
+	def, err := loops.Get(loopN)
+	if err != nil {
+		return nil, err
+	}
+	actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan := instr.Plan{Statements: sel, Sync: true, LoopMarkers: true, Overheads: ovh}
+	measured, err := machine.Run(def.Loop, plan, env.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	cal := env.Calibration(calSeed)
+	cal.Overheads = overheadsWithNoise(ovh, env, calSeed)
+	tb, err := core.TimeBased(measured.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := core.EventBased(measured.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	absErr := func(a *core.Approximation) float64 {
+		r := float64(a.Duration)/float64(actual.Duration) - 1
+		if r < 0 {
+			r = -r
+		}
+		return r
+	}
+	return &AblationPoint{
+		X:             x,
+		Events:        measured.Events,
+		Slowdown:      float64(measured.Duration) / float64(actual.Duration),
+		TimeBasedErr:  absErr(tb),
+		EventBasedErr: absErr(eb),
+	}, nil
+}
+
+// overheadsWithNoise applies the environment's calibration noise to the
+// sweep's probe costs (the sweep may not use env.Ovh).
+func overheadsWithNoise(ovh instr.Overheads, env Env, seed int) instr.Overheads {
+	if env.CalNoisePerMille <= 0 {
+		return ovh
+	}
+	c := instr.Perturbed(instr.Calibration{Overheads: ovh},
+		uint64(seed)*0x9E37+0x79B9, env.CalNoisePerMille)
+	return c.Overheads
+}
+
+// Render writes the sweep as a table.
+func (r *AblationResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", r.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %10s %10s %16s %16s\n",
+		r.XLabel, "events", "slowdown", "time-based err", "event-based err"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%-12.3g %10d %9.2fx %15.1f%% %15.1f%%\n",
+			p.X, p.Events, p.Slowdown, 100*p.TimeBasedErr, 100*p.EventBasedErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+// TestAblationProbeCost: slowdown grows monotonically with probe cost;
+// event-based error stays an order of magnitude below time-based error at
+// every point.
+func TestAblationProbeCost(t *testing.T) {
+	res, err := experiments.AblationProbeCost(experiments.PaperEnv(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 4 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if i > 0 && p.Slowdown <= res.Points[i-1].Slowdown {
+			t.Errorf("slowdown not increasing at %v: %.2f <= %.2f",
+				p.X, p.Slowdown, res.Points[i-1].Slowdown)
+		}
+		if p.EventBasedErr > 0.15 {
+			t.Errorf("probe %v us: event-based error %.1f%% too large", p.X, 100*p.EventBasedErr)
+		}
+		if p.TimeBasedErr < 5*p.EventBasedErr {
+			t.Errorf("probe %v us: time-based error %.3f not clearly worse than event-based %.3f",
+				p.X, p.TimeBasedErr, p.EventBasedErr)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "probe cost") {
+		t.Error("render lacks the axis label")
+	}
+}
+
+// TestAblationCoverage: instrumenting more statements increases the
+// measured slowdown (the uncertainty principle's volume side) without
+// degrading event-based accuracy.
+func TestAblationCoverage(t *testing.T) {
+	res, err := experiments.AblationCoverage(experiments.PaperEnv(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Slowdown <= first.Slowdown {
+		t.Errorf("full coverage slowdown %.2f should exceed sync-only %.2f",
+			last.Slowdown, first.Slowdown)
+	}
+	if last.Events <= first.Events {
+		t.Errorf("full coverage events %d should exceed sync-only %d",
+			last.Events, first.Events)
+	}
+	for _, p := range res.Points {
+		if p.EventBasedErr > 0.15 {
+			t.Errorf("coverage %.2f: event-based error %.1f%%", p.X, 100*p.EventBasedErr)
+		}
+	}
+}
+
+// TestAblationCalibration: with zero noise event-based analysis is exact,
+// and its error grows with the calibration noise while staying far below
+// the time-based model error.
+func TestAblationCalibration(t *testing.T) {
+	res, err := experiments.AblationCalibration(experiments.PaperEnv(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].X != 0 || res.Points[0].EventBasedErr > 1e-9 {
+		t.Errorf("zero-noise point should be exact, got %.4f%%", 100*res.Points[0].EventBasedErr)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.EventBasedErr <= res.Points[1].EventBasedErr {
+		t.Errorf("error at %.0f per mille (%.2f%%) should exceed error at %.0f (%.2f%%)",
+			last.X, 100*last.EventBasedErr, res.Points[1].X, 100*res.Points[1].EventBasedErr)
+	}
+	for _, p := range res.Points {
+		if p.TimeBasedErr < 1 {
+			t.Errorf("noise %v: time-based error %.2f should stay >100%% on loop 17", p.X, p.TimeBasedErr)
+		}
+	}
+}
+
+func TestAblationUnknownLoop(t *testing.T) {
+	if _, err := experiments.AblationProbeCost(experiments.PaperEnv(), 99); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}

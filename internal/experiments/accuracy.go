@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+	"perturb/internal/program"
+)
+
+// EventTimingRow reports per-event approximation accuracy for one kernel —
+// the paper's §3 claim that "the accuracy of individual event timings were
+// equally impressive", made measurable against the simulator's ground
+// truth.
+type EventTimingRow struct {
+	Loop       int
+	Events     int
+	MeanRelPct float64 // mean per-event |error| as % of total execution
+	MaxAbsUS   float64 // worst single event error, microseconds
+	MeanAbsUS  float64
+}
+
+// EventTimingResult is the per-event accuracy table for the DOACROSS
+// kernels under event-based analysis.
+type EventTimingResult struct {
+	Rows []EventTimingRow
+}
+
+// EventTiming measures per-event timing accuracy of the event-based
+// approximation for loops 3, 4 and 17 (the Table-2 pipeline).
+func EventTiming(env Env) (*EventTimingResult, error) {
+	res := &EventTimingResult{}
+	for _, n := range loops.DoacrossNumbers() {
+		def, err := loops.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), env.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		approx, err := core.EventBased(measured.Trace, env.Calibration(n))
+		if err != nil {
+			return nil, err
+		}
+		te, err := metrics.CompareTiming(actual.Trace, approx.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d timing comparison: %w", n, err)
+		}
+		res.Rows = append(res.Rows, EventTimingRow{
+			Loop:       n,
+			Events:     te.Events,
+			MeanRelPct: 100 * te.MeanRel,
+			MaxAbsUS:   float64(te.MaxAbs) / 1000,
+			MeanAbsUS:  te.MeanAbs / 1000,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the accuracy table.
+func (r *EventTimingResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Per-event timing accuracy of the event-based approximation"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %8s %14s %14s %16s\n",
+		"loop", "events", "mean err (us)", "max err (us)", "mean err (%run)"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "LL%-4d %8d %14.2f %14.2f %15.3f%%\n",
+			row.Loop, row.Events, row.MeanAbsUS, row.MaxAbsUS, row.MeanRelPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScalarVectorRow compares one vectorizable kernel's scalar and vector
+// executions under full instrumentation and time-based recovery (the
+// paper's §3: "our timing model approximations for the Livermore loops in
+// sequential and vector modes were extremely accurate").
+type ScalarVectorRow struct {
+	Loop                        int
+	ScalarSlowdown, ScalarModel float64 // measured/actual, model/actual
+	VectorSlowdown, VectorModel float64
+	VectorSpeedup               float64 // actual scalar / actual vector
+}
+
+// ScalarVectorResult is the scalar-vs-vector experiment.
+type ScalarVectorResult struct {
+	Rows []ScalarVectorRow
+}
+
+// ScalarVector runs the vectorizable Figure-1 kernels in scalar and vector
+// modes: the vector unit shrinks statement costs but not probe costs, so
+// the measured perturbation is far worse in vector mode, yet time-based
+// analysis recovers both (event times stay execution independent).
+func ScalarVector(env Env) (*ScalarVectorResult, error) {
+	res := &ScalarVectorResult{}
+	for _, n := range loops.VectorizableNumbers() {
+		def, err := loops.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		row := ScalarVectorRow{Loop: n}
+		var actualScalar, actualVector float64
+		for _, mode := range []program.Mode{program.Sequential, program.Vector} {
+			l := def.WithMode(mode)
+			actual, err := machine.Run(l, instr.NonePlan(), env.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			measured, err := machine.Run(l, instr.FullPlan(env.Ovh, false), env.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			approx, err := core.TimeBased(measured.Trace, env.Calibration(n))
+			if err != nil {
+				return nil, err
+			}
+			slow := float64(measured.Duration) / float64(actual.Duration)
+			model := float64(approx.Duration) / float64(actual.Duration)
+			if mode == program.Sequential {
+				row.ScalarSlowdown, row.ScalarModel = slow, model
+				actualScalar = float64(actual.Duration)
+			} else {
+				row.VectorSlowdown, row.VectorModel = slow, model
+				actualVector = float64(actual.Duration)
+			}
+		}
+		row.VectorSpeedup = actualScalar / actualVector
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render writes the scalar/vector table.
+func (r *ScalarVectorResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Scalar vs vector execution: slowdowns and time-based model accuracy"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %14s %12s %14s %12s %10s\n",
+		"loop", "scalar slow", "model", "vector slow", "model", "vec speedup"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "LL%-4d %13.2fx %12.3f %13.2fx %12.3f %9.2fx\n",
+			row.Loop, row.ScalarSlowdown, row.ScalarModel,
+			row.VectorSlowdown, row.VectorModel, row.VectorSpeedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

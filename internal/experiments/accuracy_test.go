@@ -1,0 +1,91 @@
+package experiments_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+// TestEventTimingAccuracy: individual event times of the event-based
+// approximation are accurate — exactly so with perfect calibration, and to
+// about a percent of the run with the paper-scale calibration error.
+func TestEventTimingAccuracy(t *testing.T) {
+	exact, err := experiments.EventTiming(experiments.ExactEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range exact.Rows {
+		if row.MaxAbsUS != 0 {
+			t.Errorf("LL%d: exact calibration should yield zero per-event error, max %.3f us",
+				row.Loop, row.MaxAbsUS)
+		}
+	}
+	noisy, err := experiments.EventTiming(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range noisy.Rows {
+		if row.MeanRelPct > 2 {
+			t.Errorf("LL%d: mean per-event error %.2f%% of run, want <= 2%%", row.Loop, row.MeanRelPct)
+		}
+		if row.Events == 0 {
+			t.Errorf("LL%d: no events compared", row.Loop)
+		}
+	}
+	var buf bytes.Buffer
+	if err := noisy.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Per-event") {
+		t.Error("render lacks title")
+	}
+}
+
+// TestScalarVector: vector mode shrinks actual time (probe costs do not),
+// so the measured perturbation explodes; with exact calibration the
+// time-based model still recovers both modes exactly, and with the
+// paper-scale noise the model error grows with the slowdown — the
+// volume/accuracy principle in its sharpest form.
+func TestScalarVector(t *testing.T) {
+	exact, err := experiments.ScalarVector(experiments.ExactEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range exact.Rows {
+		if row.VectorSlowdown <= 2*row.ScalarSlowdown {
+			t.Errorf("LL%d: vector slowdown %.1fx should far exceed scalar %.1fx",
+				row.Loop, row.VectorSlowdown, row.ScalarSlowdown)
+		}
+		if row.VectorSpeedup < 4 || row.VectorSpeedup > 8 {
+			t.Errorf("LL%d: vector speedup %.2fx outside (4,8]", row.Loop, row.VectorSpeedup)
+		}
+		if row.ScalarModel != 1 || row.VectorModel != 1 {
+			t.Errorf("LL%d: exact-calibration models should be 1.0, got %.3f / %.3f",
+				row.Loop, row.ScalarModel, row.VectorModel)
+		}
+	}
+	noisy, err := experiments.ScalarVector(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range noisy.Rows {
+		if row.ScalarModel < 0.85 || row.ScalarModel > 1.15 {
+			t.Errorf("LL%d: scalar model %.3f outside the paper's band", row.Loop, row.ScalarModel)
+		}
+		// Vector-mode model error is amplified by the slowdown; it must
+		// still beat the raw measurement by an order of magnitude.
+		if row.VectorModel > row.VectorSlowdown/10 {
+			t.Errorf("LL%d: vector model %.3f not clearly better than measurement %.1fx",
+				row.Loop, row.VectorModel, row.VectorSlowdown)
+		}
+	}
+	var buf bytes.Buffer
+	if err := noisy.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "vector") {
+		t.Error("render lacks title")
+	}
+}

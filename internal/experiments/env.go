@@ -1,0 +1,51 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figure 1, Tables 1-3, Figures 4-5) on the simulated machine.
+// Each experiment returns structured rows (paper value next to reproduced
+// value) and can render itself as text; cmd/experiments drives them all and
+// the root benchmarks wrap each one.
+package experiments
+
+import (
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+)
+
+// Env carries the machine configuration and instrumentation costs shared
+// by all experiments.
+type Env struct {
+	Cfg machine.Config
+	Ovh instr.Overheads
+
+	// CalNoisePerMille is the relative error (per mille, per constant) of
+	// the analyst's overhead calibration. Zero means the analysis uses
+	// the exact costs; the paper-scale environment uses a small error so
+	// approximations deviate from actual by a few percent, as in the
+	// paper.
+	CalNoisePerMille int
+}
+
+// PaperEnv is the environment the paper-scale experiments run under:
+// FX/80-flavoured machine costs, 5us probes, and a 0.8% calibration error.
+func PaperEnv() Env {
+	return Env{Cfg: machine.Alliant(), Ovh: loops.PaperOverheads(), CalNoisePerMille: 8}
+}
+
+// ExactEnv is PaperEnv with perfect calibration, used by tests that must
+// separate model error from calibration error.
+func ExactEnv() Env {
+	e := PaperEnv()
+	e.CalNoisePerMille = 0
+	return e
+}
+
+// Calibration returns the analyst's (possibly noisy) overhead calibration
+// for the experiment on kernel n. Each kernel's experiment session
+// calibrates independently, so the noise seed is the kernel number.
+func (e Env) Calibration(n int) instr.Calibration {
+	cal := instr.Exact(e.Ovh, e.Cfg.SNoWait, e.Cfg.SWait, e.Cfg.AdvanceOp, e.Cfg.Barrier)
+	if e.CalNoisePerMille <= 0 {
+		return cal
+	}
+	return instr.Perturbed(cal, uint64(n)*0x9E37+0x79B9, e.CalNoisePerMille)
+}

@@ -1,0 +1,248 @@
+package experiments_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+func relErr(got, want float64) float64 {
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestFigure1AgainstPaper: the measured slowdowns match the paper's bars
+// closely (they are calibrated), and the time-based model lands within
+// the paper's "fifteen percent" claim.
+func TestFigure1AgainstPaper(t *testing.T) {
+	res, err := experiments.Figure1(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if relErr(row.Measured, row.PaperMeasured) > 0.05 {
+			t.Errorf("loop %d: measured ratio %.2f vs paper %.2f", row.Loop, row.Measured, row.PaperMeasured)
+		}
+		if relErr(row.Model, 1.0) > 0.15 {
+			t.Errorf("loop %d: model ratio %.3f outside the paper's 15%% band", row.Loop, row.Model)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Figure 1") {
+		t.Error("render lacks title")
+	}
+}
+
+// TestTable1AgainstPaper: time-based analysis fails in the paper's
+// directions — underestimates loops 3/4, overestimates loop 17.
+func TestTable1AgainstPaper(t *testing.T) {
+	res, err := experiments.Table1(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsByLoop(t, res)
+	for n, row := range rows {
+		if relErr(row.Measured, row.PaperMeasured) > 0.15 {
+			t.Errorf("LL%d: measured %.2f vs paper %.2f", n, row.Measured, row.PaperMeasured)
+		}
+		if relErr(row.Approx, row.PaperApprox) > 0.20 {
+			t.Errorf("LL%d: approx %.2f vs paper %.2f", n, row.Approx, row.PaperApprox)
+		}
+	}
+	if !(rows[3].Approx < 0.6 && rows[4].Approx < 0.8) {
+		t.Error("time-based analysis should clearly underestimate loops 3 and 4")
+	}
+	if rows[17].Approx < 5 {
+		t.Error("time-based analysis should grossly overestimate loop 17")
+	}
+}
+
+// TestTable2AgainstPaper: event-based analysis recovers all three loops to
+// within a few percent.
+func TestTable2AgainstPaper(t *testing.T) {
+	res, err := experiments.Table2(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowsByLoop(t, res)
+	for n, row := range rows {
+		if relErr(row.Measured, row.PaperMeasured) > 0.15 {
+			t.Errorf("LL%d: measured %.2f vs paper %.2f", n, row.Measured, row.PaperMeasured)
+		}
+		if row.Approx < 0.90 || row.Approx > 1.10 {
+			t.Errorf("LL%d: event-based approx %.3f, want within 10%% of actual", n, row.Approx)
+		}
+		if row.WaitsKept == 0 {
+			t.Errorf("LL%d: event-based analysis should reconstruct waiting", n)
+		}
+	}
+	// The extra sync instrumentation shows as a larger slowdown than
+	// Table 1 (the paper's instrumentation-uncertainty discussion).
+	t1, err := experiments.Table1(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := rowsByLoop(t, t1)
+	for n := range rows {
+		if rows[n].Measured <= r1[n].Measured {
+			t.Errorf("LL%d: Table 2 slowdown %.2f should exceed Table 1's %.2f",
+				n, rows[n].Measured, r1[n].Measured)
+		}
+	}
+}
+
+func rowsByLoop(t *testing.T, res *experiments.TableResult) map[int]experiments.TableRow {
+	t.Helper()
+	rows := make(map[int]experiments.TableRow)
+	for _, row := range res.Rows {
+		rows[row.Loop] = row
+	}
+	for _, n := range []int{3, 4, 17} {
+		if _, ok := rows[n]; !ok {
+			t.Fatalf("missing row for LL%d", n)
+		}
+	}
+	return rows
+}
+
+// TestTable3AgainstPaper: waiting percentages sit in the paper's band and
+// are non-uniform.
+func TestTable3AgainstPaper(t *testing.T) {
+	res, err := experiments.Table3(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Percent) != 8 || len(res.Paper) != 8 {
+		t.Fatalf("rows: got %d/%d, want 8/8", len(res.Percent), len(res.Paper))
+	}
+	min, max := res.Percent[0], res.Percent[0]
+	for _, v := range res.Percent {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if min < 1 || max > 12 {
+		t.Errorf("waiting band [%.2f, %.2f] far from paper's [2.70, 8.09]", min, max)
+	}
+	if max-min < 1 {
+		t.Error("waiting should vary across processors")
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paper") {
+		t.Error("render should include the paper row")
+	}
+}
+
+// TestFigure4HasWaitSpans: the timeline contains waiting spans on several
+// processors and renders with both busy and waiting marks.
+func TestFigure4HasWaitSpans(t *testing.T) {
+	res, err := experiments.Figure4(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lanes) != 8 {
+		t.Fatalf("lanes = %d, want 8", len(res.Lanes))
+	}
+	withWaits := 0
+	for _, n := range res.WaitSpans {
+		if n > 0 {
+			withWaits++
+		}
+	}
+	if withWaits < 6 {
+		t.Errorf("only %d processors show waiting; Figure 4 shows waits on all", withWaits)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "~") || !strings.Contains(out, "#") {
+		t.Error("render lacks busy/waiting marks")
+	}
+	if !strings.Contains(out, "Processor 7") {
+		t.Error("render lacks processor labels")
+	}
+}
+
+// TestFigure5AverageParallelism: the average parallelism over the
+// concurrent portion is close to the paper's 7.5.
+func TestFigure5AverageParallelism(t *testing.T) {
+	res, err := experiments.Figure5(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Average < 7.0 || res.Average > 7.95 {
+		t.Errorf("average parallelism %.2f, paper reports 7.5", res.Average)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "average parallelism") {
+		t.Error("render lacks the average line")
+	}
+}
+
+// TestRunAll renders the complete evaluation without error.
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.RunAll(&buf, experiments.PaperEnv()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 1", "Table 1", "Table 2", "Table 3", "Figure 4", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output lacks %q", want)
+		}
+	}
+}
+
+// TestExactEnvIsMoreAccurate: with perfect calibration the event-based
+// approximations of Table 2 are essentially exact.
+func TestExactEnvIsMoreAccurate(t *testing.T) {
+	res, err := experiments.Table2(experiments.ExactEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if math.Abs(row.Approx-1) > 0.001 {
+			t.Errorf("LL%d: exact-calibration approx %.5f, want 1.000", row.Loop, row.Approx)
+		}
+	}
+}
+
+// TestMarkdownReport: the full report renders with every section present.
+func TestMarkdownReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := experiments.WriteMarkdownReport(&buf, experiments.PaperEnv()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"## Figure 1", "## Table 1", "## Table 2", "## Table 3",
+		"## Figure 5", "per-event timing accuracy", "scalar vs vector",
+		"processor scaling", "ablations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("report suspiciously short: %d bytes", len(out))
+	}
+}

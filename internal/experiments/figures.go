@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+	"perturb/internal/textplot"
+	"perturb/internal/trace"
+)
+
+// Figure1Row is one kernel of the Figure 1 reproduction.
+type Figure1Row struct {
+	Loop          int
+	Measured      float64 // Measured/Actual, full sequential instrumentation
+	Model         float64 // Model(time-based)/Actual
+	PaperMeasured float64
+}
+
+// Figure1Result is the reproduced Figure 1.
+type Figure1Result struct {
+	Rows []Figure1Row
+}
+
+// Figure1 reproduces the paper's Figure 1: sequential execution of the
+// Livermore loops under full statement instrumentation, showing the
+// measured slowdown and the accuracy of the time-based model.
+func Figure1(env Env) (*Figure1Result, error) {
+	res := &Figure1Result{}
+	for _, n := range loops.Figure1Numbers() {
+		def, err := loops.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d actual: %w", n, err)
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, false), env.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d measured: %w", n, err)
+		}
+		approx, err := core.TimeBased(measured.Trace, env.Calibration(n))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d time-based model: %w", n, err)
+		}
+		mRatio, err := metrics.ExecutionRatio(measured.Duration, actual.Duration)
+		if err != nil {
+			return nil, err
+		}
+		aRatio, err := metrics.ExecutionRatio(approx.Duration, actual.Duration)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Figure1Row{
+			Loop: n, Measured: mRatio, Model: aRatio, PaperMeasured: def.Figure1Ratio,
+		})
+	}
+	return res, nil
+}
+
+// Render draws the grouped bar chart.
+func (r *Figure1Result) Render(w io.Writer) error {
+	labels := make([]string, len(r.Rows))
+	var measured, model []float64
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("loop %d", row.Loop)
+		measured = append(measured, row.Measured)
+		model = append(model, row.Model)
+	}
+	if err := textplot.GroupedBarChart(w,
+		"Figure 1: sequential loop execution, ratios to actual",
+		labels, [2]string{"Full", "Model"}, [2][]float64{measured, model}, 50); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "loop %-3d measured/actual %6.2f (paper %5.2f)   model/actual %5.2f (paper ~1.0)\n",
+			row.Loop, row.Measured, row.PaperMeasured, row.Model); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Figure4Result is the reproduced waiting-behaviour timeline of loop 17.
+type Figure4Result struct {
+	Lanes    []textplot.Lane
+	From, To trace.Time
+	// WaitSpans counts the waiting intervals per processor.
+	WaitSpans []int
+}
+
+// Figure4 reproduces the paper's Figure 4: the per-processor waiting
+// timeline of the approximated execution of loop 17.
+func Figure4(env Env) (*Figure4Result, error) {
+	approx, _, err := loop17Approximation(env)
+	if err != nil {
+		return nil, err
+	}
+	cal := env.Calibration(17)
+	tl, err := metrics.Timeline(approx.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure4Result{From: 0, To: approx.Duration, WaitSpans: make([]int, len(tl))}
+	for p, ivs := range tl {
+		lane := textplot.Lane{Label: fmt.Sprintf("Processor %d", p)}
+		for _, iv := range ivs {
+			lane.Spans = append(lane.Spans, textplot.Span{Start: iv.Start, End: iv.End, Waiting: iv.Waiting})
+			if iv.Waiting {
+				res.WaitSpans[p]++
+			}
+		}
+		res.Lanes = append(res.Lanes, lane)
+	}
+	return res, nil
+}
+
+// Render draws the Gantt chart.
+func (r *Figure4Result) Render(w io.Writer) error {
+	return textplot.Gantt(w,
+		"Figure 4: approximated waiting behaviour in Livermore loop 17",
+		r.Lanes, r.From, r.To, 96)
+}
+
+// Figure5Result is the reproduced parallelism profile of loop 17.
+type Figure5Result struct {
+	Profile  *metrics.Profile
+	From, To trace.Time
+	// Average is the mean parallelism over the concurrent portion
+	// (paper: 7.5, excluding the sequential head and tail).
+	Average float64
+	// PaperAverage is 7.5.
+	PaperAverage float64
+}
+
+// Figure5 reproduces the paper's Figure 5: parallelism over time in the
+// approximated execution of loop 17 and its average over the concurrent
+// portion.
+func Figure5(env Env) (*Figure5Result, error) {
+	approx, _, err := loop17Approximation(env)
+	if err != nil {
+		return nil, err
+	}
+	cal := env.Calibration(17)
+	prof, err := metrics.Parallelism(approx.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	var begin, release trace.Time = -1, -1
+	for _, e := range approx.Trace.Events {
+		switch e.Kind {
+		case trace.KindLoopBegin:
+			if begin < 0 {
+				begin = e.Time
+			}
+		case trace.KindBarrierRelease:
+			release = e.Time
+		}
+	}
+	if begin < 0 || release < 0 {
+		return nil, fmt.Errorf("experiments: loop 17 trace lacks loop markers")
+	}
+	return &Figure5Result{
+		Profile:      prof,
+		From:         0,
+		To:           approx.Duration,
+		Average:      prof.Average(begin, release),
+		PaperAverage: 7.5,
+	}, nil
+}
+
+// Render draws the step curve.
+func (r *Figure5Result) Render(w io.Writer) error {
+	if err := textplot.StepCurve(w,
+		"Figure 5: approximated parallelism in Livermore loop 17",
+		r.Profile.Times, r.Profile.Level, r.From, r.To, 96, 8); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "average parallelism (concurrent portion): %.2f (paper %.1f)\n",
+		r.Average, r.PaperAverage)
+	return err
+}
+
+// RunAll executes every experiment and renders them to w in paper order.
+func RunAll(w io.Writer, env Env) error {
+	fig1, err := Figure1(env)
+	if err != nil {
+		return err
+	}
+	if err := fig1.Render(w); err != nil {
+		return err
+	}
+	for _, f := range []func(Env) (*TableResult, error){Table1, Table2} {
+		t, err := f(env)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	t3, err := Table3(env)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := t3.Render(w); err != nil {
+		return err
+	}
+	fig4, err := Figure4(env)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	if err := fig4.Render(w); err != nil {
+		return err
+	}
+	fig5, err := Figure5(env)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return fig5.Render(w)
+}

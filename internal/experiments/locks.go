@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// LocksRow compares one synchronization flavour of the reduction workload.
+type LocksRow struct {
+	Flavour   string
+	ActualUS  float64
+	Slowdown  float64 // measured/actual
+	Recovered float64 // event-based approx/actual
+	WaitShare float64 // fraction of actual total waiting vs P*duration
+}
+
+// LocksResult compares iteration-ordered (advance/await) and
+// request-ordered (FIFO lock) critical sections on the same reduction.
+type LocksResult struct {
+	Rows []LocksRow
+}
+
+// Locks runs the ordered-vs-unordered critical-section study: the same
+// imbalanced reduction built with advance/await (the DOACROSS discipline)
+// and with a FIFO lock, both measured under full instrumentation and
+// recovered with event-based analysis — the advance/await pairs via the
+// paper's §4.2.3 model, the lock via the semaphore rule.
+func Locks(env Env) (*LocksResult, error) {
+	const (
+		iters = 256
+		pre   = 3000
+		jit   = 4000
+		crit  = 2000
+	)
+	ordered := program.NewBuilder("reduction via advance/await", 0, program.DOACROSS, iters).
+		ComputeJitter("partial result", pre, jit).
+		CriticalBegin(0).
+		Compute("fold", crit).
+		CriticalEnd(0).
+		Loop()
+	unordered := program.NewBuilder("reduction via lock", 0, program.DOALL, iters).
+		ComputeJitter("partial result", pre, jit).
+		LockStmt(0).
+		Compute("fold", crit).
+		UnlockStmt(0).
+		Loop()
+
+	res := &LocksResult{}
+	for _, tc := range []struct {
+		name string
+		loop *program.Loop
+	}{
+		{"advance/await (iteration order)", ordered},
+		{"FIFO lock (request order)", unordered},
+	} {
+		actual, err := machine.Run(tc.loop, instr.NonePlan(), env.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := machine.Run(tc.loop, instr.FullPlan(env.Ovh, true), env.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		approx, err := core.EventBased(measured.Trace, env.Calibration(100))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: locks (%s): %w", tc.name, err)
+		}
+		res.Rows = append(res.Rows, LocksRow{
+			Flavour:   tc.name,
+			ActualUS:  float64(actual.Duration) / 1000,
+			Slowdown:  float64(measured.Duration) / float64(actual.Duration),
+			Recovered: float64(approx.Duration) / float64(actual.Duration),
+			WaitShare: waitShare(actual, env.Cfg.Procs),
+		})
+	}
+	return res, nil
+}
+
+func waitShare(r *machine.Result, procs int) float64 {
+	var total trace.Time
+	for _, w := range r.AwaitWaiting {
+		total += w
+	}
+	den := float64(r.Duration) * float64(procs)
+	if den == 0 {
+		return 0
+	}
+	return float64(total) / den
+}
+
+// Render writes the comparison table.
+func (r *LocksResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ordered vs unordered critical sections (same reduction)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-34s %12s %10s %12s %12s\n",
+		"flavour", "actual(us)", "slowdown", "recovered", "wait share"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%-34s %12.1f %9.2fx %12.3f %11.1f%%\n",
+			row.Flavour, row.ActualUS, row.Slowdown, row.Recovered, 100*row.WaitShare); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMarkdownReport renders the complete evaluation — the paper's tables
+// and figures plus this repository's extension studies — as a Markdown
+// document with paper values alongside reproduced ones. cmd/experiments
+// -markdown regenerates the data section of EXPERIMENTS.md with it.
+func WriteMarkdownReport(w io.Writer, env Env) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# Reproduced evaluation\n\nCalibration noise: %d per mille. All ratios are vs the simulator's exact actual run.\n\n", env.CalNoisePerMille); err != nil {
+		return err
+	}
+
+	// Figure 1.
+	fig1, err := Figure1(env)
+	if err != nil {
+		return err
+	}
+	if err := p("## Figure 1 — sequential loops, full instrumentation\n\n| loop | measured/actual (paper) | measured/actual | model/actual |\n|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range fig1.Rows {
+		if err := p("| %d | %.2f | %.2f | %.2f |\n", row.Loop, row.PaperMeasured, row.Measured, row.Model); err != nil {
+			return err
+		}
+	}
+
+	// Tables 1 and 2.
+	for _, tbl := range []struct {
+		f     func(Env) (*TableResult, error)
+		title string
+	}{
+		{Table1, "## Table 1 — time-based analysis of DOACROSS loops"},
+		{Table2, "## Table 2 — event-based analysis"},
+	} {
+		res, err := tbl.f(env)
+		if err != nil {
+			return err
+		}
+		if err := p("\n%s\n\n| loop | measured/actual (paper) | repro | approx/actual (paper) | repro |\n|---|---|---|---|---|\n", tbl.title); err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			if err := p("| %d | %.2f | %.2f | %.2f | %.2f |\n",
+				row.Loop, row.PaperMeasured, row.Measured, row.PaperApprox, row.Approx); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Table 3.
+	t3, err := Table3(env)
+	if err != nil {
+		return err
+	}
+	if err := p("\n## Table 3 — loop 17 waiting %% per processor\n\n| CE | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 |\n|---|---|---|---|---|---|---|---|---|\n| paper |"); err != nil {
+		return err
+	}
+	for _, v := range t3.Paper {
+		if err := p(" %.2f |", v); err != nil {
+			return err
+		}
+	}
+	if err := p("\n| repro |"); err != nil {
+		return err
+	}
+	for _, v := range t3.Percent {
+		if err := p(" %.2f |", v); err != nil {
+			return err
+		}
+	}
+
+	// Figure 5 headline.
+	fig5, err := Figure5(env)
+	if err != nil {
+		return err
+	}
+	if err := p("\n\n## Figure 5 — average parallelism (concurrent portion)\n\npaper 7.5, reproduced %.2f\n", fig5.Average); err != nil {
+		return err
+	}
+
+	// Extension studies.
+	et, err := EventTiming(env)
+	if err != nil {
+		return err
+	}
+	if err := p("\n## Extension — per-event timing accuracy (event-based)\n\n| loop | events | mean err (us) | max err (us) | mean err (%%run) |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range et.Rows {
+		if err := p("| %d | %d | %.2f | %.2f | %.3f |\n",
+			row.Loop, row.Events, row.MeanAbsUS, row.MaxAbsUS, row.MeanRelPct); err != nil {
+			return err
+		}
+	}
+
+	sv, err := ScalarVector(env)
+	if err != nil {
+		return err
+	}
+	if err := p("\n## Extension — scalar vs vector execution\n\n| loop | scalar slowdown | model | vector slowdown | model | vector speedup |\n|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range sv.Rows {
+		if err := p("| %d | %.2fx | %.3f | %.2fx | %.3f | %.2fx |\n",
+			row.Loop, row.ScalarSlowdown, row.ScalarModel,
+			row.VectorSlowdown, row.VectorModel, row.VectorSpeedup); err != nil {
+			return err
+		}
+	}
+
+	if err := p("\n## Extension — processor scaling (speedup over 1 CE)\n\n| loop | procs | actual | recovered | raw measured |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, n := range []int{3, 4, 17} {
+		sc, err := Scaling(env, n, nil)
+		if err != nil {
+			return err
+		}
+		for _, pt := range sc.Points {
+			if err := p("| %d | %d | %.2fx | %.2fx | %.2fx |\n",
+				n, pt.Procs, pt.ActualSpeedup, pt.RecoveredSpeedup, pt.MeasuredSpeedup); err != nil {
+				return err
+			}
+		}
+	}
+
+	lk, err := Locks(env)
+	if err != nil {
+		return err
+	}
+	if err := p("\n## Extension — ordered vs unordered critical sections\n\n| flavour | actual (us) | slowdown | recovered | wait share |\n|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range lk.Rows {
+		if err := p("| %s | %.1f | %.2fx | %.3f | %.1f%% |\n",
+			row.Flavour, row.ActualUS, row.Slowdown, row.Recovered, 100*row.WaitShare); err != nil {
+			return err
+		}
+	}
+
+	if err := p("\n## Extension — instrumentation-uncertainty ablations (LL17)\n"); err != nil {
+		return err
+	}
+	for _, f := range []func(Env, int) (*AblationResult, error){
+		AblationProbeCost, AblationCoverage, AblationCalibration,
+	} {
+		res, err := f(env, 17)
+		if err != nil {
+			return err
+		}
+		if err := p("\n### %s\n\n| %s | events | slowdown | time-based err | event-based err |\n|---|---|---|---|---|\n",
+			res.Name, res.XLabel); err != nil {
+			return err
+		}
+		for _, pt := range res.Points {
+			if err := p("| %.3g | %d | %.2fx | %.1f%% | %.1f%% |\n",
+				pt.X, pt.Events, pt.Slowdown, 100*pt.TimeBasedErr, 100*pt.EventBasedErr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+)
+
+// ScalingPoint is one processor count of a scaling study.
+type ScalingPoint struct {
+	Procs int
+	// ActualSpeedup is the true speedup over the single-processor actual
+	// run; RecoveredSpeedup is the same ratio computed purely from
+	// event-based approximations of instrumented runs — what an analyst
+	// without ground truth would report.
+	ActualSpeedup, RecoveredSpeedup float64
+	// MeasuredSpeedup is the (misleading) speedup computed from the raw
+	// instrumented times.
+	MeasuredSpeedup float64
+}
+
+// ScalingResult is a processor-count scaling study for one kernel.
+type ScalingResult struct {
+	Loop   int
+	Points []ScalingPoint
+}
+
+// Scaling sweeps the processor count for one DOACROSS kernel and compares
+// three speedup curves: the true one, the one recovered by event-based
+// perturbation analysis from heavily instrumented runs, and the raw
+// measured one. A perturbation analysis that works lets an analyst chart
+// scalability without ever running uninstrumented experiments.
+func Scaling(env Env, loopN int, procCounts []int) (*ScalingResult, error) {
+	def, err := loops.Get(loopN)
+	if err != nil {
+		return nil, err
+	}
+	if len(procCounts) == 0 {
+		procCounts = []int{1, 2, 4, 8, 16}
+	}
+	res := &ScalingResult{Loop: loopN}
+	var base struct {
+		actual, recovered, measured float64
+	}
+	for i, procs := range procCounts {
+		cfg := env.Cfg
+		cfg.Procs = procs
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), cfg)
+		if err != nil {
+			return nil, err
+		}
+		approx, err := core.EventBased(measured.Trace, env.Calibration(loopN))
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base.actual = float64(actual.Duration)
+			base.recovered = float64(approx.Duration)
+			base.measured = float64(measured.Duration)
+		}
+		res.Points = append(res.Points, ScalingPoint{
+			Procs:            procs,
+			ActualSpeedup:    base.actual / float64(actual.Duration),
+			RecoveredSpeedup: base.recovered / float64(approx.Duration),
+			MeasuredSpeedup:  base.measured / float64(measured.Duration),
+		})
+	}
+	return res, nil
+}
+
+// Render writes the scaling table.
+func (r *ScalingResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Processor scaling of LL%d: speedup over 1 CE\n", r.Loop); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %10s %12s %12s\n",
+		"procs", "actual", "recovered", "measured"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%-8d %9.2fx %11.2fx %11.2fx\n",
+			p.Procs, p.ActualSpeedup, p.RecoveredSpeedup, p.MeasuredSpeedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package experiments_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+// TestScalingRecoveredTracksActual: at every processor count the recovered
+// speedup stays within a few percent of the actual one, while the raw
+// measured speedup diverges badly for at least one point.
+func TestScalingRecoveredTracksActual(t *testing.T) {
+	for _, n := range []int{3, 17} {
+		res, err := experiments.Scaling(experiments.PaperEnv(), n, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Points) != 5 {
+			t.Fatalf("LL%d: points = %d", n, len(res.Points))
+		}
+		worstMeasured := 0.0
+		for _, p := range res.Points {
+			rel := math.Abs(p.RecoveredSpeedup-p.ActualSpeedup) / p.ActualSpeedup
+			if rel > 0.06 {
+				t.Errorf("LL%d procs %d: recovered %.2fx vs actual %.2fx (%.1f%% off)",
+					n, p.Procs, p.RecoveredSpeedup, p.ActualSpeedup, 100*rel)
+			}
+			mrel := math.Abs(p.MeasuredSpeedup-p.ActualSpeedup) / p.ActualSpeedup
+			if mrel > worstMeasured {
+				worstMeasured = mrel
+			}
+		}
+		if worstMeasured < 0.25 {
+			t.Errorf("LL%d: raw measured speedups track actual too well (worst %.1f%% off); the experiment should show they mislead",
+				n, 100*worstMeasured)
+		}
+	}
+}
+
+// TestScalingShapes: loop 3 saturates early (its critical-section chain
+// bounds speedup) while loop 17 keeps scaling to near the paper's 7.5 at 8
+// processors.
+func TestScalingShapes(t *testing.T) {
+	l3, err := experiments.Scaling(experiments.PaperEnv(), 3, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l3.Points[1].ActualSpeedup; s > 4 {
+		t.Errorf("LL3 at 8 CEs: actual speedup %.2fx, expected chain-bound saturation below 4x", s)
+	}
+	l17, err := experiments.Scaling(experiments.PaperEnv(), 17, []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := l17.Points[1].ActualSpeedup; s < 6 {
+		t.Errorf("LL17 at 8 CEs: actual speedup %.2fx, expected near-linear scaling", s)
+	}
+	var buf bytes.Buffer
+	if err := l17.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "scaling of LL17") {
+		t.Error("render lacks title")
+	}
+}
+
+func TestScalingUnknownLoop(t *testing.T) {
+	if _, err := experiments.Scaling(experiments.PaperEnv(), 99, nil); err == nil {
+		t.Error("unknown kernel should error")
+	}
+}
+
+// TestLocksComparison: both critical-section flavours recover to within a
+// few percent, and both contend meaningfully in the actual execution.
+func TestLocksComparison(t *testing.T) {
+	res, err := experiments.Locks(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Recovered < 0.95 || row.Recovered > 1.05 {
+			t.Errorf("%s: recovered %.3f outside 5%%", row.Flavour, row.Recovered)
+		}
+		if row.Slowdown < 3 {
+			t.Errorf("%s: slowdown %.2fx suspiciously low", row.Flavour, row.Slowdown)
+		}
+		if row.WaitShare <= 0 {
+			t.Errorf("%s: no contention in actual run", row.Flavour)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "FIFO lock") {
+		t.Error("render lacks the lock row")
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+)
+
+// paperTable1 and paperTable2 are the execution-time ratios the paper
+// reports for Livermore loops 3, 4 and 17 (Tables 1 and 2).
+var (
+	paperTable1 = map[int][2]float64{ // Measured/Actual, Approximated/Actual
+		3:  {2.48, 0.37},
+		4:  {2.64, 0.57},
+		17: {9.97, 8.31},
+	}
+	paperTable2 = map[int][2]float64{
+		3:  {4.56, 0.96},
+		4:  {3.38, 1.06},
+		17: {14.08, 0.97},
+	}
+	// paperTable3 is the per-processor waiting percentage of total
+	// execution time for loop 17 (Table 3).
+	paperTable3 = []float64{4.05, 8.09, 4.05, 2.70, 4.05, 5.40, 2.70, 4.05}
+)
+
+// TableRow is one loop's entry of a Table 1/2 reproduction.
+type TableRow struct {
+	Loop                       int
+	Measured, Approx           float64 // reproduced ratios vs actual
+	PaperMeasured, PaperApprox float64 // the paper's ratios
+	ActualUS, MeasuredUS       float64 // absolute times, microseconds
+	Events                     int     // measured trace size
+	WaitsKept, WaitsRemoved    int     // event-based diagnostics (Table 2)
+	WaitsIntroduced            int
+}
+
+// TableResult is a reproduced Table 1 or Table 2.
+type TableResult struct {
+	Name     string
+	WithSync bool // false: Table 1 (time-based); true: Table 2 (event-based)
+	Rows     []TableRow
+}
+
+// Table1 reproduces the paper's Table 1: time-based perturbation analysis
+// of the three DOACROSS loops under full statement instrumentation without
+// synchronization probes.
+func Table1(env Env) (*TableResult, error) { return runTable(env, false) }
+
+// Table2 reproduces the paper's Table 2: event-based perturbation analysis
+// under full statement plus synchronization instrumentation.
+func Table2(env Env) (*TableResult, error) { return runTable(env, true) }
+
+func runTable(env Env, withSync bool) (*TableResult, error) {
+	res := &TableResult{Name: "Table 1 (time-based analysis)", WithSync: withSync}
+	paper := paperTable1
+	if withSync {
+		res.Name = "Table 2 (event-based analysis)"
+		paper = paperTable2
+	}
+	for _, n := range loops.DoacrossNumbers() {
+		def, err := loops.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d actual run: %w", n, err)
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, withSync), env.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d measured run: %w", n, err)
+		}
+		cal := env.Calibration(n)
+		var approx *core.Approximation
+		if withSync {
+			approx, err = core.EventBased(measured.Trace, cal)
+		} else {
+			approx, err = core.TimeBased(measured.Trace, cal)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: LL%d analysis: %w", n, err)
+		}
+		mRatio, err := metrics.ExecutionRatio(measured.Duration, actual.Duration)
+		if err != nil {
+			return nil, err
+		}
+		aRatio, err := metrics.ExecutionRatio(approx.Duration, actual.Duration)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableRow{
+			Loop:            n,
+			Measured:        mRatio,
+			Approx:          aRatio,
+			PaperMeasured:   paper[n][0],
+			PaperApprox:     paper[n][1],
+			ActualUS:        float64(actual.Duration) / 1000,
+			MeasuredUS:      float64(measured.Duration) / 1000,
+			Events:          measured.Events,
+			WaitsKept:       approx.WaitsKept,
+			WaitsRemoved:    approx.WaitsRemoved,
+			WaitsIntroduced: approx.WaitsIntroduced,
+		})
+	}
+	return res, nil
+}
+
+// Render writes the table with paper values for comparison.
+func (r *TableResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", r.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %18s %18s %12s %10s\n",
+		"loop", "Measured/Actual", "Approx/Actual", "actual(us)", "events"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "LL%-4d %8.2f (paper %5.2f) %7.2f (paper %5.2f) %12.1f %10d\n",
+			row.Loop, row.Measured, row.PaperMeasured, row.Approx, row.PaperApprox,
+			row.ActualUS, row.Events); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table3Result is the reproduced per-processor waiting table for loop 17.
+type Table3Result struct {
+	Percent []float64 // reproduced: waiting % of total execution per CE
+	Paper   []float64
+	Average float64
+}
+
+// Table3 reproduces the paper's Table 3: the percentage of total execution
+// time each processor spends waiting in the approximated execution of
+// Livermore loop 17.
+func Table3(env Env) (*Table3Result, error) {
+	approx, _, err := loop17Approximation(env)
+	if err != nil {
+		return nil, err
+	}
+	cal := env.Calibration(17)
+	ws, err := metrics.Waiting(approx.Trace, cal)
+	if err != nil {
+		return nil, err
+	}
+	pct := metrics.WaitingPercent(ws, approx.Duration)
+	res := &Table3Result{Percent: pct, Paper: paperTable3}
+	for _, v := range pct {
+		res.Average += v
+	}
+	if len(pct) > 0 {
+		res.Average /= float64(len(pct))
+	}
+	return res, nil
+}
+
+// Render writes the waiting table.
+func (r *Table3Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table 3 (DOACROSS waiting time in loop 17, % of total execution)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-10s", "processor"); err != nil {
+		return err
+	}
+	for p := range r.Percent {
+		if _, err := fmt.Fprintf(w, "%8d", p); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n%-10s", "reproduced"); err != nil {
+		return err
+	}
+	for _, v := range r.Percent {
+		if _, err := fmt.Fprintf(w, "%7.2f%%", v); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\n%-10s", "paper"); err != nil {
+		return err
+	}
+	for _, v := range r.Paper {
+		if _, err := fmt.Fprintf(w, "%7.2f%%", v); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// loop17Approximation runs the Table-2 pipeline for loop 17 and returns the
+// event-based approximation (the source for Table 3 and Figures 4 and 5).
+func loop17Approximation(env Env) (*core.Approximation, *machine.Result, error) {
+	def, err := loops.Get(17)
+	if err != nil {
+		return nil, nil, err
+	}
+	measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), env.Cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	approx, err := core.EventBased(measured.Trace, env.Calibration(17))
+	if err != nil {
+		return nil, nil, err
+	}
+	return approx, measured, nil
+}

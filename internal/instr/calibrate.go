@@ -1,0 +1,69 @@
+package instr
+
+import (
+	"perturb/internal/trace"
+)
+
+// Calibration is the analyst's estimate of the instrumentation overheads
+// and synchronization processing costs, as obtained from an in-vitro
+// measurement (paper §2: "measures of in vitro trace instrumentation costs
+// in an execution environment"). The perturbation analysis consumes a
+// Calibration, never the true Overheads: the gap between the two models the
+// real-world calibration error and produces the small residual errors seen
+// in the paper's approximations.
+type Calibration struct {
+	Overheads Overheads
+	// SNoWait is the await processing cost when no waiting occurs
+	// (the paper's s_nowait).
+	SNoWait trace.Time
+	// SWait is the await processing cost when the await blocked and was
+	// resumed by the advance (the paper's s_wait).
+	SWait trace.Time
+	// AdvanceOp is the processing cost of the advance operation itself.
+	AdvanceOp trace.Time
+	// Barrier is the per-processor barrier release cost.
+	Barrier trace.Time
+}
+
+// Exact returns a calibration that reports the true costs with no
+// measurement error. Useful for tests that must isolate model error from
+// calibration error.
+func Exact(o Overheads, sNoWait, sWait, advanceOp, barrier trace.Time) Calibration {
+	return Calibration{Overheads: o, SNoWait: sNoWait, SWait: sWait, AdvanceOp: advanceOp, Barrier: barrier}
+}
+
+// Perturbed returns a calibration whose values are skewed by a deterministic
+// relative error derived from seed, emulating the noise of a real in-vitro
+// measurement. The relative error is within ±maxRelErrPerMille/1000 for
+// each field independently.
+func Perturbed(c Calibration, seed uint64, maxRelErrPerMille int) Calibration {
+	if maxRelErrPerMille <= 0 {
+		return c
+	}
+	skew := func(v trace.Time, salt uint64) trace.Time {
+		if v == 0 {
+			return 0
+		}
+		x := seed*0x9E3779B97F4A7C15 + salt*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		span := int64(2*maxRelErrPerMille + 1)
+		pm := int64(x%uint64(span)) - int64(maxRelErrPerMille) // in [-max, +max]
+		return v + trace.Time(int64(v)*pm/1000)
+	}
+	return Calibration{
+		Overheads: Overheads{
+			Event:   skew(c.Overheads.Event, 1),
+			Advance: skew(c.Overheads.Advance, 2),
+			AwaitB:  skew(c.Overheads.AwaitB, 3),
+			AwaitE:  skew(c.Overheads.AwaitE, 4),
+		},
+		SNoWait:   skew(c.SNoWait, 5),
+		SWait:     skew(c.SWait, 6),
+		AdvanceOp: skew(c.AdvanceOp, 7),
+		Barrier:   skew(c.Barrier, 8),
+	}
+}

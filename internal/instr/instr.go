@@ -1,0 +1,159 @@
+// Package instr models trace instrumentation: which statements carry
+// probes, what each probe costs, and the synchronization processing
+// overheads that the event-based perturbation analysis takes as input
+// (the paper's alpha, beta, s_nowait and s_wait, §4.2.3).
+//
+// The paper distinguishes two cost families:
+//
+//   - Instrumentation overheads exist only in instrumented runs: the cost
+//     of generating and buffering one trace event. In the analysis formulas
+//     these appear as alpha (advance probe), beta (awaitB probe) and the
+//     generic per-event overhead subtracted by time-based analysis.
+//   - Synchronization processing overheads exist in every run: the cost the
+//     await operation itself pays, s_nowait when the advance has already
+//     been posted and s_wait when the await had to block and is resumed by
+//     the advance. These are properties of the machine, not of the probes,
+//     and are "empirically determined and input to the perturbation
+//     analysis".
+package instr
+
+import (
+	"fmt"
+
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Overheads carries the per-event instrumentation costs used both by the
+// machine simulator when injecting probes and by the perturbation analyses
+// when removing them. All values are non-negative durations.
+type Overheads struct {
+	// Event is the cost of recording one ordinary (compute, loop begin/
+	// end, barrier) trace event.
+	Event trace.Time
+	// Advance is the cost of recording an advance event (the paper's
+	// alpha).
+	Advance trace.Time
+	// AwaitB is the cost of recording the await-begin event (beta).
+	AwaitB trace.Time
+	// AwaitE is the cost of recording the await-end event.
+	AwaitE trace.Time
+}
+
+// ForKind returns the probe overhead charged for an event of the given kind.
+func (o Overheads) ForKind(k trace.Kind) trace.Time {
+	switch k {
+	case trace.KindAdvance:
+		return o.Advance
+	case trace.KindAwaitB:
+		return o.AwaitB
+	case trace.KindAwaitE:
+		return o.AwaitE
+	default:
+		return o.Event
+	}
+}
+
+// Validate reports an error if any overhead is negative.
+func (o Overheads) Validate() error {
+	if o.Event < 0 || o.Advance < 0 || o.AwaitB < 0 || o.AwaitE < 0 {
+		return fmt.Errorf("instr: overheads must be non-negative: %+v", o)
+	}
+	return nil
+}
+
+// Uniform returns Overheads charging the same cost c for every event.
+func Uniform(c trace.Time) Overheads {
+	return Overheads{Event: c, Advance: c, AwaitB: c, AwaitE: c}
+}
+
+// Zero is the no-instrumentation overhead set; simulating with Zero yields
+// the actual (unperturbed) execution.
+var Zero Overheads
+
+// Plan selects which events of a loop execution are instrumented. The
+// paper's experiments use full statement-level instrumentation, optionally
+// extended with synchronization instrumentation (the Table 1 vs Table 2
+// difference: event-based analysis additionally requires advance and await
+// probes).
+type Plan struct {
+	// Statements enables probes on compute statements (one event per
+	// statement execution). When nil, every statement is instrumented
+	// ("full instrumentation"); otherwise only ids present and true.
+	Statements map[int]bool
+	// Sync enables probes on advance and await operations, producing
+	// advance, awaitB and awaitE events.
+	Sync bool
+	// LoopMarkers enables loop begin/end and barrier events.
+	LoopMarkers bool
+	// Overheads are the per-event probe costs injected during simulation.
+	Overheads Overheads
+}
+
+// FullPlan returns a plan instrumenting every statement with the given
+// overheads; sync instrumentation is enabled iff withSync is true. Loop
+// markers are always enabled: the analysis needs loop begin/end fences.
+func FullPlan(o Overheads, withSync bool) Plan {
+	return Plan{Statements: nil, Sync: withSync, LoopMarkers: true, Overheads: o}
+}
+
+// NonePlan returns a plan with no probes at all; simulating under it yields
+// the actual execution while still emitting events with zero overhead so
+// the ground truth is observable. (The simulator uses it for the reference
+// run: an omniscient, non-intrusive observer.)
+func NonePlan() Plan {
+	return Plan{Statements: nil, Sync: true, LoopMarkers: true, Overheads: Zero}
+}
+
+// StmtInstrumented reports whether the plan probes the given statement id.
+func (p Plan) StmtInstrumented(id int) bool {
+	if p.Statements == nil {
+		return true
+	}
+	return p.Statements[id]
+}
+
+// EventCount returns the number of trace events one full execution of the
+// loop will generate under this plan.
+func (p Plan) EventCount(l *program.Loop) int {
+	n := 0
+	perIter := 0
+	for _, s := range l.Body {
+		switch s.Kind {
+		case program.Compute:
+			if p.StmtInstrumented(s.ID) {
+				perIter++
+			}
+		case program.Await:
+			if p.Sync {
+				perIter += 2 // awaitB + awaitE
+			}
+		case program.Lock:
+			if p.Sync {
+				perIter += 2 // lock-req + lock-acq
+			}
+		case program.Advance, program.Unlock:
+			if p.Sync {
+				perIter++
+			}
+		}
+	}
+	n += perIter * l.Iters
+	for _, s := range l.Head {
+		if p.StmtInstrumented(s.ID) {
+			n++
+		}
+	}
+	for _, s := range l.Tail {
+		if p.StmtInstrumented(s.ID) {
+			n++
+		}
+	}
+	if p.LoopMarkers {
+		// Loop begin/end only; barrier events are not counted here
+		// because the number of barrier participants is a machine
+		// property (processor count), not a plan property.
+		n += 2
+	}
+	return n
+}

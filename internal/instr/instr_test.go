@@ -1,0 +1,143 @@
+package instr_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"perturb/internal/instr"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+func TestOverheadsForKind(t *testing.T) {
+	o := instr.Overheads{Event: 1, Advance: 2, AwaitB: 3, AwaitE: 4}
+	cases := map[trace.Kind]trace.Time{
+		trace.KindCompute:        1,
+		trace.KindLoopBegin:      1,
+		trace.KindLoopEnd:        1,
+		trace.KindBarrierArrive:  1,
+		trace.KindBarrierRelease: 1,
+		trace.KindAdvance:        2,
+		trace.KindAwaitB:         3,
+		trace.KindAwaitE:         4,
+	}
+	for k, want := range cases {
+		if got := o.ForKind(k); got != want {
+			t.Errorf("ForKind(%v) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestOverheadsValidate(t *testing.T) {
+	if err := instr.Uniform(5).Validate(); err != nil {
+		t.Errorf("uniform overheads should validate: %v", err)
+	}
+	if err := (instr.Overheads{Event: -1}).Validate(); err == nil {
+		t.Error("negative overhead should fail validation")
+	}
+	if err := instr.Zero.Validate(); err != nil {
+		t.Errorf("zero overheads should validate: %v", err)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	o := instr.Uniform(7)
+	if o.Event != 7 || o.Advance != 7 || o.AwaitB != 7 || o.AwaitE != 7 {
+		t.Errorf("Uniform(7) = %+v", o)
+	}
+}
+
+func TestPlanStmtInstrumented(t *testing.T) {
+	full := instr.FullPlan(instr.Uniform(1), true)
+	if !full.StmtInstrumented(0) || !full.StmtInstrumented(99) {
+		t.Error("full plan should instrument every statement")
+	}
+	partial := instr.Plan{Statements: map[int]bool{3: true}}
+	if !partial.StmtInstrumented(3) || partial.StmtInstrumented(4) {
+		t.Error("partial plan selection wrong")
+	}
+}
+
+func TestNonePlanIsZeroCostObserver(t *testing.T) {
+	p := instr.NonePlan()
+	if p.Overheads != instr.Zero {
+		t.Error("NonePlan should have zero overheads")
+	}
+	if !p.Sync || !p.LoopMarkers {
+		t.Error("NonePlan should still observe sync and markers")
+	}
+}
+
+func testLoop() *program.Loop {
+	return program.NewBuilder("l", 0, program.DOACROSS, 10).
+		Head("h", 1).
+		Compute("a", 1).
+		CriticalBegin(0).
+		Compute("b", 1).
+		CriticalEnd(0).
+		Tail("t", 1).
+		Loop()
+}
+
+func TestEventCount(t *testing.T) {
+	l := testLoop()
+	// Full with sync: per iter 2 compute + awaitB + awaitE + advance = 5;
+	// head + tail = 2; markers = 2.
+	if got, want := instr.FullPlan(instr.Uniform(1), true).EventCount(l), 10*5+2+2; got != want {
+		t.Errorf("EventCount(sync) = %d, want %d", got, want)
+	}
+	// Without sync: per iter 2 compute.
+	if got, want := instr.FullPlan(instr.Uniform(1), false).EventCount(l), 10*2+2+2; got != want {
+		t.Errorf("EventCount(nosync) = %d, want %d", got, want)
+	}
+	// Partial: only statement 1 (first body compute).
+	p := instr.Plan{Statements: map[int]bool{1: true}, LoopMarkers: true}
+	if got, want := p.EventCount(l), 10+2; got != want {
+		t.Errorf("EventCount(partial) = %d, want %d", got, want)
+	}
+}
+
+func TestExactCalibration(t *testing.T) {
+	o := instr.Uniform(5)
+	c := instr.Exact(o, 1, 2, 3, 4)
+	if c.Overheads != o || c.SNoWait != 1 || c.SWait != 2 || c.AdvanceOp != 3 || c.Barrier != 4 {
+		t.Errorf("Exact = %+v", c)
+	}
+}
+
+func TestPerturbedCalibrationBounds(t *testing.T) {
+	base := instr.Exact(instr.Uniform(10000), 1000, 2000, 3000, 4000)
+	f := func(seed uint64) bool {
+		p := instr.Perturbed(base, seed, 50) // +/-5%
+		within := func(got, want trace.Time) bool {
+			lo := want - want*50/1000
+			hi := want + want*50/1000
+			return got >= lo && got <= hi
+		}
+		return within(p.Overheads.Event, 10000) &&
+			within(p.Overheads.Advance, 10000) &&
+			within(p.SNoWait, 1000) &&
+			within(p.SWait, 2000) &&
+			within(p.AdvanceOp, 3000) &&
+			within(p.Barrier, 4000)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerturbedCalibrationDeterministicAndZeroSafe(t *testing.T) {
+	base := instr.Exact(instr.Uniform(10000), 1000, 2000, 3000, 4000)
+	a := instr.Perturbed(base, 7, 40)
+	b := instr.Perturbed(base, 7, 40)
+	if a != b {
+		t.Error("Perturbed must be deterministic per seed")
+	}
+	if c := instr.Perturbed(base, 7, 0); c != base {
+		t.Error("zero noise should return the base calibration")
+	}
+	zero := instr.Calibration{}
+	if p := instr.Perturbed(zero, 3, 100); p != zero {
+		t.Error("zero-valued constants must stay zero under perturbation")
+	}
+}

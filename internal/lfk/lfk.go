@@ -1,0 +1,588 @@
+// Package lfk implements the 24 Lawrence Livermore Fortran Kernels
+// (McMahon, "The Livermore Fortran Kernels: A Computer Test of the
+// Numerical Performance Range", UCRL-53745, 1986) as real Go computations.
+//
+// The statement-level models in package loops drive the machine simulator;
+// this package provides the numbers themselves: deterministic inputs,
+// faithful kernel bodies, and checksums, so the goroutine runtime (package
+// rt) and the examples can trace genuine computation. Kernels 3, 4 and 17
+// also have DOACROSS forms in package rt built on these bodies.
+package lfk
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sizes of the kernel data sets (the "27" parameter set of the original
+// benchmark, reduced uniformly so every kernel runs in microseconds).
+const (
+	N1 = 1001 // long vectors
+	N2 = 101  // short vectors
+	NM = 64   // matrix edge
+)
+
+// Data holds every kernel's working arrays. Allocate with NewData; kernels
+// mutate the arrays, so use Reset (or a fresh Data) between comparative
+// runs.
+type Data struct {
+	U, V, W, X, Y, Z []float64 // long vectors [N1+32]
+	G, Xx, Vx        []float64
+	B5, Sa, Sb       []float64
+	P                [][4]float64 // particles
+	H, B, C          [][]float64  // NM x NM matrices
+	Zone             []int
+	E, F             []float64
+
+	// Scalars used by specific kernels.
+	Q, R, T, S, Scale, Xnm, E6, Dk float64
+}
+
+// NewData returns a deterministically initialized data set.
+func NewData() *Data {
+	d := &Data{}
+	d.Reset()
+	return d
+}
+
+// frand is a small deterministic PRNG (SplitMix64 mapped to [0,1)) so data
+// initialization needs no external seed state.
+func frand(i uint64) float64 {
+	x := i*0x9E3779B97F4A7C15 + 0x5851F42D4C957F2D
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// Reset re-initializes all arrays to the canonical deterministic contents.
+func (d *Data) Reset() {
+	vec := func(salt uint64, n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = 0.001 + frand(salt*1_000_003+uint64(i))
+		}
+		return v
+	}
+	n := N1 + 32
+	d.U, d.V, d.W = vec(1, n), vec(2, n), vec(3, n)
+	d.X, d.Y, d.Z = vec(4, n), vec(5, n), vec(6, n)
+	d.G, d.Xx, d.Vx = vec(7, n), vec(8, n), vec(9, n)
+	d.B5, d.Sa, d.Sb = vec(10, n), vec(11, n), vec(12, n)
+	d.E, d.F = vec(13, n), vec(14, n)
+	d.P = make([][4]float64, N2*2)
+	for i := range d.P {
+		for j := 0; j < 4; j++ {
+			d.P[i][j] = 1 + 8*frand(uint64(15*1_000_003+i*4+j))
+		}
+	}
+	mat := func(salt uint64) [][]float64 {
+		m := make([][]float64, NM)
+		for i := range m {
+			m[i] = make([]float64, NM)
+			for j := range m[i] {
+				m[i][j] = 0.5 + frand(salt*1_000_003+uint64(i*NM+j))
+			}
+		}
+		return m
+	}
+	d.H, d.B, d.C = mat(16), mat(17), mat(18)
+	d.Zone = make([]int, n)
+	for i := range d.Zone {
+		d.Zone[i] = 1 + int(frand(uint64(19*1_000_003+i))*float64(N2-2))
+	}
+	d.Q, d.R, d.T, d.S = 0, 4.86, 276.0, 0.5
+	d.Scale, d.Xnm, d.E6, d.Dk = 5.0/3.0, 0.00025, 1.03, 0.01
+}
+
+// Kernel runs Livermore kernel k once and returns its checksum. It panics
+// for k outside 1..24 (use Run for an error-returning variant).
+func Kernel(k int, d *Data) float64 {
+	f := kernels[k-1]
+	return f(d)
+}
+
+// Run runs kernel k once and returns its checksum.
+func Run(k int, d *Data) (float64, error) {
+	if k < 1 || k > 24 {
+		return 0, fmt.Errorf("lfk: kernel %d out of range 1..24", k)
+	}
+	return kernels[k-1](d), nil
+}
+
+// Name returns the kernel's traditional description.
+func Name(k int) string {
+	if k < 1 || k > len(kernelNames) {
+		return fmt.Sprintf("kernel %d", k)
+	}
+	return kernelNames[k-1]
+}
+
+var kernelNames = [24]string{
+	"hydro fragment",
+	"ICCG excerpt (incomplete Cholesky conjugate gradient)",
+	"inner product",
+	"banded linear equations",
+	"tri-diagonal elimination, below diagonal",
+	"general linear recurrence equations",
+	"equation of state fragment",
+	"ADI integration",
+	"integrate predictors",
+	"difference predictors",
+	"first sum",
+	"first difference",
+	"2-D particle in cell",
+	"1-D particle in cell",
+	"casual Fortran",
+	"Monte Carlo search loop",
+	"implicit, conditional computation",
+	"2-D explicit hydrodynamics fragment",
+	"general linear recurrence equations (second)",
+	"discrete ordinates transport",
+	"matrix * matrix product",
+	"Planckian distribution",
+	"2-D implicit hydrodynamics fragment",
+	"first min",
+}
+
+var kernels = [24]func(*Data) float64{
+	kernel1, kernel2, kernel3, kernel4, kernel5, kernel6,
+	kernel7, kernel8, kernel9, kernel10, kernel11, kernel12,
+	kernel13, kernel14, kernel15, kernel16, kernel17, kernel18,
+	kernel19, kernel20, kernel21, kernel22, kernel23, kernel24,
+}
+
+func sum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// kernel1: hydro fragment  x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func kernel1(d *Data) float64 {
+	for k := 0; k < N1; k++ {
+		d.X[k] = d.Q + d.Y[k]*(d.R*d.Z[k+10]+d.T*d.Z[k+11])
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel2: ICCG excerpt.
+func kernel2(d *Data) float64 {
+	ipntp := 0
+	for ii := N1 / 2; ii > 0; ii /= 2 {
+		ipnt := ipntp
+		ipntp += ii
+		j := 0
+		for i := ipnt + 1; i < ipntp; i += 2 {
+			k := ipntp + j
+			if k < len(d.X) && i+1 < len(d.V) {
+				d.X[k] = d.X[i] - d.V[i]*d.X[i-1] - d.V[i+1]*d.X[i+1]
+			}
+			j++
+		}
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel3: inner product  q += z[k]*x[k].
+func kernel3(d *Data) float64 {
+	q := 0.0
+	for k := 0; k < N1; k++ {
+		q += d.Z[k] * d.X[k]
+	}
+	d.Q = q
+	return q
+}
+
+// Kernel3Strips computes kernel 3 as strip partial products: the DOACROSS
+// decomposition of the paper's Figure 3, with nStrips iterations each
+// reducing a contiguous strip into the shared accumulator. Returns the
+// per-strip partials; summing them (in any order that respects the
+// critical region) reproduces kernel3's checksum up to FP association.
+func Kernel3Strips(d *Data, nStrips int) []float64 {
+	parts := make([]float64, nStrips)
+	per := (N1 + nStrips - 1) / nStrips
+	for s := 0; s < nStrips; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > N1 {
+			hi = N1
+		}
+		var p float64
+		for k := lo; k < hi; k++ {
+			p += d.Z[k] * d.X[k]
+		}
+		parts[s] = p
+	}
+	return parts
+}
+
+// kernel4: banded linear equations (the n=101 parameter set: the band
+// update strides the long vector, eliminating against short-vector rows).
+func kernel4(d *Data) float64 {
+	m := (N1 - 7) / 2
+	for k := 6; k < N1; k += m {
+		lw := k - 6
+		temp := d.X[k-1]
+		for j := 4; j < N2; j += 5 {
+			temp -= d.X[lw] * d.Y[j]
+			lw++
+		}
+		d.X[k-1] = d.Y[4] * temp
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel5: tri-diagonal elimination, below diagonal.
+func kernel5(d *Data) float64 {
+	for i := 1; i < N1; i++ {
+		d.X[i] = d.Z[i] * (d.Y[i] - d.X[i-1])
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel6: general linear recurrence equations.
+func kernel6(d *Data) float64 {
+	n := 64
+	for i := 1; i < n; i++ {
+		var t float64
+		for k := 0; k < i; k++ {
+			t += d.B[k][i] * d.W[(i-k)-1]
+		}
+		d.W[i] += 0.01 * t
+	}
+	return sum(d.W[:n])
+}
+
+// kernel7: equation of state fragment.
+func kernel7(d *Data) float64 {
+	for k := 0; k < N1; k++ {
+		d.X[k] = d.U[k] + d.R*(d.Z[k]+d.R*d.Y[k]) +
+			d.T*(d.U[k+3]+d.R*(d.U[k+2]+d.R*d.U[k+1])+
+				d.T*(d.U[k+6]+d.Q*(d.U[k+5]+d.Q*d.U[k+4])))
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel8: ADI integration.
+func kernel8(d *Data) float64 {
+	var (
+		a11, a12, a13 = 1.0, 0.5, 0.33
+		a21, a22, a23 = 2.0, 0.25, 0.166
+		a31, a32, a33 = 3.0, 0.125, 0.0833
+		sig           = 0.5
+	)
+	nl1, nl2 := 0, 1
+	u1 := [2][]float64{d.U[:N2+2], d.V[:N2+2]}
+	u2 := [2][]float64{d.W[:N2+2], d.X[:N2+2]}
+	u3 := [2][]float64{d.Y[:N2+2], d.Z[:N2+2]}
+	for ky := 1; ky < N2; ky++ {
+		du1 := u1[nl1][ky+1] - u1[nl1][ky-1]
+		du2 := u2[nl1][ky+1] - u2[nl1][ky-1]
+		du3 := u3[nl1][ky+1] - u3[nl1][ky-1]
+		u1[nl2][ky] = u1[nl1][ky] + a11*du1 + a12*du2 + a13*du3 + sig*(u1[nl1][ky+1]-2*u1[nl1][ky]+u1[nl1][ky-1])
+		u2[nl2][ky] = u2[nl1][ky] + a21*du1 + a22*du2 + a23*du3 + sig*(u2[nl1][ky+1]-2*u2[nl1][ky]+u2[nl1][ky-1])
+		u3[nl2][ky] = u3[nl1][ky] + a31*du1 + a32*du2 + a33*du3 + sig*(u3[nl1][ky+1]-2*u3[nl1][ky]+u3[nl1][ky-1])
+	}
+	return sum(u1[nl2][:N2]) + sum(u2[nl2][:N2]) + sum(u3[nl2][:N2])
+}
+
+// kernel9: integrate predictors.
+func kernel9(d *Data) float64 {
+	const (
+		c0                         = 2.0
+		a0, a1, a2, a3, a4, a5, a6 = 0.05, 0.04, 0.03, 0.02, 0.01, 0.005, 0.0025
+	)
+	n := len(d.P)
+	for i := 0; i < n; i++ {
+		d.P[i][0] = c0*(d.P[i][3]+d.P[i][2]) +
+			a0*d.P[i][1] + a1*d.P[i][2] + a2*d.P[i][3] +
+			a3*d.P[i][1] + a4*d.P[i][2] + a5*d.P[i][3] +
+			a6*d.P[i][1]
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += d.P[i][0]
+	}
+	return s
+}
+
+// kernel10: difference predictors.
+func kernel10(d *Data) float64 {
+	n := len(d.P)
+	for i := 0; i < n; i++ {
+		ar := d.E[i]
+		br := ar - d.P[i][0]
+		d.P[i][0] = ar
+		cr := br - d.P[i][1]
+		d.P[i][1] = br
+		ap := cr - d.P[i][2]
+		d.P[i][2] = cr
+		d.P[i][3] = ap - d.P[i][3]
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += d.P[i][3]
+	}
+	return s
+}
+
+// kernel11: first sum.
+func kernel11(d *Data) float64 {
+	d.X[0] = d.Y[0]
+	for k := 1; k < N1; k++ {
+		d.X[k] = d.X[k-1] + d.Y[k]
+	}
+	return d.X[N1-1]
+}
+
+// kernel12: first difference.
+func kernel12(d *Data) float64 {
+	for k := 0; k < N1; k++ {
+		d.X[k] = d.Y[k+1] - d.Y[k]
+	}
+	return sum(d.X[:N1])
+}
+
+// kernel13: 2-D particle in cell.
+func kernel13(d *Data) float64 {
+	n := len(d.P)
+	for ip := 0; ip < n; ip++ {
+		i1 := int(d.P[ip][0])&(NM-1) + 1
+		j1 := int(d.P[ip][1])&(NM-1) + 1
+		i1 %= NM
+		j1 %= NM
+		d.P[ip][2] += d.B[j1][i1]
+		d.P[ip][3] += d.C[j1][i1]
+		d.P[ip][0] += d.P[ip][2]
+		d.P[ip][1] += d.P[ip][3]
+		i2 := int(math.Abs(d.P[ip][0])) % NM
+		j2 := int(math.Abs(d.P[ip][1])) % NM
+		d.P[ip][0] += float64(i2&1) * 0.5
+		d.P[ip][1] += float64(j2&1) * 0.5
+		d.H[j2][i2] += 1.0
+	}
+	var s float64
+	for i := range d.H {
+		s += sum(d.H[i])
+	}
+	return s
+}
+
+// kernel14: 1-D particle in cell.
+func kernel14(d *Data) float64 {
+	flx := 0.001
+	for k := 0; k < N2; k++ {
+		ix := int(d.G[k]*float64(NM)) & (NM - 1)
+		xi := float64(ix)
+		d.Vx[k] += d.E[ix] + (d.X[k]-xi)*d.F[ix]
+		d.X[k] += d.Vx[k] * flx
+		d.W[ix] += 1.0
+	}
+	return sum(d.Vx[:N2]) + sum(d.W[:NM])
+}
+
+// kernel15: casual Fortran (hydro velocity selection).
+func kernel15(d *Data) float64 {
+	ng, nz := 7, N2
+	_ = ng
+	var s float64
+	for j := 1; j < nz-1; j++ {
+		var t float64
+		if d.X[j-1] < d.X[j+1] {
+			t = d.X[j-1] + d.Y[j]
+		} else {
+			t = d.X[j+1] + d.Z[j]
+		}
+		if t > 1.0 {
+			d.V[j] = t * 0.5
+		} else {
+			d.V[j] = t
+		}
+		s += d.V[j]
+	}
+	return s
+}
+
+// kernel16: Monte Carlo search loop.
+func kernel16(d *Data) float64 {
+	ii := N2 - 1
+	k2, k3 := 0, 0
+	i1, j2 := 1, 1
+	k := 0
+	for step := 0; step < 2*N1; step++ {
+		k2++
+		j4 := j2 + k + k
+		if j4 < 0 {
+			j4 = -j4
+		}
+		j5 := d.Zone[j4%len(d.Zone)]
+		if j5 >= ii {
+			k3++
+			if k3 > 8 {
+				break
+			}
+			k = -k - 1
+		} else {
+			k = k + 1
+		}
+		if d.G[j5] < d.G[i1] {
+			i1 = j5
+		}
+		j2 = (j2 + j5) % N2
+		if j2 == 0 {
+			j2 = 1
+		}
+		if k2 > 4*N1 {
+			break
+		}
+	}
+	return float64(k2) + float64(k3)*0.5 + d.G[i1]
+}
+
+// kernel17: implicit, conditional computation (cross-iteration
+// recurrence with branches).
+func kernel17(d *Data) float64 {
+	scale, xnm, e6 := d.Scale, d.Xnm, d.E6
+	k := N1 - 1
+	ink := -1
+	i := 0
+	for k != 0 {
+		if i >= N1 {
+			break
+		}
+		vsp := d.V[k] * d.Y[k]
+		vstp := scale*vsp + xnm
+		xnz := d.Z[k]
+		if xnz <= vstp {
+			e6 = xnm * d.W[k]
+			xnm = vstp - e6*scale
+		} else {
+			e6 = vstp * d.W[k]
+			xnm = e6 + xnz*0.001
+		}
+		d.Vx[k] = e6
+		k += ink
+		i++
+	}
+	d.Xnm, d.E6 = xnm, e6
+	return xnm + e6 + sum(d.Vx[:N1])
+}
+
+// kernel18: 2-D explicit hydrodynamics fragment.
+func kernel18(d *Data) float64 {
+	t := 0.0037
+	s := 0.0041
+	n := NM - 1
+	za, zb := d.H, d.B
+	zu, zv := d.C, d.H
+	for j := 1; j < n; j++ {
+		for k := 1; k < n; k++ {
+			qa := za[j][k+1]*zb[j][k] + za[j][k-1]*zb[j][k-1] +
+				za[j+1][k]*zu[j][k] + za[j-1][k]*zv[j-1][k]
+			za[j][k] += t * (qa - s*za[j][k])
+		}
+	}
+	var sm float64
+	for j := range za {
+		sm += sum(za[j])
+	}
+	return sm
+}
+
+// kernel19: general linear recurrence equations (second form).
+func kernel19(d *Data) float64 {
+	n := N2
+	stb5 := d.S
+	for k := 0; k < n; k++ {
+		d.B5[k] = d.Sa[k] + stb5*d.Sb[k]
+		stb5 = d.B5[k] - stb5
+	}
+	for k := n - 1; k >= 0; k-- {
+		d.B5[k] = d.Sa[k] + stb5*d.Sb[k]
+		stb5 = d.B5[k] - stb5
+	}
+	return sum(d.B5[:n]) + stb5
+}
+
+// kernel20: discrete ordinates transport.
+func kernel20(d *Data) float64 {
+	for k := 0; k < N1-1; k++ {
+		di := d.Y[k] - d.G[k]/(d.Xx[k]+d.Dk)
+		dn := 0.2
+		if di != 0 {
+			dn = d.Z[k] / di
+			if dn > 2 {
+				dn = 2
+			}
+			if dn < 0.2 {
+				dn = 0.2
+			}
+		}
+		d.X[k] = ((d.W[k]+d.V[k]*dn)*d.Xx[k] + d.U[k]) / (d.Vx[k] + d.V[k]*dn)
+		d.Xx[k+1] = (d.X[k]-d.Xx[k])*dn + d.Xx[k]
+	}
+	return sum(d.X[:N1-1])
+}
+
+// kernel21: matrix * matrix product  px += vy * cx.
+func kernel21(d *Data) float64 {
+	for k := 0; k < NM; k++ {
+		for i := 0; i < NM; i++ {
+			v := d.B[i][k]
+			for j := 0; j < NM; j++ {
+				d.H[i][j] += v * d.C[k][j]
+			}
+		}
+	}
+	var s float64
+	for i := range d.H {
+		s += sum(d.H[i])
+	}
+	return s
+}
+
+// kernel22: Planckian distribution.
+func kernel22(d *Data) float64 {
+	expmax := 20.0
+	d.U[N2-1] = 0.99 * expmax * d.V[N2-1]
+	for k := 0; k < N2; k++ {
+		d.Y[k] = d.U[k] / d.V[k]
+		if d.Y[k] > expmax {
+			d.Y[k] = expmax
+		}
+		d.W[k] = d.X[k] / (math.Exp(d.Y[k]) - 1.0)
+	}
+	return sum(d.W[:N2])
+}
+
+// kernel23: 2-D implicit hydrodynamics fragment.
+func kernel23(d *Data) float64 {
+	n := NM - 1
+	za := d.H
+	for j := 1; j < n; j++ {
+		for k := 1; k < n; k++ {
+			qa := za[j][k+1]*1.1 + za[j][k-1]*1.2 + za[j+1][k]*1.3 + za[j-1][k]*1.4
+			za[j][k] += 0.175 * (qa - 4.0*za[j][k])
+		}
+	}
+	var s float64
+	for j := range za {
+		s += sum(za[j])
+	}
+	return s
+}
+
+// kernel24: first min (argmin search).
+func kernel24(d *Data) float64 {
+	m := 0
+	for k := 1; k < N1; k++ {
+		if d.X[k] < d.X[m] {
+			m = k
+		}
+	}
+	return float64(m) + d.X[m]
+}

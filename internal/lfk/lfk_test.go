@@ -1,0 +1,125 @@
+package lfk_test
+
+import (
+	"math"
+	"testing"
+
+	"perturb/internal/lfk"
+)
+
+// TestAllKernelsRunAndAreDeterministic: every kernel produces a finite,
+// reproducible checksum from a fresh data set.
+func TestAllKernelsRunAndAreDeterministic(t *testing.T) {
+	first := make(map[int]float64)
+	for round := 0; round < 2; round++ {
+		for k := 1; k <= 24; k++ {
+			d := lfk.NewData()
+			got, err := lfk.Run(k, d)
+			if err != nil {
+				t.Fatalf("kernel %d: %v", k, err)
+			}
+			if math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Fatalf("kernel %d: checksum %v not finite", k, got)
+			}
+			if round == 0 {
+				first[k] = got
+			} else if got != first[k] {
+				t.Fatalf("kernel %d: non-deterministic checksum %v vs %v", k, got, first[k])
+			}
+		}
+	}
+}
+
+// TestChecksumsDiffer: the kernels do different work (no copy-paste
+// checksum collisions).
+func TestChecksumsDiffer(t *testing.T) {
+	seen := make(map[float64]int)
+	for k := 1; k <= 24; k++ {
+		d := lfk.NewData()
+		got, err := lfk.Run(k, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[got]; dup {
+			t.Errorf("kernels %d and %d share checksum %v", prev, k, got)
+		}
+		seen[got] = k
+	}
+}
+
+func TestResetRestoresData(t *testing.T) {
+	d := lfk.NewData()
+	a, _ := lfk.Run(7, d)
+	// Run again without reset: X was mutated, some kernels change result.
+	lfk.Run(5, d)
+	d.Reset()
+	b, _ := lfk.Run(7, d)
+	if a != b {
+		t.Errorf("Reset did not restore inputs: %v vs %v", a, b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	d := lfk.NewData()
+	if _, err := lfk.Run(0, d); err == nil {
+		t.Error("kernel 0 should error")
+	}
+	if _, err := lfk.Run(25, d); err == nil {
+		t.Error("kernel 25 should error")
+	}
+}
+
+func TestKernelPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Kernel(0) should panic")
+		}
+	}()
+	lfk.Kernel(0, lfk.NewData())
+}
+
+func TestNames(t *testing.T) {
+	if lfk.Name(3) != "inner product" {
+		t.Errorf("Name(3) = %q", lfk.Name(3))
+	}
+	if lfk.Name(17) != "implicit, conditional computation" {
+		t.Errorf("Name(17) = %q", lfk.Name(17))
+	}
+	if lfk.Name(99) != "kernel 99" {
+		t.Errorf("Name(99) = %q", lfk.Name(99))
+	}
+}
+
+// TestKernel3StripsSumMatchesKernel3: the DOACROSS decomposition of the
+// inner product reproduces the sequential checksum (same association
+// order when summed in strip order).
+func TestKernel3StripsSumMatchesKernel3(t *testing.T) {
+	d := lfk.NewData()
+	want := lfk.Kernel(3, d)
+	for _, strips := range []int{1, 7, 64, 512} {
+		d.Reset()
+		parts := lfk.Kernel3Strips(d, strips)
+		if len(parts) != strips {
+			t.Fatalf("strips=%d: got %d parts", strips, len(parts))
+		}
+		var got float64
+		for _, p := range parts {
+			got += p
+		}
+		if diff := math.Abs(got-want) / math.Abs(want); diff > 1e-9 {
+			t.Errorf("strips=%d: sum %v vs kernel3 %v (rel diff %g)", strips, got, want, diff)
+		}
+	}
+}
+
+func BenchmarkKernels(b *testing.B) {
+	d := lfk.NewData()
+	for _, k := range []int{1, 3, 7, 17, 21} {
+		k := k
+		b.Run(lfk.Name(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lfk.Kernel(k, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package loops_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+)
+
+// TestDoacrossCalibration verifies that the calibrated DOACROSS kernels
+// reproduce the paper's Table 1 and Table 2 execution-time ratios within a
+// modest tolerance (the reproduction targets shape, not digits).
+func TestDoacrossCalibration(t *testing.T) {
+	paper := map[int]struct{ m1, t1, m2 float64 }{
+		3:  {2.48, 0.37, 4.56},
+		4:  {2.64, 0.57, 3.38},
+		17: {9.97, 8.31, 14.08},
+	}
+	cfg := machine.Alliant()
+	ovh := loops.PaperOverheads()
+	cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+
+	for _, n := range loops.DoacrossNumbers() {
+		def := loops.MustGet(n)
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatalf("LL%d actual: %v", n, err)
+		}
+		m1, err := machine.Run(def.Loop, instr.FullPlan(ovh, false), cfg)
+		if err != nil {
+			t.Fatalf("LL%d table-1 measured: %v", n, err)
+		}
+		m2, err := machine.Run(def.Loop, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("LL%d table-2 measured: %v", n, err)
+		}
+		tb, err := core.TimeBased(m1.Trace, cal)
+		if err != nil {
+			t.Fatalf("LL%d time-based: %v", n, err)
+		}
+		eb, err := core.EventBased(m2.Trace, cal)
+		if err != nil {
+			t.Fatalf("LL%d event-based: %v", n, err)
+		}
+		gotM1 := float64(m1.Duration) / float64(actual.Duration)
+		gotT1 := float64(tb.Duration) / float64(actual.Duration)
+		gotM2 := float64(m2.Duration) / float64(actual.Duration)
+		gotEB := float64(eb.Duration) / float64(actual.Duration)
+		want := paper[n]
+		t.Logf("LL%d: measured/actual T1 %.2f (paper %.2f)  timebased/actual %.2f (paper %.2f)  measured/actual T2 %.2f (paper %.2f)  eventbased/actual %.3f (paper ~1)",
+			n, gotM1, want.m1, gotT1, want.t1, gotM2, want.m2, gotEB)
+		checkNear(t, n, "measured/actual (Table 1)", gotM1, want.m1, 0.20)
+		checkNear(t, n, "time-based/actual (Table 1)", gotT1, want.t1, 0.20)
+		checkNear(t, n, "measured/actual (Table 2)", gotM2, want.m2, 0.20)
+		if gotEB < 0.98 || gotEB > 1.02 {
+			t.Errorf("LL%d: event-based/actual = %.4f, want ~1.0 with exact calibration", n, gotEB)
+		}
+	}
+}
+
+func checkNear(t *testing.T, n int, what string, got, want, relTol float64) {
+	t.Helper()
+	if got < want*(1-relTol) || got > want*(1+relTol) {
+		t.Errorf("LL%d: %s = %.3f, paper %.3f (tolerance %.0f%%)", n, what, got, want, relTol*100)
+	}
+}

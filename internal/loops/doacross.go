@@ -1,0 +1,120 @@
+package loops
+
+import (
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// The three DOACROSS kernels are calibrated jointly against the six
+// execution-time ratios of the paper's Tables 1 and 2, under the machine
+// costs of machine.Alliant() (s_nowait 0.3us, s_wait 0.5us, advance op
+// 0.2us) and the probe costs of PaperOverheads(). Writing g for the 5us
+// compute-probe cost, S for the 9us of sync probes a critical region gains
+// in the Table-2 configuration (awaitE 4us + advance 5us), w/c for the
+// per-iteration independent/critical work and kw/kc for their statement
+// counts, the regimes are:
+//
+//   - actual execution of loops 3 and 4 is chain-bound: the serialized
+//     critical region dominates, per-iteration slot = s_wait + c + adv;
+//   - their Table-1 measured runs are processor-bound: probe overhead on
+//     the kw independent statements delays arrival at the critical section
+//     until blocking (almost) disappears — the effect the paper describes;
+//   - their Table-2 measured runs are chain-bound again (sync probes land
+//     inside the serialized region), which is why measured/actual rises
+//     from 2.48/2.64 to 4.56/3.38;
+//   - loop 17's actual execution is processor-bound with small jitter-
+//     driven waits (Table 3), while both measured runs are chain-bound:
+//     its critical region carries most of the probes ("the critical
+//     section ... includes tracing code when instrumented"), inflating
+//     contention that time-based analysis cannot remove (8.31 vs 9.97).
+//
+// Solving the three ratio equations per loop gives the parameters below;
+// the experiment harness (internal/experiments) checks the resulting
+// ratios against the paper values and EXPERIMENTS.md records both.
+
+// Loop3 is Livermore kernel 3, the inner product q += z[k]*x[k]. On the
+// simulated machine it executes concurrent-outer: each iteration computes
+// a strip partial product independently and then updates the shared
+// accumulator inside an advance/await critical region of distance 1
+// (Figure 3, left).
+func Loop3() *Def {
+	const (
+		iters    = 1001
+		preStmts = 12
+		preTotal = 7900 // w  = 7.90us over 12 statements
+		critCost = 3230 // c  = 3.23us shared update
+	)
+	b := program.NewBuilder("LL3 inner product", 3, program.DOACROSS, iters)
+	b.Head("q = 0; strip setup", 3*us)
+	addSplit(b, "strip partial product", preStmts, preTotal)
+	b.CriticalBegin(0)
+	b.Compute("q += partial (shared update)", critCost)
+	b.CriticalEnd(0)
+	b.Tail("store q", 2*us)
+	return &Def{Loop: b.Loop(), Description: "inner product"}
+}
+
+// Loop4 is Livermore kernel 4, banded linear equations. Each iteration
+// eliminates one band segment (a longer independent dot-product strip than
+// loop 3) and then updates the shared pivot row inside the critical region
+// (Figure 3, right).
+func Loop4() *Def {
+	const (
+		iters    = 320
+		preStmts = 19
+		preTotal = 21140 // w = 21.14us over 19 statements
+		critCost = 5180  // c = 5.18us pivot update
+	)
+	b := program.NewBuilder("LL4 banded linear equations", 4, program.DOACROSS, iters)
+	b.Head("band setup", 3*us)
+	addSplit(b, "band dot-product segment", preStmts, preTotal)
+	b.CriticalBegin(0)
+	b.Compute("xx[...] pivot update (shared)", critCost)
+	b.CriticalEnd(0)
+	b.Tail("store band", 2*us)
+	return &Def{Loop: b.Loop(), Description: "banded linear equations"}
+}
+
+// Loop17 is Livermore kernel 17, implicit conditional computation. The
+// independent portion is two expensive, data-dependent (jittered)
+// conditional statements; the critical region is four short statements
+// carrying the cross-iteration recurrence (Figure 3, middle). With full
+// instrumentation the four probes inside the critical region dominate the
+// serialized time — the paper's "critical section includes tracing code"
+// effect.
+func Loop17() *Def {
+	const iters = 176
+	b := program.NewBuilder("LL17 implicit conditional computation", 17, program.DOACROSS, iters)
+	b.Head("scale/xnm setup", 4*us)
+	b.Head("branch tables", 4*us)
+	// Two conditional statements, mean 6.805us each (5.305 base plus
+	// jitter uniform in [0,3us), mean 1.5us): the actual execution sits at
+	// the chain/processor boundary, so jitter produces the small,
+	// non-uniform per-processor waits of Table 3.
+	b.ComputeJitter("conditional eval: vsp/vstp branches", 5305, 3*us)
+	b.ComputeJitter("conditional eval: xnz chain", 5305, 3*us)
+	b.CriticalBegin(0)
+	// Four short recurrence statements, mean 282.5ns each (132.5 base
+	// plus jitter in [0,300ns), mean 150ns); total mean c = 1.13us.
+	b.ComputeJitter("xnm = ...", 132, 300)
+	b.ComputeJitter("vlr update", 133, 300)
+	b.ComputeJitter("vsp recurrence", 132, 300)
+	b.ComputeJitter("scale handoff", 133, 300)
+	b.CriticalEnd(0)
+	b.Tail("k = n; tail reduction", 4*us)
+	b.Tail("store scale", 4*us)
+	return &Def{Loop: b.Loop(), Description: "implicit, conditional computation"}
+}
+
+// addSplit appends n compute statements whose costs sum exactly to total.
+func addSplit(b *program.Builder, label string, n int, total trace.Time) {
+	per := total / trace.Time(n)
+	rem := total - per*trace.Time(n)
+	for i := 0; i < n; i++ {
+		c := per
+		if i == 0 {
+			c += rem
+		}
+		b.Compute(label, c)
+	}
+}

@@ -1,0 +1,141 @@
+package loops_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/order"
+	"perturb/internal/program"
+)
+
+// TestAllKernelsSimulate: every kernel model validates, simulates under
+// both the omniscient observer and full instrumentation, and produces a
+// well-formed trace the analyses accept.
+func TestAllKernelsSimulate(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := loops.PaperOverheads()
+	cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+	nums := loops.Numbers()
+	if len(nums) != 24 {
+		t.Fatalf("kernel count = %d, want 24", len(nums))
+	}
+	for _, n := range nums {
+		def, err := loops.Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := def.Validate(); err != nil {
+			t.Fatalf("LL%d: %v", n, err)
+		}
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatalf("LL%d actual: %v", n, err)
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("LL%d measured: %v", n, err)
+		}
+		if err := measured.Trace.Validate(); err != nil {
+			t.Fatalf("LL%d trace: %v", n, err)
+		}
+		if err := order.CheckSelf(measured.Trace); err != nil {
+			t.Fatalf("LL%d order: %v", n, err)
+		}
+		approx, err := core.EventBased(measured.Trace, cal)
+		if err != nil {
+			t.Fatalf("LL%d analysis: %v", n, err)
+		}
+		ratio := float64(approx.Duration) / float64(actual.Duration)
+		if ratio < 0.999 || ratio > 1.001 {
+			t.Errorf("LL%d: exact-calibration recovery ratio %.4f", n, ratio)
+		}
+	}
+}
+
+func TestKernelMetadata(t *testing.T) {
+	for _, n := range loops.Figure1Numbers() {
+		def := loops.MustGet(n)
+		if def.Figure1Ratio <= 1 {
+			t.Errorf("LL%d: Figure1Ratio = %v", n, def.Figure1Ratio)
+		}
+		if def.Mode != program.Sequential {
+			t.Errorf("LL%d: Figure-1 kernels are sequential, got %v", n, def.Mode)
+		}
+	}
+	for _, n := range loops.DoacrossNumbers() {
+		def := loops.MustGet(n)
+		if def.Mode != program.DOACROSS {
+			t.Errorf("LL%d: expected DOACROSS, got %v", n, def.Mode)
+		}
+		if len(def.SyncVars()) == 0 {
+			t.Errorf("LL%d: DOACROSS kernel without sync vars", n)
+		}
+	}
+	if _, err := loops.Get(0); err == nil {
+		t.Error("kernel 0 should not exist")
+	}
+	if _, err := loops.Get(25); err == nil {
+		t.Error("kernel 25 should not exist")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(99) should panic")
+		}
+	}()
+	loops.MustGet(99)
+}
+
+// TestWithModeVector: vectorizable kernels run faster in vector mode and
+// the copy does not alias the default mode.
+func TestWithModeVector(t *testing.T) {
+	cfg := machine.Alliant()
+	for _, n := range loops.VectorizableNumbers() {
+		def := loops.MustGet(n)
+		if def.Mode != program.Sequential {
+			t.Fatalf("LL%d: unexpected base mode %v", n, def.Mode)
+		}
+		vec := def.WithMode(program.Vector)
+		if def.Mode != program.Sequential {
+			t.Fatalf("WithMode mutated the original definition")
+		}
+		seq, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := machine.Run(vec, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Duration >= seq.Duration {
+			t.Errorf("LL%d: vector %d not faster than scalar %d", n, v.Duration, seq.Duration)
+		}
+	}
+}
+
+// TestFigure1RatiosMatchTargets: full instrumentation reproduces the
+// calibrated measured/actual ratio of every Figure-1 kernel within 1%.
+func TestFigure1RatiosMatchTargets(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := loops.PaperOverheads()
+	for _, n := range loops.Figure1Numbers() {
+		def := loops.MustGet(n)
+		actual, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(ovh, false), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(measured.Duration) / float64(actual.Duration)
+		if got < def.Figure1Ratio*0.99 || got > def.Figure1Ratio*1.01 {
+			t.Errorf("LL%d: measured/actual %.3f vs target %.2f", n, got, def.Figure1Ratio)
+		}
+	}
+}

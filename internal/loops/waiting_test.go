@@ -1,0 +1,94 @@
+package loops_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+	"perturb/internal/trace"
+)
+
+// TestLoop17Waiting verifies the paper's Table 3 / Figure 5 shape: small
+// (roughly 2-9%) non-uniform per-processor waiting in the approximated
+// execution of loop 17, and an average parallelism near 7.5 of 8 excluding
+// the sequential portions.
+func TestLoop17Waiting(t *testing.T) {
+	cfg := machine.Alliant()
+	ovh := loops.PaperOverheads()
+	cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+	def := loops.MustGet(17)
+
+	measured, err := machine.Run(def.Loop, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := core.EventBased(measured.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := metrics.Waiting(approx.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := metrics.WaitingPercent(ws, approx.Duration)
+	t.Logf("LL17 waiting %% by processor: %v", fmtPct(pct))
+
+	var min, max float64
+	for p, v := range pct {
+		if p == 0 || v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max <= min {
+		t.Errorf("waiting should be non-uniform across processors: min %.2f max %.2f", min, max)
+	}
+	if min < 0.5 || max > 12 {
+		t.Errorf("waiting percentages out of the paper's band: min %.2f max %.2f (paper 2.70-8.09)", min, max)
+	}
+
+	prof, err := metrics.Parallelism(approx.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average over the concurrent portion: from the loop-begin to the
+	// barrier release.
+	loopStart, loopEnd := concurrentSpan(t, approx)
+	avg := prof.Average(loopStart, loopEnd)
+	t.Logf("LL17 average parallelism (concurrent portion): %.2f (paper 7.5)", avg)
+	if avg < 7.0 || avg > 7.95 {
+		t.Errorf("average parallelism %.2f outside [7.0, 7.95] (paper 7.5)", avg)
+	}
+}
+
+func fmtPct(p []float64) []float64 {
+	out := make([]float64, len(p))
+	for i, v := range p {
+		out[i] = float64(int(v*100+0.5)) / 100
+	}
+	return out
+}
+
+func concurrentSpan(t *testing.T, a *core.Approximation) (from, to trace.Time) {
+	t.Helper()
+	var begin, release trace.Time = -1, -1
+	for _, e := range a.Trace.Events {
+		switch e.Kind {
+		case trace.KindLoopBegin:
+			if begin < 0 {
+				begin = e.Time
+			}
+		case trace.KindBarrierRelease:
+			release = e.Time
+		}
+	}
+	if begin < 0 || release < 0 {
+		t.Fatal("trace lacks loop-begin or barrier-release markers")
+	}
+	return begin, release
+}

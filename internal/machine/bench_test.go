@@ -1,0 +1,63 @@
+package machine_test
+
+import (
+	"testing"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+)
+
+// benchmark loop: a DOACROSS with both sync flavours is the heaviest
+// simulator path (DES with blocking and lock arbitration).
+func benchLoop(iters int) *program.Loop {
+	return program.NewBuilder("bench", 0, program.DOACROSS, iters).
+		Compute("w1", 1000).
+		Compute("w2", 1500).
+		CriticalBegin(0).
+		Compute("c", 800).
+		CriticalEnd(0).
+		LockStmt(1).
+		Compute("l", 400).
+		UnlockStmt(1).
+		Loop()
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	l := benchLoop(2048)
+	cfg := machine.Alliant()
+	plan := instr.FullPlan(instr.Uniform(5000), true)
+	var events int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := machine.Run(l, plan, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events)/1000, "kevents/run")
+}
+
+func BenchmarkSimulatorUninstrumented(b *testing.B) {
+	l := benchLoop(2048)
+	cfg := machine.Alliant()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Run(l, instr.NonePlan(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorDynamicSchedule(b *testing.B) {
+	l := benchLoop(2048)
+	cfg := machine.Alliant()
+	cfg.Schedule = machine.Dynamic
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Run(l, instr.NonePlan(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package machine is a deterministic simulator of a small shared-memory
+// multiprocessor in the style of the Alliant FX/80 the paper measured on:
+// eight computational elements (CEs), a vector unit per CE, and hardware
+// advance/await synchronization used by the parallelizing compiler to run
+// DOACROSS loops (concurrent-outer-vector-inner execution).
+//
+// The simulator executes the statement-level loop models of package program
+// under an instrumentation plan (package instr) and emits an event trace.
+// Running with instr.NonePlan() yields the actual execution — the ground
+// truth the paper could only obtain by external timing — while running with
+// a real plan yields the measured (perturbed) execution. Both runs are
+// exactly reproducible, which is what makes quantitative evaluation of
+// perturbation analysis possible on a laptop.
+//
+// The simulation processes DOACROSS iterations in increasing index order.
+// Because dependence distances are positive (an await of iteration i only
+// references iterations < i) and each processor executes its assigned
+// iterations in order, every value needed to place iteration i on the time
+// line is already resolved when i is processed; no event queue is required
+// and the simulation is O(events).
+package machine
+
+import (
+	"fmt"
+
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Scheduling disciplines are defined in package program and re-exported
+// here for convenience.
+const (
+	Interleaved = program.Interleaved
+	Blocked     = program.Blocked
+	Dynamic     = program.Dynamic
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Procs is the number of computational elements.
+	Procs int
+
+	// VectorSpeedup divides the cost of vectorizable statements in
+	// Vector mode and in concurrent-outer-vector-inner bodies.
+	VectorSpeedup int
+
+	// SNoWait is the await processing cost when the advance has already
+	// been posted (the paper's s_nowait).
+	SNoWait trace.Time
+	// SWait is the await processing cost on the resume path, charged
+	// after the advance occurs (the paper's s_wait).
+	SWait trace.Time
+	// AdvanceOp is the cost of the advance operation itself.
+	AdvanceOp trace.Time
+
+	// Fork is the cost of starting the concurrent loop on every CE,
+	// charged between the loop-begin marker and the first iteration.
+	Fork trace.Time
+	// Barrier is the release cost of the implicit end-of-loop barrier.
+	Barrier trace.Time
+
+	// Schedule is the iteration-to-processor assignment discipline.
+	Schedule program.Schedule
+}
+
+// Alliant returns a configuration with FX/80-flavoured magnitudes: 8 CEs,
+// a vector speedup of 8, and synchronization costs below a microsecond.
+// Absolute values are calibration, not measurement; the reproduction
+// targets ratios (see DESIGN.md §7).
+func Alliant() Config {
+	return Config{
+		Procs:         8,
+		VectorSpeedup: 8,
+		SNoWait:       300,  // 0.3 us
+		SWait:         500,  // 0.5 us
+		AdvanceOp:     200,  // 0.2 us
+		Fork:          1500, // 1.5 us concurrency startup
+		Barrier:       800,  // 0.8 us
+		Schedule:      Interleaved,
+	}
+}
+
+// Validate reports an error for configurations the simulator cannot run.
+func (c Config) Validate() error {
+	if c.Procs < 1 {
+		return fmt.Errorf("machine: Procs must be >= 1, got %d", c.Procs)
+	}
+	if c.VectorSpeedup < 1 {
+		return fmt.Errorf("machine: VectorSpeedup must be >= 1, got %d", c.VectorSpeedup)
+	}
+	if c.SNoWait < 0 || c.SWait < 0 || c.AdvanceOp < 0 || c.Fork < 0 || c.Barrier < 0 {
+		return fmt.Errorf("machine: costs must be non-negative: %+v", c)
+	}
+	if int(c.Schedule) >= program.NumSchedules {
+		return fmt.Errorf("machine: unknown schedule %d", c.Schedule)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+func lockLoop(iters int, pre, crit trace.Time) *program.Loop {
+	return program.NewBuilder("lock loop", 0, program.DOALL, iters).
+		Compute("independent", pre).
+		LockStmt(0).
+		Compute("critical", crit).
+		UnlockStmt(0).
+		Loop()
+}
+
+// TestLockTimingExact hand-checks a two-processor DOALL loop with a lock.
+// Config: SNoWait 1, SWait 2, AdvanceOp 3 (also the unlock cost), Fork 7,
+// no head.
+//
+//	start = 7 (fork only; no head, loopbegin at 0)
+//	iter0 (p0): pre@17, req@17, free: acq@18, crit@28, rel@31
+//	iter1 (p1): pre@17, req@17, p0 requested first (tie -> lower id? both
+//	            request at 17; pop order p0 first): blocked; acq at
+//	            31+2=33, crit@43, rel@46
+//	iter2 (p0): pre 31+10=41, req@41, free since 46>41? p1 holds till 46:
+//	            blocked: acq 46+2=48, crit@58, rel@61
+//	iter3 (p1): pre 46+10=56, req@56, blocked until 61: acq@63, crit@73,
+//	            rel@76
+//	barrier: arrive p0=61, p1=76; release 76+4=80
+func TestLockTimingExact(t *testing.T) {
+	l := lockLoop(4, 10, 10)
+	cfg := plainConfig(2)
+	res, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoopEnd != 80 {
+		t.Errorf("barrier release = %d, want 80", res.LoopEnd)
+	}
+	var acqs, rels []trace.Time
+	for _, e := range res.Trace.Events {
+		switch e.Kind {
+		case trace.KindLockAcq:
+			acqs = append(acqs, e.Time)
+		case trace.KindLockRel:
+			rels = append(rels, e.Time)
+		}
+	}
+	wantAcq := []trace.Time{18, 33, 48, 63}
+	wantRel := []trace.Time{31, 46, 61, 76}
+	for i := range wantAcq {
+		if acqs[i] != wantAcq[i] {
+			t.Errorf("acq %d at %d, want %d", i, acqs[i], wantAcq[i])
+		}
+		if rels[i] != wantRel[i] {
+			t.Errorf("rel %d at %d, want %d", i, rels[i], wantRel[i])
+		}
+	}
+	// Waiting: p1 iter1 waited 31-17=14, iter3 waited 61-56=5;
+	// p0 iter2 waited 46-41=5.
+	if res.AwaitWaiting[0] != 5 || res.AwaitWaiting[1] != 19 {
+		t.Errorf("lock waiting = %v, want [5 19]", res.AwaitWaiting)
+	}
+}
+
+// TestLockMutualExclusion: acquisition intervals of one lock never overlap,
+// across random loops with lock regions.
+func TestLockMutualExclusion(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	cases := 0
+	for i := 0; i < 200 && cases < 40; i++ {
+		l := testgen.Loop(r)
+		if len(l.LockVars()) == 0 {
+			continue
+		}
+		cases++
+		cfg := testgen.Config(r)
+		res, err := machine.Run(l, instr.FullPlan(testgen.Overheads(r), true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Walk in time order: per lock, acq and rel must alternate.
+		holder := make(map[int]int) // lock -> holding proc (or -1)
+		for _, v := range l.LockVars() {
+			holder[v] = -1
+		}
+		for _, e := range res.Trace.Events {
+			switch e.Kind {
+			case trace.KindLockAcq:
+				if holder[e.Var] != -1 {
+					t.Fatalf("case %d: proc %d acquired lock %d while proc %d holds it (t=%d)",
+						i, e.Proc, e.Var, holder[e.Var], e.Time)
+				}
+				holder[e.Var] = e.Proc
+			case trace.KindLockRel:
+				if holder[e.Var] != e.Proc {
+					t.Fatalf("case %d: proc %d released lock %d held by %d",
+						i, e.Proc, e.Var, holder[e.Var])
+				}
+				holder[e.Var] = -1
+			}
+		}
+	}
+	if cases < 10 {
+		t.Fatalf("only %d lock cases generated; adjust testgen", cases)
+	}
+}
+
+// TestLockFIFO: a contended lock is granted in request order.
+func TestLockFIFO(t *testing.T) {
+	// 4 procs all request at the same time; grants must follow proc ids
+	// (the deterministic tie-break), then request order.
+	l := lockLoop(8, 0, 10)
+	cfg := plainConfig(4)
+	res, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type ra struct {
+		req, acq trace.Time
+		proc     int
+	}
+	var reqs []ra
+	reqAt := make(map[int]trace.Time) // proc -> pending request time
+	for _, e := range res.Trace.Events {
+		switch e.Kind {
+		case trace.KindLockReq:
+			reqAt[e.Proc] = e.Time
+		case trace.KindLockAcq:
+			reqs = append(reqs, ra{req: reqAt[e.Proc], acq: e.Time, proc: e.Proc})
+		}
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i-1].req > reqs[i].req {
+			t.Fatalf("grant %d out of FIFO order: %v then %v", i, reqs[i-1], reqs[i])
+		}
+		if reqs[i-1].req == reqs[i].req && reqs[i-1].acq > reqs[i].acq {
+			t.Fatalf("tied requests granted out of order: %v then %v", reqs[i-1], reqs[i])
+		}
+	}
+}
+
+// TestLockHeldAcrossAwaitDeadlocks: the simulator reports a deadlock
+// instead of producing garbage when a lock is held across a dependent
+// await. Under a blocked schedule with the lock acquired before the await,
+// processor 1's first iteration (iter 4) acquires the lock as soon as
+// iteration 0 releases it, then awaits iteration 3's advance — but
+// iterations 1-3 on processor 0 need the lock iteration 4 is holding.
+func TestLockHeldAcrossAwaitDeadlocks(t *testing.T) {
+	b := program.NewBuilder("deadlock", 0, program.DOACROSS, 8)
+	b.LockStmt(0)
+	b.CriticalBegin(1)
+	b.Compute("c", 10)
+	b.CriticalEnd(1)
+	b.UnlockStmt(0)
+	l := b.Loop()
+	cfg := plainConfig(2)
+	cfg.Schedule = machine.Blocked
+	_, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err == nil {
+		t.Fatal("expected a deadlock error")
+	}
+}

@@ -1,0 +1,332 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+// plainConfig returns a machine with easy hand-checked constants.
+func plainConfig(procs int) machine.Config {
+	return machine.Config{
+		Procs:         procs,
+		VectorSpeedup: 4,
+		SNoWait:       1,
+		SWait:         2,
+		AdvanceOp:     3,
+		Fork:          7,
+		Barrier:       4,
+		Schedule:      machine.Interleaved,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := machine.Alliant().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []machine.Config{
+		{Procs: 0, VectorSpeedup: 1},
+		{Procs: 1, VectorSpeedup: 0},
+		{Procs: 1, VectorSpeedup: 1, SWait: -1},
+		{Procs: 1, VectorSpeedup: 1, Schedule: program.Schedule(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation", i)
+		}
+	}
+}
+
+// TestSerialTimingExact hand-checks every event time of a sequential run.
+func TestSerialTimingExact(t *testing.T) {
+	l := program.NewBuilder("seq", 0, program.Sequential, 3).
+		Head("h", 100).
+		Compute("a", 10).
+		Compute("b", 20).
+		Tail("t", 50).
+		Loop()
+	cfg := plainConfig(1)
+
+	actual, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTimes := []trace.Time{100, 100, 110, 130, 140, 160, 170, 190, 190, 240}
+	if actual.Duration != 240 {
+		t.Errorf("actual duration = %d, want 240", actual.Duration)
+	}
+	if len(actual.Trace.Events) != len(wantTimes) {
+		t.Fatalf("event count = %d, want %d", len(actual.Trace.Events), len(wantTimes))
+	}
+	for i, w := range wantTimes {
+		if got := actual.Trace.Events[i].Time; got != w {
+			t.Errorf("event %d (%v) at %d, want %d", i, actual.Trace.Events[i], got, w)
+		}
+	}
+
+	// With a uniform 5ns probe per event.
+	measured, err := machine.Run(l, instr.FullPlan(instr.Uniform(5), false), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.Duration != 290 {
+		t.Errorf("measured duration = %d, want 290", measured.Duration)
+	}
+}
+
+// TestDoacrossTimingExact hand-checks a two-processor DOACROSS execution,
+// including blocking, barrier and ground-truth waiting.
+func TestDoacrossTimingExact(t *testing.T) {
+	l := program.NewBuilder("da", 0, program.DOACROSS, 4).
+		Head("h", 100).
+		Compute("w", 10).
+		CriticalBegin(0).
+		Compute("c", 20).
+		CriticalEnd(0).
+		Tail("t", 50).
+		Loop()
+	cfg := plainConfig(2)
+
+	res, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 270 {
+		t.Errorf("duration = %d, want 270", res.Duration)
+	}
+	if res.LoopStart != 107 {
+		t.Errorf("loop start = %d, want 107", res.LoopStart)
+	}
+	if res.LoopEnd != 220 {
+		t.Errorf("loop end (barrier release) = %d, want 220", res.LoopEnd)
+	}
+	if got := []trace.Time{res.AwaitWaiting[0], res.AwaitWaiting[1]}; got[0] != 15 || got[1] != 39 {
+		t.Errorf("await waiting = %v, want [15 39]", got)
+	}
+	if got := []trace.Time{res.Waiting[0], res.Waiting[1]}; got[0] != 40 || got[1] != 39 {
+		t.Errorf("total waiting = %v, want [40 39]", got)
+	}
+	if got := []trace.Time{res.Busy[0], res.Busy[1]}; got[0] != 69 || got[1] != 70 {
+		t.Errorf("busy = %v, want [69 70]", got)
+	}
+	if want := []int{0, 1, 0, 1}; !equalInts(res.Assignment, want) {
+		t.Errorf("assignment = %v, want %v", res.Assignment, want)
+	}
+
+	// Spot-check key sync event times.
+	find := func(kind trace.Kind, iter int) trace.Time {
+		for _, e := range res.Trace.Events {
+			if e.Kind == kind && e.Iter == iter {
+				return e.Time
+			}
+		}
+		t.Fatalf("no %v event for iter %d", kind, iter)
+		return 0
+	}
+	if got := find(trace.KindAdvance, 0); got != 141 {
+		t.Errorf("advance(0) at %d, want 141", got)
+	}
+	if got := find(trace.KindAwaitE, 0); got != 143 { // await of iter 1 targets 0
+		t.Errorf("awaitE(target 0) at %d, want 143", got)
+	}
+	if got := find(trace.KindAdvance, 3); got != 216 {
+		t.Errorf("advance(3) at %d, want 216", got)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVectorModeSpeedsUpVectorizableStatements(t *testing.T) {
+	build := func(mode program.Mode) *program.Loop {
+		return program.NewBuilder("v", 0, mode, 10).
+			Vector("vec", 400).
+			Compute("scalar", 100).
+			Loop()
+	}
+	cfg := plainConfig(1)
+	seq, err := machine.Run(build(program.Sequential), instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := machine.Run(build(program.Vector), instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential: 10*(400+100) = 5000; vector: 10*(100+100) = 2000.
+	if seq.Duration != 5000 || vec.Duration != 2000 {
+		t.Errorf("seq %d (want 5000), vec %d (want 2000)", seq.Duration, vec.Duration)
+	}
+}
+
+func TestDoallRunsFullyConcurrently(t *testing.T) {
+	l := program.NewBuilder("doall", 0, program.DOALL, 8).
+		Compute("w", 100).
+		Loop()
+	cfg := plainConfig(8)
+	cfg.Fork = 0
+	cfg.Barrier = 0
+	res, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 8 iterations in parallel: one 100ns statement each.
+	if res.LoopEnd-res.LoopStart != 100 {
+		t.Errorf("concurrent span = %d, want 100", res.LoopEnd-res.LoopStart)
+	}
+	if res.TotalWaiting() != 0 {
+		t.Errorf("DOALL with equal iterations should not wait, got %v", res.Waiting)
+	}
+}
+
+func TestScheduleAssignments(t *testing.T) {
+	l := program.NewBuilder("s", 0, program.DOALL, 8).Compute("w", 10).Loop()
+	cfg := plainConfig(4)
+
+	cfg.Schedule = machine.Interleaved
+	res, err := machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3, 0, 1, 2, 3}; !equalInts(res.Assignment, want) {
+		t.Errorf("interleaved assignment = %v, want %v", res.Assignment, want)
+	}
+
+	cfg.Schedule = machine.Blocked
+	res, err = machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 0, 1, 1, 2, 2, 3, 3}; !equalInts(res.Assignment, want) {
+		t.Errorf("blocked assignment = %v, want %v", res.Assignment, want)
+	}
+
+	cfg.Schedule = machine.Dynamic
+	res, err = machine.Run(l, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]int, len(res.Assignment))
+	copy(seen, res.Assignment)
+	for _, p := range seen {
+		if p < 0 || p >= cfg.Procs {
+			t.Fatalf("dynamic assignment out of range: %v", res.Assignment)
+		}
+	}
+}
+
+// TestDeterminism: identical runs produce identical traces.
+func TestDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+		a, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		b, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if a.Duration != b.Duration || a.Events != b.Events {
+			t.Fatalf("case %d: non-deterministic run: %d/%d vs %d/%d",
+				i, a.Duration, a.Events, b.Duration, b.Events)
+		}
+		for j := range a.Trace.Events {
+			if a.Trace.Events[j] != b.Trace.Events[j] {
+				t.Fatalf("case %d: event %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestRandomRunsAreWellFormed: every simulated trace validates, and
+// instrumentation never speeds the program up.
+func TestRandomRunsAreWellFormed(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for i := 0; i < 80; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.Config(r)
+		ovh := testgen.Overheads(r)
+
+		actual, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatalf("case %d actual: %v", i, err)
+		}
+		if err := actual.Trace.Validate(); err != nil {
+			t.Fatalf("case %d actual trace invalid: %v", i, err)
+		}
+		measured, err := machine.Run(l, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatalf("case %d measured: %v", i, err)
+		}
+		if err := measured.Trace.Validate(); err != nil {
+			t.Fatalf("case %d measured trace invalid: %v", i, err)
+		}
+		if measured.Duration < actual.Duration {
+			t.Fatalf("case %d: instrumentation sped the run up: %d < %d (loop %s, cfg %+v)",
+				i, measured.Duration, actual.Duration, l.Name, cfg)
+		}
+		for p, w := range measured.Waiting {
+			if w < 0 {
+				t.Fatalf("case %d: negative waiting on proc %d", i, p)
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidInputs(t *testing.T) {
+	good := program.NewBuilder("g", 0, program.Sequential, 1).Compute("x", 1).Loop()
+	if _, err := machine.Run(good, instr.NonePlan(), machine.Config{}); err == nil {
+		t.Error("invalid config should be rejected")
+	}
+	bad := &program.Loop{Name: "bad", Iters: 0}
+	if _, err := machine.Run(bad, instr.NonePlan(), machine.Alliant()); err == nil {
+		t.Error("invalid loop should be rejected")
+	}
+	plan := instr.FullPlan(instr.Overheads{Event: -1}, false)
+	if _, err := machine.Run(good, plan, machine.Alliant()); err == nil {
+		t.Error("invalid overheads should be rejected")
+	}
+}
+
+// TestEventCountMatchesPlanPrediction cross-checks instr.Plan.EventCount
+// against the simulator (excluding barrier events, which are machine
+// properties).
+func TestEventCountMatchesPlanPrediction(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 40; i++ {
+		l := testgen.Loop(r)
+		cfg := testgen.Config(r)
+		plan := instr.FullPlan(testgen.Overheads(r), true)
+		res, err := machine.Run(l, plan, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := plan.EventCount(l)
+		concurrent := l.Mode == program.DOALL || l.Mode == program.DOACROSS
+		if concurrent {
+			want += 2 * cfg.Procs // barrier arrive+release per CE
+		}
+		if res.Events != want {
+			t.Fatalf("case %d (%s, %v): events = %d, plan predicts %d",
+				i, l.Name, l.Mode, res.Events, want)
+		}
+	}
+}

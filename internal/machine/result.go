@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"perturb/internal/trace"
+)
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// Trace is the event trace emitted under the instrumentation plan,
+	// sorted into canonical order. With instr.NonePlan() it is the
+	// actual (logical) event trace r; otherwise the measured trace rm.
+	Trace *trace.Trace
+
+	// Duration is the total execution time (from time zero to the last
+	// statement completion, including sequential head and tail).
+	Duration trace.Time
+
+	// LoopStart and LoopEnd bound the concurrent (or sequential-loop)
+	// portion: LoopStart is when iteration execution may begin, LoopEnd
+	// the barrier release (or last iteration for sequential modes).
+	LoopStart, LoopEnd trace.Time
+
+	// Waiting is the ground-truth synchronization waiting time per
+	// processor: time spent blocked in await operations and at the
+	// end-of-loop barrier. It is the simulator's omniscient view, used
+	// to validate the analysis-side metrics.
+	Waiting []trace.Time
+
+	// AwaitWaiting is like Waiting but counts only advance/await
+	// blocking, excluding the end-of-loop barrier.
+	AwaitWaiting []trace.Time
+
+	// Busy is the ground-truth busy (non-waiting) time per processor
+	// within [LoopStart, LoopEnd].
+	Busy []trace.Time
+
+	// Assignment maps iteration index to the processor that executed it.
+	Assignment []int
+
+	// Events is the number of trace events emitted.
+	Events int
+}
+
+// TotalWaiting sums the per-processor waiting times.
+func (r *Result) TotalWaiting() trace.Time {
+	var sum trace.Time
+	for _, w := range r.Waiting {
+		sum += w
+	}
+	return sum
+}

@@ -1,0 +1,495 @@
+package machine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"perturb/internal/instr"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Run simulates one execution of the loop under the instrumentation plan on
+// the configured machine and returns the resulting trace plus ground-truth
+// statistics.
+//
+// Event timestamps are statement completion times including the statement's
+// probe overhead, matching the measurement semantics assumed by the paper's
+// analysis formulas (§4.2.3): the measured gap between an event and its
+// same-thread predecessor is true cost plus the event's own instrumentation
+// overhead.
+//
+// Sequential and vector loops execute on processor 0. Concurrent loops run
+// under a statement-granularity discrete-event simulation: a priority queue
+// orders processor resume points globally, which is what makes FIFO lock
+// arbitration (and dynamic self-scheduling) exact — a lock request can only
+// be granted once no earlier request can still arrive.
+func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Overheads.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{loop: l, plan: p, cfg: cfg, tr: trace.New(cfg.Procs)}
+	switch l.Mode {
+	case program.Sequential, program.Vector:
+		r.runSerial()
+	case program.DOALL, program.DOACROSS:
+		if err := r.runConcurrent(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("machine: unknown loop mode %v", l.Mode)
+	}
+	r.res.Trace = r.tr
+	r.res.Trace.Sort()
+	r.res.Events = r.tr.Len()
+	return &r.res, nil
+}
+
+type run struct {
+	loop *program.Loop
+	plan instr.Plan
+	cfg  Config
+	tr   *trace.Trace
+	res  Result
+}
+
+// emit charges the probe overhead for an event of the given kind to *clock
+// and records the event at the resulting time.
+func (r *run) emit(clock *trace.Time, proc, stmt int, kind trace.Kind, iter, v int) {
+	*clock += r.plan.Overheads.ForKind(kind)
+	r.tr.Append(trace.Event{Time: *clock, Stmt: stmt, Proc: proc, Kind: kind, Iter: iter, Var: v})
+}
+
+// stmtCost returns the execution cost of statement s in iteration iter,
+// applying the vector unit where the mode allows it. Concurrent loops on
+// the FX/80 run concurrent-outer-vector-inner, so vectorizable statements
+// get the vector speedup in every non-Sequential mode.
+func (r *run) stmtCost(s program.Stmt, iter int) trace.Time {
+	c := program.Cost(s, iter)
+	if s.Vectorizable && r.loop.Mode != program.Sequential {
+		c /= trace.Time(r.cfg.VectorSpeedup)
+	}
+	return c
+}
+
+// execCompute advances the clock over a compute statement, emitting its
+// event if the plan instruments it.
+func (r *run) execCompute(clock *trace.Time, proc int, s program.Stmt, iter int) {
+	*clock += r.stmtCost(s, iter)
+	if r.plan.StmtInstrumented(s.ID) {
+		r.emit(clock, proc, s.ID, trace.KindCompute, iter, trace.NoVar)
+	}
+}
+
+// runSerial executes Sequential and Vector loops on processor 0.
+func (r *run) runSerial() {
+	var clock trace.Time
+	for _, s := range r.loop.Head {
+		r.execCompute(&clock, 0, s, trace.NoIter)
+	}
+	if r.plan.LoopMarkers {
+		r.emit(&clock, 0, -1, trace.KindLoopBegin, trace.NoIter, trace.NoVar)
+	}
+	r.res.LoopStart = clock
+	for i := 0; i < r.loop.Iters; i++ {
+		for _, s := range r.loop.Body {
+			r.execCompute(&clock, 0, s, i)
+		}
+	}
+	r.res.LoopEnd = clock
+	if r.plan.LoopMarkers {
+		r.emit(&clock, 0, -1, trace.KindLoopEnd, trace.NoIter, trace.NoVar)
+	}
+	for _, s := range r.loop.Tail {
+		r.execCompute(&clock, 0, s, trace.NoIter)
+	}
+	r.res.Duration = clock
+	r.res.Waiting = make([]trace.Time, r.cfg.Procs)
+	r.res.AwaitWaiting = make([]trace.Time, r.cfg.Procs)
+	r.res.Busy = make([]trace.Time, r.cfg.Procs)
+	r.res.Busy[0] = r.res.LoopEnd - r.res.LoopStart
+}
+
+// Discrete-event simulation of the concurrent modes.
+
+// procState tracks one simulated processor through the loop.
+type procState struct {
+	id    int
+	clock trace.Time
+
+	// Iteration cursor: static schedules walk iters; Dynamic pulls from
+	// the runner's shared cursor.
+	iters   []int
+	iterPos int
+	curIter int
+	stmtPos int
+
+	blocked bool // parked on a sync variable or lock queue
+	arrived bool // reached the end-of-loop barrier
+
+	// pending is the arrival time at a blocking operation, for waiting
+	// accounting and for the s_wait resume path.
+	pendingArrival trace.Time
+	pendingStmt    program.Stmt
+}
+
+// resumeQueue is the DES priority queue of (time, proc) resume points; ties
+// break to the lower processor id so the simulation is deterministic.
+type resumeQueue []resumePoint
+
+type resumePoint struct {
+	at   trace.Time
+	proc *procState
+}
+
+func (q resumeQueue) Len() int { return len(q) }
+func (q resumeQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].proc.id < q[j].proc.id
+}
+func (q resumeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *resumeQueue) Push(x any)   { *q = append(*q, x.(resumePoint)) }
+func (q *resumeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// lockState is one FIFO mutual-exclusion lock. freeAt is the completion
+// time of the most recent release: a release executes in the DES at its
+// statement's pop time but completes later, and a request arriving in that
+// window must pay the wait path even though held is already false.
+type lockState struct {
+	held   bool
+	freeAt trace.Time
+	queue  []*procState // FIFO by request time (pop order)
+}
+
+type concRunner struct {
+	*run
+	queue        resumeQueue
+	procs        []*procState
+	waiting      []trace.Time
+	awaitWaiting []trace.Time
+	arriveTime   []trace.Time
+	arrivedCount int
+
+	advTime      map[int]map[int]trace.Time     // var -> iter -> advance completion
+	awaitWaiters map[trace.PairKey][]*procState // (var, target) -> parked procs
+	locks        map[int]*lockState
+
+	nextDynamic int // Dynamic schedule cursor
+}
+
+func (r *run) runConcurrent() error {
+	nProcs := r.cfg.Procs
+	nIters := r.loop.Iters
+
+	var clock0 trace.Time
+	for _, s := range r.loop.Head {
+		r.execCompute(&clock0, 0, s, trace.NoIter)
+	}
+	if r.plan.LoopMarkers {
+		r.emit(&clock0, 0, -1, trace.KindLoopBegin, trace.NoIter, trace.NoVar)
+	}
+	start := clock0 + r.cfg.Fork
+	r.res.LoopStart = start
+
+	c := &concRunner{
+		run:          r,
+		procs:        make([]*procState, nProcs),
+		waiting:      make([]trace.Time, nProcs),
+		awaitWaiting: make([]trace.Time, nProcs),
+		arriveTime:   make([]trace.Time, nProcs),
+		advTime:      make(map[int]map[int]trace.Time),
+		awaitWaiters: make(map[trace.PairKey][]*procState),
+		locks:        make(map[int]*lockState),
+	}
+	for _, v := range r.loop.SyncVars() {
+		c.advTime[v] = make(map[int]trace.Time, nIters)
+	}
+	for _, v := range r.loop.LockVars() {
+		c.locks[v] = &lockState{}
+	}
+
+	// Static iteration assignment.
+	chunk := (nIters + nProcs - 1) / nProcs
+	if chunk == 0 {
+		chunk = 1
+	}
+	assign := make([]int, nIters)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for p := 0; p < nProcs; p++ {
+		ps := &procState{id: p, clock: start, curIter: -1}
+		switch r.cfg.Schedule {
+		case program.Blocked:
+			for i := p * chunk; i < (p+1)*chunk && i < nIters; i++ {
+				ps.iters = append(ps.iters, i)
+			}
+		case program.Dynamic:
+			// Pull-based; no static list.
+		default: // Interleaved
+			for i := p; i < nIters; i += nProcs {
+				ps.iters = append(ps.iters, i)
+			}
+		}
+		c.procs[p] = ps
+		heap.Push(&c.queue, resumePoint{at: start, proc: ps})
+	}
+
+	// Main DES loop: pop the earliest resume point and run that
+	// processor's next step.
+	for c.queue.Len() > 0 {
+		rp := heap.Pop(&c.queue).(resumePoint)
+		c.step(rp.proc, assign)
+	}
+	if c.arrivedCount != nProcs {
+		return fmt.Errorf("machine: deadlock in %q: %d of %d processors blocked at the end of simulation (lock held across a dependent await?)",
+			r.loop.Name, nProcs-c.arrivedCount, nProcs)
+	}
+
+	// Barrier release.
+	var latest trace.Time
+	for _, t := range c.arriveTime {
+		if t > latest {
+			latest = t
+		}
+	}
+	release := latest + r.cfg.Barrier
+	clocks := make([]trace.Time, nProcs)
+	for p := 0; p < nProcs; p++ {
+		c.waiting[p] += latest - c.arriveTime[p]
+		clocks[p] = release
+		if r.plan.LoopMarkers {
+			r.emit(&clocks[p], p, -2, trace.KindBarrierRelease, 0, 0)
+		}
+	}
+	r.res.LoopEnd = release
+
+	// Sequential tail on processor 0.
+	c0 := clocks[0]
+	if r.plan.LoopMarkers {
+		r.emit(&c0, 0, -1, trace.KindLoopEnd, trace.NoIter, trace.NoVar)
+	}
+	for _, s := range r.loop.Tail {
+		r.execCompute(&c0, 0, s, trace.NoIter)
+	}
+	clocks[0] = c0
+
+	var end trace.Time
+	for _, cl := range clocks {
+		if cl > end {
+			end = cl
+		}
+	}
+	r.res.Duration = end
+	r.res.Waiting = c.waiting
+	r.res.AwaitWaiting = c.awaitWaiting
+	r.res.Busy = make([]trace.Time, nProcs)
+	for p := 0; p < nProcs; p++ {
+		r.res.Busy[p] = c.arriveTime[p] - start - c.awaitWaiting[p]
+	}
+	r.res.Assignment = assign
+	return nil
+}
+
+// step runs one statement (or scheduling action) of proc ps.
+func (c *concRunner) step(ps *procState, assign []int) {
+	if ps.blocked || ps.arrived {
+		// Spurious queue entry for a parked processor; parked procs are
+		// resumed by their waker, never by the queue.
+		return
+	}
+	// Need a new iteration? Empty bodies complete instantly.
+	for ps.curIter < 0 || len(c.loop.Body) == 0 {
+		if !c.takeIteration(ps, assign) {
+			// No work left: arrive at the barrier.
+			if c.plan.LoopMarkers {
+				c.emit(&ps.clock, ps.id, -2, trace.KindBarrierArrive, 0, 0)
+			}
+			c.arriveTime[ps.id] = ps.clock
+			ps.arrived = true
+			c.arrivedCount++
+			return
+		}
+		if len(c.loop.Body) == 0 {
+			ps.curIter = -1
+		}
+	}
+	s := c.loop.Body[ps.stmtPos]
+	switch s.Kind {
+	case program.Compute:
+		c.execCompute(&ps.clock, ps.id, s, ps.curIter)
+		c.advanceCursor(ps)
+
+	case program.Await:
+		target := ps.curIter - c.loop.Distance
+		if c.plan.Sync {
+			c.emit(&ps.clock, ps.id, s.ID, trace.KindAwaitB, target, s.Var)
+		}
+		arrival := ps.clock
+		rel, posted := trace.Time(0), false
+		if target >= 0 {
+			rel, posted = c.advTime[s.Var][target]
+		}
+		targetFuture := target >= 0 && !posted
+		switch {
+		case targetFuture:
+			// The advance has not executed yet in simulated time:
+			// park until it does.
+			ps.blocked = true
+			ps.pendingArrival = arrival
+			ps.pendingStmt = s
+			key := trace.PairKey{Var: s.Var, Iter: target}
+			c.awaitWaiters[key] = append(c.awaitWaiters[key], ps)
+			return
+		case posted && rel > arrival:
+			// Advance executed but completes later than our arrival.
+			c.noteAwaitWait(ps, rel-arrival)
+			ps.clock = rel + c.cfg.SWait
+		default:
+			ps.clock = arrival + c.cfg.SNoWait
+		}
+		if c.plan.Sync {
+			c.emit(&ps.clock, ps.id, s.ID, trace.KindAwaitE, target, s.Var)
+		}
+		c.advanceCursor(ps)
+
+	case program.Advance:
+		ps.clock += c.cfg.AdvanceOp
+		if c.plan.Sync {
+			c.emit(&ps.clock, ps.id, s.ID, trace.KindAdvance, ps.curIter, s.Var)
+		}
+		c.advTime[s.Var][ps.curIter] = ps.clock
+		c.wakeAwaiters(trace.PairKey{Var: s.Var, Iter: ps.curIter}, ps.clock)
+		c.advanceCursor(ps)
+
+	case program.Lock:
+		if c.plan.Sync {
+			c.emit(&ps.clock, ps.id, s.ID, trace.KindLockReq, ps.curIter, s.Var)
+		}
+		lk := c.locks[s.Var]
+		if !lk.held {
+			arrival := ps.clock
+			lk.held = true
+			if lk.freeAt > arrival {
+				// The release has executed but completes after our
+				// arrival: the wait path, like an advance that is
+				// posted but finishes later.
+				c.noteAwaitWait(ps, lk.freeAt-arrival)
+				ps.clock = lk.freeAt + c.cfg.SWait
+			} else {
+				ps.clock = arrival + c.cfg.SNoWait
+			}
+			if c.plan.Sync {
+				c.emit(&ps.clock, ps.id, s.ID, trace.KindLockAcq, ps.curIter, s.Var)
+			}
+			c.advanceCursor(ps)
+			break
+		}
+		// Queue FIFO by request (pop) time.
+		ps.blocked = true
+		ps.pendingArrival = ps.clock
+		ps.pendingStmt = s
+		lk.queue = append(lk.queue, ps)
+		return
+
+	case program.Unlock:
+		ps.clock += c.cfg.AdvanceOp
+		if c.plan.Sync {
+			c.emit(&ps.clock, ps.id, s.ID, trace.KindLockRel, ps.curIter, s.Var)
+		}
+		c.releaseLock(c.locks[s.Var], ps.clock)
+		c.advanceCursor(ps)
+	}
+	if !ps.blocked && !ps.arrived {
+		heap.Push(&c.queue, resumePoint{at: ps.clock, proc: ps})
+	}
+}
+
+// advanceCursor moves past the executed statement, rolling over to the next
+// iteration.
+func (c *concRunner) advanceCursor(ps *procState) {
+	ps.stmtPos++
+	if ps.stmtPos >= len(c.loop.Body) {
+		ps.stmtPos = 0
+		ps.curIter = -1
+	}
+}
+
+// takeIteration assigns the processor its next iteration; false if none.
+func (c *concRunner) takeIteration(ps *procState, assign []int) bool {
+	if c.cfg.Schedule == program.Dynamic {
+		if c.nextDynamic >= c.loop.Iters {
+			return false
+		}
+		ps.curIter = c.nextDynamic
+		c.nextDynamic++
+	} else {
+		if ps.iterPos >= len(ps.iters) {
+			return false
+		}
+		ps.curIter = ps.iters[ps.iterPos]
+		ps.iterPos++
+	}
+	ps.stmtPos = 0
+	assign[ps.curIter] = ps.id
+	return true
+}
+
+// noteAwaitWait charges synchronization waiting to the processor.
+func (c *concRunner) noteAwaitWait(ps *procState, w trace.Time) {
+	c.waiting[ps.id] += w
+	c.awaitWaiting[ps.id] += w
+}
+
+// wakeAwaiters resumes processors parked on the given advance.
+func (c *concRunner) wakeAwaiters(key trace.PairKey, rel trace.Time) {
+	waiters := c.awaitWaiters[key]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(c.awaitWaiters, key)
+	for _, w := range waiters {
+		c.noteAwaitWait(w, rel-w.pendingArrival)
+		w.clock = rel + c.cfg.SWait
+		if c.plan.Sync {
+			c.emit(&w.clock, w.id, w.pendingStmt.ID, trace.KindAwaitE, key.Iter, key.Var)
+		}
+		w.blocked = false
+		c.advanceCursor(w)
+		heap.Push(&c.queue, resumePoint{at: w.clock, proc: w})
+	}
+}
+
+// releaseLock frees the lock at time rel and hands it to the queue head.
+func (c *concRunner) releaseLock(lk *lockState, rel trace.Time) {
+	lk.held = false
+	lk.freeAt = rel
+	if len(lk.queue) == 0 {
+		return
+	}
+	w := lk.queue[0]
+	lk.queue = lk.queue[1:]
+	lk.held = true
+	c.noteAwaitWait(w, rel-w.pendingArrival)
+	w.clock = rel + c.cfg.SWait
+	if c.plan.Sync {
+		c.emit(&w.clock, w.id, w.pendingStmt.ID, trace.KindLockAcq, w.curIter, w.pendingStmt.Var)
+	}
+	w.blocked = false
+	c.advanceCursor(w)
+	heap.Push(&c.queue, resumePoint{at: w.clock, proc: w})
+}

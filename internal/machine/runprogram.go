@@ -1,0 +1,73 @@
+package machine
+
+import (
+	"perturb/internal/instr"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Namespace strides keeping statement ids, synchronization variables and
+// barrier instances distinct across program phases in a merged trace.
+const (
+	phaseStmtStride = 1 << 20
+	phaseVarStride  = 1 << 20
+)
+
+// RunProgram simulates a multi-phase program: each phase executes in
+// sequence, phase k+1 starting when phase k's sequential tail completes on
+// processor 0. The merged trace namespaces each phase's statement ids and
+// synchronization variables (stride 1<<20) and numbers barrier instances
+// by phase, so the event-based analysis pairs events within the correct
+// phase. The instrumentation plan applies to every phase (statement
+// selections refer to per-phase ids).
+//
+// Per-processor waiting/busy statistics are summed across phases;
+// Assignment is nil for programs (it is per phase).
+func RunProgram(prog *program.Program, p instr.Plan, cfg Config) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Result{Trace: trace.New(cfg.Procs)}
+	out.Waiting = make([]trace.Time, cfg.Procs)
+	out.AwaitWaiting = make([]trace.Time, cfg.Procs)
+	out.Busy = make([]trace.Time, cfg.Procs)
+
+	var offset trace.Time
+	for k, l := range prog.Phases {
+		res, err := Run(l, p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range res.Trace.Events {
+			e.Time += offset
+			if e.Stmt >= 0 {
+				e.Stmt += k * phaseStmtStride
+			}
+			switch e.Kind {
+			case trace.KindAdvance, trace.KindAwaitB, trace.KindAwaitE,
+				trace.KindLockReq, trace.KindLockAcq, trace.KindLockRel:
+				e.Var += k * phaseVarStride
+			case trace.KindBarrierArrive, trace.KindBarrierRelease:
+				e.Iter = k
+			}
+			out.Trace.Append(e)
+		}
+		for i := 0; i < cfg.Procs; i++ {
+			out.Waiting[i] += res.Waiting[i]
+			out.AwaitWaiting[i] += res.AwaitWaiting[i]
+			out.Busy[i] += res.Busy[i]
+		}
+		if k == 0 {
+			out.LoopStart = res.LoopStart
+		}
+		out.LoopEnd = offset + res.LoopEnd
+		offset += res.Duration
+	}
+	out.Duration = offset
+	out.Trace.Sort()
+	out.Events = out.Trace.Len()
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package machine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+func twoPhaseProgram() *program.Program {
+	p1 := program.NewBuilder("phase1", 0, program.DOACROSS, 64).
+		Compute("work", 2000).
+		CriticalBegin(0).
+		Compute("update", 1000).
+		CriticalEnd(0).
+		Tail("glue out", 3000).
+		Loop()
+	p2 := program.NewBuilder("phase2", 0, program.DOALL, 48).
+		Head("glue in", 2000).
+		Compute("independent", 4000).
+		Tail("final", 2000).
+		Loop()
+	return program.NewProgram("two-phase", p1, p2)
+}
+
+func TestRunProgramComposesPhases(t *testing.T) {
+	prog := twoPhaseProgram()
+	cfg := machine.Alliant()
+	res, err := machine.RunProgram(prog, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// Duration equals the sum of the phases run alone.
+	var want trace.Time
+	for _, l := range prog.Phases {
+		r, err := machine.Run(l, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += r.Duration
+	}
+	if res.Duration != want {
+		t.Errorf("program duration %d, phases sum %d", res.Duration, want)
+	}
+	// Two loop-begin fences, two barrier instances.
+	if got := res.Trace.CountKind(trace.KindLoopBegin); got != 2 {
+		t.Errorf("loop-begin count = %d, want 2", got)
+	}
+	iters := map[int]bool{}
+	for _, e := range res.Trace.Events {
+		if e.Kind == trace.KindBarrierArrive {
+			iters[e.Iter] = true
+		}
+	}
+	if len(iters) != 2 {
+		t.Errorf("barrier instances = %v, want phases 0 and 1", iters)
+	}
+}
+
+// TestProgramEventBasedExactRecovery: the multi-fence generalization keeps
+// the central soundness property across phases.
+func TestProgramEventBasedExactRecovery(t *testing.T) {
+	prog := twoPhaseProgram()
+	cfg := machine.Alliant()
+	actual, err := machine.RunProgram(prog, instr.NonePlan(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovh := instr.Uniform(5000)
+	measured, err := machine.RunProgram(prog, instr.FullPlan(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+	approx, err := core.EventBased(measured.Trace, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Trace.Len() != actual.Trace.Len() {
+		t.Fatalf("event counts differ: %d vs %d", approx.Trace.Len(), actual.Trace.Len())
+	}
+	for i := range approx.Trace.Events {
+		if approx.Trace.Events[i] != actual.Trace.Events[i] {
+			t.Fatalf("event %d: %v != %v", i, approx.Trace.Events[i], actual.Trace.Events[i])
+		}
+	}
+}
+
+// TestProgramRandomizedRecovery: random multi-phase programs under static
+// schedules recover exactly with exact calibration.
+func TestProgramRandomizedRecovery(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for i := 0; i < 25; i++ {
+		phases := make([]*program.Loop, 1+r.Intn(3))
+		for j := range phases {
+			phases[j] = testgen.Loop(r)
+		}
+		prog := program.NewProgram("random program", phases...)
+		cfg := testgen.StaticConfig(r)
+		ovh := testgen.Overheads(r)
+		actual, err := machine.RunProgram(prog, instr.NonePlan(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured, err := machine.RunProgram(prog, instr.FullPlan(ovh, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := instr.Exact(ovh, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+		approx, err := core.EventBased(measured.Trace, cal)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if approx.Duration != actual.Duration {
+			t.Fatalf("case %d: approx %d != actual %d (measured %d)",
+				i, approx.Duration, actual.Duration, measured.Duration)
+		}
+	}
+}
+
+func TestRunProgramErrors(t *testing.T) {
+	if _, err := machine.RunProgram(program.NewProgram("empty"), instr.NonePlan(), machine.Alliant()); err == nil {
+		t.Error("empty program should fail")
+	}
+	bad := program.NewProgram("bad", &program.Loop{Name: "x", Iters: 0})
+	if _, err := machine.RunProgram(bad, instr.NonePlan(), machine.Alliant()); err == nil {
+		t.Error("invalid phase should fail")
+	}
+	good := twoPhaseProgram()
+	if _, err := machine.RunProgram(good, instr.NonePlan(), machine.Config{}); err == nil {
+		t.Error("invalid config should fail")
+	}
+}

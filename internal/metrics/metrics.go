@@ -1,0 +1,319 @@
+// Package metrics derives performance statistics from event traces: the
+// per-processor waiting times of the paper's Table 3, the waiting timeline
+// of Figure 4, and the parallelism profile of Figure 5. All statistics are
+// computed from a trace alone (plus the calibrated synchronization costs),
+// so they apply equally to actual, measured and approximated traces — the
+// paper generates them "from the execution approximations of the
+// event-based perturbation model" (§5.3).
+package metrics
+
+import (
+	"sort"
+
+	"fmt"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// Interval is a span of a processor's timeline classified as waiting or
+// busy.
+type Interval struct {
+	Start, End trace.Time
+	Waiting    bool
+}
+
+// Dur returns the interval length.
+func (iv Interval) Dur() trace.Time { return iv.End - iv.Start }
+
+// waitEnd reports whether e completes a blocking operation begun by its
+// same-processor predecessor: an awaitE following its awaitB, or a
+// lock-acq following its lock-req.
+func waitEnd(e, prev trace.Event, havePrev bool) bool {
+	if !havePrev {
+		return false
+	}
+	switch e.Kind {
+	case trace.KindAwaitE:
+		return prev.Kind == trace.KindAwaitB
+	case trace.KindLockAcq:
+		return prev.Kind == trace.KindLockReq
+	}
+	return false
+}
+
+// waitThreshold reports whether an awaitB->awaitE gap indicates blocking.
+// In a clean (actual or approximated) trace a no-wait await spans exactly
+// SNoWait; anything meaningfully longer waited.
+func waitThreshold(cal instr.Calibration) trace.Time {
+	tol := cal.SNoWait / 8
+	if tol < 1 {
+		tol = 1
+	}
+	return cal.SNoWait + tol
+}
+
+// Timeline decomposes a trace into per-processor busy/waiting intervals.
+//
+// A processor's activity is anchored at the loop-begin event (fork) for
+// processors that join the concurrent loop, and at time zero for the
+// processor executing the sequential head. Waiting intervals come from two
+// sources: awaitE events whose awaitB->awaitE span exceeds the no-wait
+// processing cost (the tail s_wait of the span is accounted busy, as
+// synchronization processing), and barrier-release events (arrival to
+// release minus the release cost itself).
+func Timeline(t *trace.Trace, cal instr.Calibration) ([][]Interval, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	perProc := t.ByProc()
+	out := make([][]Interval, t.Procs)
+
+	var forkTime trace.Time
+	forkProc := -1
+	for _, e := range t.Events {
+		if e.Kind == trace.KindLoopBegin {
+			forkTime, forkProc = e.Time, e.Proc
+			break
+		}
+	}
+
+	for p, evs := range perProc {
+		if len(evs) == 0 {
+			continue
+		}
+		pos := forkTime
+		if forkProc < 0 || p == forkProc {
+			pos = 0
+		}
+		var ivs []Interval
+		add := func(end trace.Time, waiting bool) {
+			if end < pos {
+				end = pos
+			}
+			if end == pos {
+				return
+			}
+			// Coalesce with the previous interval when same class.
+			if n := len(ivs); n > 0 && ivs[n-1].Waiting == waiting && ivs[n-1].End == pos {
+				ivs[n-1].End = end
+				pos = end
+				return
+			}
+			ivs = append(ivs, Interval{Start: pos, End: end, Waiting: waiting})
+			pos = end
+		}
+		var prev trace.Event
+		havePrev := false
+		for _, e := range evs {
+			switch {
+			case waitEnd(e, prev, havePrev):
+				span := e.Time - prev.Time
+				if span > waitThreshold(cal) {
+					busyTail := cal.SWait
+					if busyTail > span {
+						busyTail = span
+					}
+					add(e.Time-busyTail, true)
+					add(e.Time, false)
+				} else {
+					add(e.Time, false)
+				}
+			case e.Kind == trace.KindBarrierRelease:
+				rel := cal.Barrier
+				if e.Time-pos < rel {
+					rel = e.Time - pos
+				}
+				add(e.Time-rel, true)
+				add(e.Time, false)
+			default:
+				add(e.Time, false)
+			}
+			prev, havePrev = e, true
+		}
+		out[p] = ivs
+	}
+	return out, nil
+}
+
+// ProcWaiting summarizes one processor's waiting.
+type ProcWaiting struct {
+	Proc    int
+	Await   trace.Time // waiting in advance/await synchronization
+	Barrier trace.Time // waiting at the end-of-loop barrier
+	Busy    trace.Time // non-waiting active time
+}
+
+// Total returns await plus barrier waiting.
+func (w ProcWaiting) Total() trace.Time { return w.Await + w.Barrier }
+
+// Waiting computes per-processor waiting statistics from a trace (paper
+// Table 3). Await waiting excludes the synchronization processing costs;
+// barrier waiting excludes the barrier release cost.
+func Waiting(t *trace.Trace, cal instr.Calibration) ([]ProcWaiting, error) {
+	tl, err := Timeline(t, cal)
+	if err != nil {
+		return nil, err
+	}
+	// Classify waiting intervals: barrier waits are the ones immediately
+	// preceding a barrier-release busy edge. Simpler and robust: recompute
+	// directly from events.
+	out := make([]ProcWaiting, t.Procs)
+	for p := range out {
+		out[p].Proc = p
+	}
+	perProc := t.ByProc()
+	for p, evs := range perProc {
+		var prev trace.Event
+		havePrev := false
+		for _, e := range evs {
+			switch {
+			case waitEnd(e, prev, havePrev):
+				span := e.Time - prev.Time
+				if span > waitThreshold(cal) {
+					out[p].Await += span - cal.SWait
+				}
+			case e.Kind == trace.KindBarrierRelease && havePrev:
+				span := e.Time - prev.Time
+				if span > cal.Barrier {
+					out[p].Barrier += span - cal.Barrier
+				}
+			}
+			prev, havePrev = e, true
+		}
+	}
+	for p, ivs := range tl {
+		for _, iv := range ivs {
+			if !iv.Waiting {
+				out[p].Busy += iv.Dur()
+			}
+		}
+	}
+	return out, nil
+}
+
+// WaitingPercent returns each processor's await waiting as a percentage of
+// the given total execution time.
+func WaitingPercent(ws []ProcWaiting, total trace.Time) []float64 {
+	out := make([]float64, len(ws))
+	if total <= 0 {
+		return out
+	}
+	for i, w := range ws {
+		out[i] = 100 * float64(w.Await) / float64(total)
+	}
+	return out
+}
+
+// Profile is a step function of the number of simultaneously busy
+// processors over time: Level[i] holds between Times[i] and Times[i+1]
+// (the last level extends to the profile end, Times[len-1]).
+type Profile struct {
+	Times []trace.Time
+	Level []int
+}
+
+// Parallelism computes the busy-processor profile of a trace (paper
+// Figure 5), derived from the Timeline decomposition.
+func Parallelism(t *trace.Trace, cal instr.Calibration) (*Profile, error) {
+	tl, err := Timeline(t, cal)
+	if err != nil {
+		return nil, err
+	}
+	type edge struct {
+		at    trace.Time
+		delta int
+	}
+	var edges []edge
+	var end trace.Time
+	for _, ivs := range tl {
+		for _, iv := range ivs {
+			if !iv.Waiting {
+				edges = append(edges, edge{iv.Start, +1}, edge{iv.End, -1})
+			}
+			if iv.End > end {
+				end = iv.End
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return &Profile{}, nil
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+	p := &Profile{}
+	level := 0
+	for i := 0; i < len(edges); {
+		at := edges[i].at
+		for i < len(edges) && edges[i].at == at {
+			level += edges[i].delta
+			i++
+		}
+		if n := len(p.Level); n > 0 && p.Level[n-1] == level {
+			continue
+		}
+		p.Times = append(p.Times, at)
+		p.Level = append(p.Level, level)
+	}
+	if n := len(p.Times); n == 0 || p.Times[n-1] != end {
+		p.Times = append(p.Times, end)
+		p.Level = append(p.Level, 0)
+	}
+	return p, nil
+}
+
+// At returns the parallelism level at time x.
+func (p *Profile) At(x trace.Time) int {
+	lvl := 0
+	for i, t := range p.Times {
+		if t > x {
+			break
+		}
+		lvl = p.Level[i]
+	}
+	return lvl
+}
+
+// Average returns the time-weighted mean parallelism over [from, to].
+func (p *Profile) Average(from, to trace.Time) float64 {
+	if to <= from || len(p.Times) == 0 {
+		return 0
+	}
+	var area float64
+	for i := 0; i < len(p.Times); i++ {
+		segStart := p.Times[i]
+		var segEnd trace.Time
+		if i+1 < len(p.Times) {
+			segEnd = p.Times[i+1]
+		} else {
+			segEnd = to
+		}
+		s, e := segStart, segEnd
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			area += float64(e-s) * float64(p.Level[i])
+		}
+	}
+	return area / float64(to-from)
+}
+
+// Span returns the time range covered by the profile.
+func (p *Profile) Span() (from, to trace.Time) {
+	if len(p.Times) == 0 {
+		return 0, 0
+	}
+	return p.Times[0], p.Times[len(p.Times)-1]
+}
+
+// ExecutionRatio returns a/b as a float, the unit of the paper's tables
+// (Measured/Actual and Approximated/Actual).
+func ExecutionRatio(a, b trace.Time) (float64, error) {
+	if b == 0 {
+		return 0, fmt.Errorf("metrics: zero denominator in execution ratio")
+	}
+	return float64(a) / float64(b), nil
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"perturb/internal/order"
+	"perturb/internal/trace"
+)
+
+// TimingError quantifies the per-event accuracy of an approximated trace
+// against the actual one — the paper's observation that "the accuracy of
+// individual event timings were equally impressive" made measurable.
+// Events are matched by identity (processor, statement, kind, iteration,
+// variable); both traces must contain the same events.
+type TimingError struct {
+	Events  int
+	MeanAbs float64 // mean |ta - t| in nanoseconds
+	MaxAbs  trace.Time
+	RMS     float64
+	// MeanRel is the mean |ta - t| / span, with span the actual trace's
+	// duration: a scale-free per-event error.
+	MeanRel float64
+}
+
+// CompareTiming computes per-event timing errors of approx against actual.
+func CompareTiming(actual, approx *trace.Trace) (*TimingError, error) {
+	match, err := order.Align(actual, approx)
+	if err != nil {
+		return nil, err
+	}
+	te := &TimingError{Events: actual.Len()}
+	if te.Events == 0 {
+		return te, nil
+	}
+	span := float64(actual.Duration())
+	var sumAbs, sumSq float64
+	for i, e := range actual.Events {
+		d := approx.Events[match[i]].Time - e.Time
+		if d < 0 {
+			d = -d
+		}
+		if d > te.MaxAbs {
+			te.MaxAbs = d
+		}
+		sumAbs += float64(d)
+		sumSq += float64(d) * float64(d)
+	}
+	n := float64(te.Events)
+	te.MeanAbs = sumAbs / n
+	te.RMS = math.Sqrt(sumSq / n)
+	if span > 0 {
+		te.MeanRel = te.MeanAbs / span
+	}
+	return te, nil
+}
+
+// StmtProfile is the execution-time profile of one statement derived from
+// a trace: how much time its events account for and how often it ran. The
+// cost attributed to an event is the gap to its same-processor predecessor
+// (execution time plus any waiting absorbed by that statement), which is
+// what a trace-driven profiler reports.
+type StmtProfile struct {
+	Stmt   int
+	Count  int
+	Total  trace.Time
+	Max    trace.Time
+	ByKind trace.Kind // the statement's event kind (first seen)
+}
+
+// Mean returns the average per-execution cost.
+func (p StmtProfile) Mean() trace.Time {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / trace.Time(p.Count)
+}
+
+// StatementProfile aggregates per-statement costs over the trace, sorted
+// by descending total time. Negative statement ids (runtime markers) are
+// included; filter by id if undesired.
+func StatementProfile(t *trace.Trace) ([]StmtProfile, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	acc := make(map[int]*StmtProfile)
+	last := make(map[int]trace.Time) // proc -> previous event time
+	seen := make(map[int]bool)
+	for _, e := range t.Events {
+		p, ok := acc[e.Stmt]
+		if !ok {
+			p = &StmtProfile{Stmt: e.Stmt, ByKind: e.Kind}
+			acc[e.Stmt] = p
+		}
+		p.Count++
+		// Loop and barrier markers are instantaneous bookkeeping: they
+		// receive no cost and, crucially, do not become the gap basis —
+		// a zero-cost marker sharing a timestamp with a real statement
+		// must not steal that statement's execution time.
+		switch e.Kind {
+		case trace.KindLoopBegin, trace.KindLoopEnd,
+			trace.KindBarrierArrive, trace.KindBarrierRelease:
+			continue
+		}
+		var gap trace.Time
+		if seen[e.Proc] {
+			gap = e.Time - last[e.Proc]
+		}
+		last[e.Proc] = e.Time
+		seen[e.Proc] = true
+		p.Total += gap
+		if gap > p.Max {
+			p.Max = gap
+		}
+	}
+	out := make([]StmtProfile, 0, len(acc))
+	for _, p := range acc {
+		out = append(out, *p)
+	}
+	sortProfiles(out)
+	return out, nil
+}
+
+// sortProfiles orders descending by total time, ascending by statement id
+// for ties.
+func sortProfiles(ps []StmtProfile) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Total != ps[j].Total {
+			return ps[i].Total > ps[j].Total
+		}
+		return ps[i].Stmt < ps[j].Stmt
+	})
+}

@@ -1,0 +1,101 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+func TestCompareTimingIdentity(t *testing.T) {
+	l := program.NewBuilder("x", 0, program.Sequential, 10).Compute("a", 100).Loop()
+	res, err := machine.Run(l, instr.NonePlan(), machine.Alliant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := metrics.CompareTiming(res.Trace, res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.MeanAbs != 0 || te.MaxAbs != 0 || te.RMS != 0 {
+		t.Errorf("identical traces should have zero error: %+v", te)
+	}
+	if te.Events != res.Trace.Len() {
+		t.Errorf("events = %d, want %d", te.Events, res.Trace.Len())
+	}
+}
+
+func TestCompareTimingShift(t *testing.T) {
+	l := program.NewBuilder("x", 0, program.Sequential, 5).Compute("a", 100).Loop()
+	res, err := machine.Run(l, instr.NonePlan(), machine.Alliant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := res.Trace.Clone()
+	for i := range shifted.Events {
+		shifted.Events[i].Time += 50
+	}
+	te, err := metrics.CompareTiming(res.Trace, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if te.MeanAbs != 50 || te.MaxAbs != 50 {
+		t.Errorf("uniform 50ns shift: mean %.1f max %d", te.MeanAbs, te.MaxAbs)
+	}
+}
+
+func TestCompareTimingMismatch(t *testing.T) {
+	a := trace.New(1)
+	a.Append(trace.Event{Time: 1, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	b := trace.New(1)
+	b.Append(trace.Event{Time: 1, Proc: 0, Stmt: 2, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	if _, err := metrics.CompareTiming(a, b); err == nil {
+		t.Error("mismatched events should error")
+	}
+}
+
+func TestStatementProfile(t *testing.T) {
+	l := program.NewBuilder("p", 0, program.Sequential, 4).
+		Compute("cheap", 100).
+		Compute("expensive", 900).
+		Loop()
+	res, err := machine.Run(l, instr.NonePlan(), machine.Alliant())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := metrics.StatementProfile(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expensive statement (id 1) must rank first among body
+	// statements and account for 4 * 900.
+	var exp *metrics.StmtProfile
+	for i := range prof {
+		if prof[i].Stmt == 1 {
+			exp = &prof[i]
+		}
+	}
+	if exp == nil {
+		t.Fatal("statement 1 missing from profile")
+	}
+	if exp.Count != 4 || exp.Total != 3600 || exp.Mean() != 900 || exp.Max != 900 {
+		t.Errorf("expensive profile = %+v", *exp)
+	}
+	// Sorted by descending total.
+	for i := 1; i < len(prof); i++ {
+		if prof[i].Total > prof[i-1].Total {
+			t.Errorf("profile not sorted: %v before %v", prof[i-1], prof[i])
+		}
+	}
+}
+
+func TestStatementProfileInvalidTrace(t *testing.T) {
+	bad := trace.New(1)
+	bad.Append(trace.Event{Time: 1, Proc: 9, Kind: trace.KindCompute})
+	if _, err := metrics.StatementProfile(bad); err == nil {
+		t.Error("invalid trace should be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package order
+
+import (
+	"fmt"
+
+	"perturb/internal/trace"
+)
+
+// PathStep is one hop of a critical path: the event reached, the time
+// spent getting there from the binding predecessor, and whether the hop
+// crossed processors through a synchronization dependence.
+type PathStep struct {
+	Event trace.Event
+	Gap   trace.Time
+	Sync  bool // true when the binding dependence is a cross-event sync edge
+}
+
+// Path is a critical path through an execution: a chain of dependent
+// events whose gaps sum to the span from the first event to the last.
+type Path struct {
+	Steps []PathStep
+	// SyncGap is the portion of the path spent on synchronization hops;
+	// Total is the full path length (equal to the trace span up to the
+	// earliest-event offset).
+	SyncGap, Total trace.Time
+	// ProcTime is time attributed to each processor's program-order hops.
+	ProcTime []trace.Time
+}
+
+// CriticalPath extracts a critical path of the trace: starting from the
+// latest event, it repeatedly follows the binding predecessor — the
+// happened-before predecessor with the greatest timestamp, which is the
+// dependence that actually determined the event's time. The result
+// explains what the execution's duration was spent on: per-processor
+// computation and cross-processor synchronization.
+//
+// The trace must be in canonical sorted order with valid times (an actual
+// or approximated trace; measured traces work too and include probe time).
+func CriticalPath(t *trace.Trace) (*Path, error) {
+	rel, err := Build(t)
+	if err != nil {
+		return nil, err
+	}
+	n := t.Len()
+	if n == 0 {
+		return &Path{ProcTime: make([]trace.Time, t.Procs)}, nil
+	}
+	// Invert succ to predecessor lists.
+	preds := make([][]int, n)
+	for u, succs := range rel.succ {
+		for _, v := range succs {
+			preds[v] = append(preds[v], u)
+		}
+	}
+	// Start at the event with the maximum time (ties: last in order).
+	end := 0
+	for i, e := range t.Events {
+		if e.Time >= t.Events[end].Time {
+			end = i
+		}
+	}
+	p := &Path{ProcTime: make([]trace.Time, t.Procs)}
+	cur := end
+	for {
+		e := t.Events[cur]
+		if len(preds[cur]) == 0 {
+			p.Steps = append(p.Steps, PathStep{Event: e, Gap: 0})
+			break
+		}
+		// Binding predecessor: the latest-timed one; prefer the same
+		// processor on ties (program order explains the gap locally).
+		best := preds[cur][0]
+		for _, u := range preds[cur][1:] {
+			ue, be := t.Events[u], t.Events[best]
+			if ue.Time > be.Time || (ue.Time == be.Time && ue.Proc == e.Proc && be.Proc != e.Proc) {
+				best = u
+			}
+		}
+		gap := e.Time - t.Events[best].Time
+		syncHop := t.Events[best].Proc != e.Proc
+		p.Steps = append(p.Steps, PathStep{Event: e, Gap: gap, Sync: syncHop})
+		if syncHop {
+			p.SyncGap += gap
+		} else {
+			p.ProcTime[e.Proc] += gap
+		}
+		p.Total += gap
+		cur = best
+	}
+	// Steps were collected end-to-start; reverse into forward order.
+	for i, j := 0, len(p.Steps)-1; i < j; i, j = i+1, j-1 {
+		p.Steps[i], p.Steps[j] = p.Steps[j], p.Steps[i]
+	}
+	return p, nil
+}
+
+// String summarizes the path.
+func (p *Path) String() string {
+	return fmt.Sprintf("critical path: %d steps, total %d ns, sync %d ns (%.1f%%)",
+		len(p.Steps), int64(p.Total), int64(p.SyncGap),
+		100*safeDiv(float64(p.SyncGap), float64(p.Total)))
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,195 @@
+// Package order implements the happened-before partial order over trace
+// events (Lamport) restricted to the dependence edges that synchronization
+// operations create, and a feasibility checker for approximated executions.
+//
+// The paper (§4.1) requires a conservative approximation to be a feasible
+// execution: the total ordering of dependent events present in the measured
+// execution must be maintained in the approximation. The dependence edges
+// are:
+//
+//   - program order: consecutive events on the same processor;
+//   - synchronization order: an advance happens before the awaitE it
+//     releases (same pairing key);
+//   - lock order: each lock release happens before the next acquisition of
+//     the same lock (in trace order);
+//   - barrier order: every barrier arrival happens before every release of
+//     the same barrier instance;
+//   - fork order: the loop-begin event happens before the first event of
+//     every other processor.
+package order
+
+import (
+	"fmt"
+
+	"perturb/internal/trace"
+)
+
+// Relation captures the happened-before relation of a trace as an edge list
+// over event indices.
+type Relation struct {
+	tr *trace.Trace
+	// succ[i] lists events that must not precede event i in time.
+	succ [][]int
+}
+
+// Build constructs the happened-before relation for the trace. The trace
+// must be in canonical sorted order and valid.
+func Build(t *trace.Trace) (*Relation, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Relation{tr: t, succ: make([][]int, t.Len())}
+	addEdge := func(from, to int) {
+		r.succ[from] = append(r.succ[from], to)
+	}
+
+	// Program order.
+	lastOnProc := make([]int, t.Procs)
+	for p := range lastOnProc {
+		lastOnProc[p] = -1
+	}
+	// Sync pairing.
+	advIdx := t.PairIndex()
+	// Barrier instances.
+	arrives := make(map[trace.PairKey][]int)
+	// Lock serialization (release -> next acquisition, per lock).
+	lastRel := make(map[int]int)
+	forkIdx := -1
+
+	for i, e := range t.Events {
+		if prev := lastOnProc[e.Proc]; prev >= 0 {
+			addEdge(prev, i)
+		}
+		lastOnProc[e.Proc] = i
+		switch e.Kind {
+		case trace.KindLoopBegin:
+			if forkIdx < 0 {
+				forkIdx = i
+			}
+		case trace.KindAwaitE:
+			if ai, ok := advIdx[e.Pair()]; ok {
+				addEdge(ai, i)
+			}
+		case trace.KindLockAcq:
+			if ri, ok := lastRel[e.Var]; ok {
+				addEdge(ri, i)
+			}
+		case trace.KindLockRel:
+			lastRel[e.Var] = i
+		case trace.KindBarrierArrive:
+			arrives[e.Pair()] = append(arrives[e.Pair()], i)
+		case trace.KindBarrierRelease:
+			for _, ai := range arrives[e.Pair()] {
+				if ai != i {
+					addEdge(ai, i)
+				}
+			}
+		}
+	}
+
+	// Fork order: loop-begin precedes the first event of every other
+	// processor.
+	if forkIdx >= 0 {
+		forkProc := t.Events[forkIdx].Proc
+		first := make([]int, t.Procs)
+		for p := range first {
+			first[p] = -1
+		}
+		for i, e := range t.Events {
+			if first[e.Proc] < 0 {
+				first[e.Proc] = i
+			}
+		}
+		for p, fi := range first {
+			if p != forkProc && fi >= 0 {
+				addEdge(forkIdx, fi)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Violation describes a happened-before edge whose endpoint times are out
+// of order.
+type Violation struct {
+	From, To trace.Event
+}
+
+func (v Violation) Error() string {
+	return fmt.Sprintf("order: %v must happen before %v but is timed later", v.From, v.To)
+}
+
+// Check verifies that the times in the given trace respect this relation.
+// The candidate trace must contain the same events (identified by
+// (Proc, Stmt, Kind, Iter, Var) and per-processor order) as the trace the
+// relation was built from; typically it is an approximation produced by
+// package core from that measured trace. It returns the first violation
+// found, or nil.
+//
+// Events related by happened-before must satisfy time(from) <= time(to):
+// perturbation analysis removes probe costs but never reorders dependent
+// events, so a violation means the approximation is not a feasible
+// execution.
+func (r *Relation) Check(candidate *trace.Trace) error {
+	match, err := alignEvents(r.tr, candidate)
+	if err != nil {
+		return err
+	}
+	for from, succs := range r.succ {
+		for _, to := range succs {
+			tf := candidate.Events[match[from]].Time
+			tt := candidate.Events[match[to]].Time
+			if tf > tt {
+				return Violation{From: candidate.Events[match[from]], To: candidate.Events[match[to]]}
+			}
+		}
+	}
+	return nil
+}
+
+// Align maps event indices of base to indices of cand by identity, for
+// callers comparing an approximated trace against ground truth event by
+// event (for example metrics.TimingError).
+func Align(base, cand *trace.Trace) ([]int, error) { return alignEvents(base, cand) }
+
+// alignEvents maps event indices of base to indices of cand by matching,
+// per processor, the k-th occurrence of each event identity
+// (Stmt, Kind, Iter, Var). Identity matching rather than positional
+// matching is required because the candidate's canonical sort may permute
+// events that received equal approximated times on one processor.
+func alignEvents(base, cand *trace.Trace) ([]int, error) {
+	if base.Len() != cand.Len() {
+		return nil, fmt.Errorf("order: traces have different sizes: %d vs %d", base.Len(), cand.Len())
+	}
+	type ident struct {
+		proc, stmt int
+		kind       trace.Kind
+		iter, v    int
+	}
+	queues := make(map[ident][]int)
+	for i, e := range cand.Events {
+		k := ident{e.Proc, e.Stmt, e.Kind, e.Iter, e.Var}
+		queues[k] = append(queues[k], i)
+	}
+	match := make([]int, base.Len())
+	for i, e := range base.Events {
+		k := ident{e.Proc, e.Stmt, e.Kind, e.Iter, e.Var}
+		q := queues[k]
+		if len(q) == 0 {
+			return nil, fmt.Errorf("order: candidate lacks an event matching %v", e)
+		}
+		match[i] = q[0]
+		queues[k] = q[1:]
+	}
+	return match, nil
+}
+
+// CheckSelf verifies that the trace's own times respect its happened-before
+// relation: a well-formed measured or actual trace always passes.
+func CheckSelf(t *trace.Trace) error {
+	r, err := Build(t)
+	if err != nil {
+		return err
+	}
+	return r.Check(t)
+}

@@ -1,0 +1,129 @@
+package program
+
+import (
+	"perturb/internal/trace"
+)
+
+// Builder constructs Loop values with automatically assigned statement ids.
+// It is the convenient way to define loop models:
+//
+//	b := program.NewBuilder("LL3 inner product", 3, program.DOACROSS, 512)
+//	b.Head("init", 2*us)
+//	b.Compute("strip product", 4*us)
+//	b.CriticalBegin(0)            // await(A, i-1)
+//	b.Compute("q += partial", us) // critical region
+//	b.CriticalEnd(0)              // advance(A, i)
+//	loop := b.Loop()
+type Builder struct {
+	loop    Loop
+	nextID  int
+	section int // 0 = head, 1 = body, 2 = tail
+}
+
+// NewBuilder returns a builder for a loop with the given name, Livermore
+// kernel number (0 if not an LFK), execution mode and iteration count.
+// DOACROSS loops default to dependence distance 1; override with Distance.
+func NewBuilder(name string, number int, mode Mode, iters int) *Builder {
+	b := &Builder{loop: Loop{Name: name, Number: number, Mode: mode, Iters: iters}}
+	if mode == DOACROSS {
+		b.loop.Distance = 1
+	}
+	return b
+}
+
+// Distance sets the dependence distance of a DOACROSS loop.
+func (b *Builder) Distance(d int) *Builder {
+	b.loop.Distance = d
+	return b
+}
+
+func (b *Builder) add(s Stmt) *Builder {
+	s.ID = b.nextID
+	b.nextID++
+	switch b.section {
+	case 0:
+		b.loop.Head = append(b.loop.Head, s)
+	case 1:
+		b.loop.Body = append(b.loop.Body, s)
+	default:
+		b.loop.Tail = append(b.loop.Tail, s)
+	}
+	return b
+}
+
+// Head appends a sequential pre-loop statement. Head statements must be
+// added before any body statement.
+func (b *Builder) Head(label string, cost trace.Time) *Builder {
+	b.section = 0
+	return b.add(Stmt{Label: label, Kind: Compute, Cost: cost, Var: trace.NoVar})
+}
+
+// Compute appends an ordinary body statement.
+func (b *Builder) Compute(label string, cost trace.Time) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: label, Kind: Compute, Cost: cost, Var: trace.NoVar})
+}
+
+// ComputeJitter appends a body statement whose cost varies deterministically
+// per iteration in [cost, cost+jitter).
+func (b *Builder) ComputeJitter(label string, cost, jitter trace.Time) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: label, Kind: Compute, Cost: cost, Jitter: jitter, Var: trace.NoVar})
+}
+
+// Vector appends a vectorizable body statement.
+func (b *Builder) Vector(label string, cost trace.Time) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: label, Kind: Compute, Cost: cost, Var: trace.NoVar, Vectorizable: true})
+}
+
+// AwaitStmt appends an await on the given synchronization variable.
+func (b *Builder) AwaitStmt(v int) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: "await", Kind: Await, Var: v})
+}
+
+// AdvanceStmt appends an advance on the given synchronization variable.
+func (b *Builder) AdvanceStmt(v int) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: "advance", Kind: Advance, Var: v})
+}
+
+// CriticalBegin is a readable alias for AwaitStmt: it opens the critical
+// region serialized across iterations.
+func (b *Builder) CriticalBegin(v int) *Builder { return b.AwaitStmt(v) }
+
+// CriticalEnd is a readable alias for AdvanceStmt: it closes the critical
+// region opened by CriticalBegin.
+func (b *Builder) CriticalEnd(v int) *Builder { return b.AdvanceStmt(v) }
+
+// LockStmt appends an acquisition of the given lock: a mutual-exclusion
+// critical section whose entry order is decided at run time, unlike the
+// iteration-ordered CriticalBegin.
+func (b *Builder) LockStmt(lock int) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: "lock", Kind: Lock, Var: lock})
+}
+
+// UnlockStmt appends the release of the given lock.
+func (b *Builder) UnlockStmt(lock int) *Builder {
+	b.section = 1
+	return b.add(Stmt{Label: "unlock", Kind: Unlock, Var: lock})
+}
+
+// Tail appends a sequential post-loop statement.
+func (b *Builder) Tail(label string, cost trace.Time) *Builder {
+	b.section = 2
+	return b.add(Stmt{Label: label, Kind: Compute, Cost: cost, Var: trace.NoVar})
+}
+
+// Loop validates and returns the constructed loop. It panics on a malformed
+// loop; builders are used to define static workloads, so a structural error
+// is a programming bug.
+func (b *Builder) Loop() *Loop {
+	l := b.loop
+	if err := l.Validate(); err != nil {
+		panic(err)
+	}
+	return &l
+}

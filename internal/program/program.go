@@ -1,0 +1,326 @@
+// Package program defines the statement-level program model executed by the
+// machine simulator (package machine) and interpreted by the perturbation
+// analyses (package core).
+//
+// Following the paper, a program is a sequence of statements, and an event
+// is the execution of a statement (§2). The unit of concurrent execution is
+// a loop: sequential, vector, DOALL (fully independent iterations), or
+// DOACROSS (iterations carry constant-distance data dependencies enforced
+// with advance/await synchronization, §4.3). A DOACROSS loop body may
+// contain an await ... advance region: the statements between them form the
+// critical region serialized across iterations at the dependence distance.
+package program
+
+import (
+	"fmt"
+
+	"perturb/internal/trace"
+)
+
+// Mode describes how a loop's iterations execute.
+type Mode uint8
+
+const (
+	// Sequential runs all iterations on one processor.
+	Sequential Mode = iota
+	// Vector runs iterations on one processor with vector-unit costs
+	// (per-statement costs are divided by the machine's vector speedup).
+	Vector
+	// DOALL runs iterations concurrently with no cross-iteration
+	// dependencies; only the end-of-loop barrier synchronizes.
+	DOALL
+	// DOACROSS runs iterations concurrently under advance/await
+	// synchronization with a constant dependence distance.
+	DOACROSS
+)
+
+var modeNames = [...]string{
+	Sequential: "sequential",
+	Vector:     "vector",
+	DOALL:      "doall",
+	DOACROSS:   "doacross",
+}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Schedule selects how concurrent loop iterations are assigned to
+// processors. It lives in the program model because it is an attribute of
+// how the compiled loop executes, consumed both by the machine simulator
+// and by the liberal (reschedule-aware) perturbation analysis.
+type Schedule uint8
+
+const (
+	// Interleaved assigns iteration i to processor i mod P (the Alliant
+	// prescheduled discipline for concurrent loops).
+	Interleaved Schedule = iota
+	// Blocked assigns contiguous chunks of ceil(N/P) iterations per
+	// processor.
+	Blocked
+	// Dynamic self-schedules: each next iteration goes to the processor
+	// that becomes available first (ties to the lowest id).
+	Dynamic
+)
+
+var scheduleNames = [...]string{Interleaved: "interleaved", Blocked: "blocked", Dynamic: "dynamic"}
+
+func (s Schedule) String() string {
+	if int(s) < len(scheduleNames) {
+		return scheduleNames[s]
+	}
+	return fmt.Sprintf("schedule(%d)", uint8(s))
+}
+
+// NumSchedules is the number of defined scheduling disciplines.
+const NumSchedules = 3
+
+// StmtKind classifies a statement in a loop body.
+type StmtKind uint8
+
+const (
+	// Compute is an ordinary statement with a fixed base cost.
+	Compute StmtKind = iota
+	// Await blocks until the advance for (iteration - loop.Distance) has
+	// been posted on the statement's synchronization variable.
+	Await
+	// Advance posts the current iteration on the statement's
+	// synchronization variable, releasing dependent awaits.
+	Advance
+	// Lock acquires the mutual-exclusion lock named by Var, blocking
+	// while another iteration holds it. Unlike Await, the acquisition
+	// order is decided at run time (FIFO by request time on the
+	// simulated machine).
+	Lock
+	// Unlock releases the lock named by Var.
+	Unlock
+)
+
+var stmtKindNames = [...]string{
+	Compute: "compute", Await: "await", Advance: "advance",
+	Lock: "lock", Unlock: "unlock",
+}
+
+func (k StmtKind) String() string {
+	if int(k) < len(stmtKindNames) {
+		return stmtKindNames[k]
+	}
+	return fmt.Sprintf("stmtkind(%d)", uint8(k))
+}
+
+// Stmt is one statement of a loop body (or of the sequential head/tail).
+type Stmt struct {
+	ID    int    // unique statement id within the program
+	Label string // human-readable label, e.g. "q += z[k]*x[k]"
+	Kind  StmtKind
+	Cost  trace.Time // uninstrumented execution cost (Compute statements)
+	Var   int        // synchronization variable id (Await/Advance); trace.NoVar otherwise
+
+	// Jitter, when non-zero, adds a deterministic pseudo-random cost in
+	// [0, Jitter) that depends on (statement id, iteration). It models
+	// data-dependent execution time (for example the conditional
+	// computation of Livermore loop 17) and is identical in the actual
+	// and the measured run, so it perturbs load balance but not the
+	// ground-truth comparison.
+	Jitter trace.Time
+
+	// Vectorizable marks statements whose cost shrinks by the machine's
+	// vector speedup in Vector mode (and in the vector-inner portion of
+	// concurrent-outer-vector-inner execution).
+	Vectorizable bool
+}
+
+// Loop is a single loop nest in the program model. The Livermore kernels in
+// package loops are each described by one Loop.
+type Loop struct {
+	Name   string // e.g. "LL3 inner product"
+	Number int    // Livermore kernel number, 0 if not an LFK
+	Mode   Mode
+	Iters  int // number of (outer, concurrent) iterations
+
+	// Body is executed once per iteration.
+	Body []Stmt
+
+	// Distance is the constant data-dependence distance for DOACROSS
+	// loops: the await of iteration i waits for the advance of iteration
+	// i-Distance. Must be >= 1 for DOACROSS loops.
+	Distance int
+
+	// Head and Tail are sequential statements executed on processor 0
+	// before and after the loop (the paper's "sequential portions before
+	// and after the parallel DOACROSS loop", §5.3).
+	Head []Stmt
+	Tail []Stmt
+}
+
+// NumStmts returns the total number of distinct statements in the loop.
+func (l *Loop) NumStmts() int { return len(l.Head) + len(l.Body) + len(l.Tail) }
+
+// Stmts returns all statements (head, body, tail) in program order.
+func (l *Loop) Stmts() []Stmt {
+	out := make([]Stmt, 0, l.NumStmts())
+	out = append(out, l.Head...)
+	out = append(out, l.Body...)
+	out = append(out, l.Tail...)
+	return out
+}
+
+// StmtByID returns the statement with the given id and true, or a zero
+// statement and false if no such statement exists.
+func (l *Loop) StmtByID(id int) (Stmt, bool) {
+	for _, s := range l.Stmts() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Stmt{}, false
+}
+
+// SyncVars returns the set of advance/await synchronization variable ids
+// referenced by the loop body, in first-use order.
+func (l *Loop) SyncVars() []int { return l.varsOf(Await, Advance) }
+
+// LockVars returns the set of lock ids referenced by the loop body, in
+// first-use order.
+func (l *Loop) LockVars() []int { return l.varsOf(Lock, Unlock) }
+
+func (l *Loop) varsOf(a, b StmtKind) []int {
+	seen := make(map[int]bool)
+	var vars []int
+	for _, s := range l.Body {
+		if s.Kind == a || s.Kind == b {
+			if !seen[s.Var] {
+				seen[s.Var] = true
+				vars = append(vars, s.Var)
+			}
+		}
+	}
+	return vars
+}
+
+// Validate checks structural invariants of the loop model:
+//
+//   - statement ids are unique and non-negative;
+//   - Await/Advance statements appear only in DOACROSS bodies, reference a
+//     valid synchronization variable, and each await precedes a matching
+//     advance on the same variable (the critical region is well formed);
+//   - Lock/Unlock statements appear only in concurrent (DOALL or DOACROSS)
+//     bodies, pair up per lock id, and do not nest on one lock;
+//   - DOACROSS loops have Distance >= 1; other modes have no sync
+//     statements;
+//   - Iters >= 1 and costs are non-negative.
+func (l *Loop) Validate() error {
+	if l.Iters < 1 {
+		return fmt.Errorf("program: loop %q: Iters must be >= 1, got %d", l.Name, l.Iters)
+	}
+	if l.Mode == DOACROSS && l.Distance < 1 {
+		return fmt.Errorf("program: loop %q: DOACROSS requires Distance >= 1, got %d", l.Name, l.Distance)
+	}
+	ids := make(map[int]bool)
+	check := func(s Stmt, where string, allowAdv, allowLock bool) error {
+		if s.ID < 0 {
+			return fmt.Errorf("program: loop %q: %s statement %q has negative id %d", l.Name, where, s.Label, s.ID)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("program: loop %q: duplicate statement id %d (%q)", l.Name, s.ID, s.Label)
+		}
+		ids[s.ID] = true
+		if s.Cost < 0 || s.Jitter < 0 {
+			return fmt.Errorf("program: loop %q: statement %d (%q) has negative cost", l.Name, s.ID, s.Label)
+		}
+		switch s.Kind {
+		case Compute:
+		case Await, Advance:
+			if !allowAdv {
+				return fmt.Errorf("program: loop %q: %s statement %d is %v; advance/await belongs in DOACROSS bodies only",
+					l.Name, where, s.ID, s.Kind)
+			}
+		case Lock, Unlock:
+			if !allowLock {
+				return fmt.Errorf("program: loop %q: %s statement %d is %v; locks belong in concurrent bodies only",
+					l.Name, where, s.ID, s.Kind)
+			}
+		default:
+			return fmt.Errorf("program: loop %q: statement %d has unknown kind %v", l.Name, s.ID, s.Kind)
+		}
+		if s.Kind != Compute && s.Var < 0 {
+			return fmt.Errorf("program: loop %q: sync statement %d lacks a variable id", l.Name, s.ID)
+		}
+		return nil
+	}
+	for _, s := range l.Head {
+		if err := check(s, "head", false, false); err != nil {
+			return err
+		}
+	}
+	allowAdv := l.Mode == DOACROSS
+	allowLock := l.Mode == DOACROSS || l.Mode == DOALL
+	openAwait := make(map[int]bool) // sync var -> await seen, advance pending
+	openLock := make(map[int]bool)  // lock id -> held
+	for _, s := range l.Body {
+		if err := check(s, "body", allowAdv, allowLock); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case Await:
+			if openAwait[s.Var] {
+				return fmt.Errorf("program: loop %q: nested await on variable %d", l.Name, s.Var)
+			}
+			openAwait[s.Var] = true
+		case Advance:
+			if !openAwait[s.Var] {
+				return fmt.Errorf("program: loop %q: advance on variable %d without preceding await", l.Name, s.Var)
+			}
+			openAwait[s.Var] = false
+		case Lock:
+			if openLock[s.Var] {
+				return fmt.Errorf("program: loop %q: nested lock on %d", l.Name, s.Var)
+			}
+			openLock[s.Var] = true
+		case Unlock:
+			if !openLock[s.Var] {
+				return fmt.Errorf("program: loop %q: unlock of %d without holding it", l.Name, s.Var)
+			}
+			openLock[s.Var] = false
+		}
+	}
+	for v, pending := range openAwait {
+		if pending {
+			return fmt.Errorf("program: loop %q: await on variable %d has no matching advance", l.Name, v)
+		}
+	}
+	for v, held := range openLock {
+		if held {
+			return fmt.Errorf("program: loop %q: lock %d is never released", l.Name, v)
+		}
+	}
+	for _, s := range l.Tail {
+		if err := check(s, "tail", false, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JitterCost returns the deterministic pseudo-random extra cost for
+// executing statement s in iteration iter. It uses a SplitMix64-style hash
+// so the value is reproducible and uncorrelated across (stmt, iter) pairs.
+func JitterCost(s Stmt, iter int) trace.Time {
+	if s.Jitter <= 0 {
+		return 0
+	}
+	x := uint64(s.ID)*0x9E3779B97F4A7C15 + uint64(iter)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return trace.Time(x % uint64(s.Jitter))
+}
+
+// Cost returns the full uninstrumented cost of executing statement s in
+// iteration iter: base cost plus jitter.
+func Cost(s Stmt, iter int) trace.Time { return s.Cost + JitterCost(s, iter) }

@@ -1,0 +1,330 @@
+package program_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+func validLoop() *program.Loop {
+	return program.NewBuilder("ok", 3, program.DOACROSS, 10).
+		Head("h", 100).
+		Compute("a", 200).
+		CriticalBegin(0).
+		Compute("b", 300).
+		CriticalEnd(0).
+		Tail("t", 100).
+		Loop()
+}
+
+func TestValidLoopValidates(t *testing.T) {
+	if err := validLoop().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderAssignsSequentialIDs(t *testing.T) {
+	l := validLoop()
+	seen := map[int]bool{}
+	for i, s := range l.Stmts() {
+		if s.ID != i {
+			t.Errorf("statement %d has id %d", i, s.ID)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+	if got := l.NumStmts(); got != 6 {
+		t.Errorf("NumStmts = %d, want 6", got)
+	}
+}
+
+func TestStmtByID(t *testing.T) {
+	l := validLoop()
+	s, ok := l.StmtByID(2)
+	if !ok || s.Kind != program.Await {
+		t.Errorf("StmtByID(2) = %v, %v; want the await", s, ok)
+	}
+	if _, ok := l.StmtByID(99); ok {
+		t.Error("StmtByID(99) should not exist")
+	}
+}
+
+func TestSyncVars(t *testing.T) {
+	l := validLoop()
+	vars := l.SyncVars()
+	if len(vars) != 1 || vars[0] != 0 {
+		t.Errorf("SyncVars = %v, want [0]", vars)
+	}
+	seq := program.NewBuilder("s", 0, program.Sequential, 1).Compute("x", 1).Loop()
+	if len(seq.SyncVars()) != 0 {
+		t.Error("sequential loop should have no sync vars")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		loop program.Loop
+		want string
+	}{
+		{
+			"zero iters",
+			program.Loop{Name: "x", Iters: 0},
+			"Iters",
+		},
+		{
+			"doacross distance",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 0},
+			"Distance",
+		},
+		{
+			"duplicate ids",
+			program.Loop{Name: "x", Iters: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Compute, Var: trace.NoVar},
+				{ID: 0, Kind: program.Compute, Var: trace.NoVar},
+			}},
+			"duplicate",
+		},
+		{
+			"negative id",
+			program.Loop{Name: "x", Iters: 1, Body: []program.Stmt{
+				{ID: -1, Kind: program.Compute, Var: trace.NoVar},
+			}},
+			"negative id",
+		},
+		{
+			"negative cost",
+			program.Loop{Name: "x", Iters: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Compute, Cost: -5, Var: trace.NoVar},
+			}},
+			"negative cost",
+		},
+		{
+			"sync in sequential",
+			program.Loop{Name: "x", Iters: 1, Mode: program.Sequential, Body: []program.Stmt{
+				{ID: 0, Kind: program.Await, Var: 0},
+			}},
+			"DOACROSS",
+		},
+		{
+			"sync in head",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 1,
+				Head: []program.Stmt{{ID: 0, Kind: program.Advance, Var: 0}}},
+			"head",
+		},
+		{
+			"advance without await",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Advance, Var: 0},
+			}},
+			"without preceding await",
+		},
+		{
+			"await without advance",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Await, Var: 0},
+			}},
+			"no matching advance",
+		},
+		{
+			"nested await",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Await, Var: 0},
+				{ID: 1, Kind: program.Await, Var: 0},
+			}},
+			"nested await",
+		},
+		{
+			"sync var missing",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOACROSS, Distance: 1, Body: []program.Stmt{
+				{ID: 0, Kind: program.Await, Var: -1},
+			}},
+			"lacks a variable",
+		},
+	}
+	for _, c := range cases {
+		err := c.loop.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBuilderPanicsOnInvalidLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for await without advance")
+		}
+	}()
+	program.NewBuilder("bad", 0, program.DOACROSS, 4).AwaitStmt(0).Loop()
+}
+
+func TestJitterCostProperties(t *testing.T) {
+	// Zero jitter yields zero extra cost.
+	s := program.Stmt{ID: 1, Cost: 100}
+	if program.JitterCost(s, 5) != 0 {
+		t.Error("zero jitter should cost nothing")
+	}
+	// Jittered cost lies in [0, Jitter) and is deterministic.
+	s.Jitter = 700
+	f := func(iter uint16) bool {
+		j := program.JitterCost(s, int(iter))
+		if j < 0 || j >= s.Jitter {
+			return false
+		}
+		return j == program.JitterCost(s, int(iter))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Different statements get different jitter streams.
+	s2 := s
+	s2.ID = 2
+	same := 0
+	for i := 0; i < 50; i++ {
+		if program.JitterCost(s, i) == program.JitterCost(s2, i) {
+			same++
+		}
+	}
+	if same == 50 {
+		t.Error("jitter streams should differ between statements")
+	}
+	if got := program.Cost(s, 3); got != s.Cost+program.JitterCost(s, 3) {
+		t.Errorf("Cost = %d, want base+jitter", got)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if program.Sequential.String() != "sequential" || program.DOACROSS.String() != "doacross" {
+		t.Error("mode strings wrong")
+	}
+	if program.Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+	if program.Interleaved.String() != "interleaved" || program.Dynamic.String() != "dynamic" {
+		t.Error("schedule strings wrong")
+	}
+	if program.Schedule(9).String() != "schedule(9)" {
+		t.Error("unknown schedule string wrong")
+	}
+	if program.Compute.String() != "compute" || program.Await.String() != "await" || program.Advance.String() != "advance" {
+		t.Error("stmt kind strings wrong")
+	}
+	if program.StmtKind(9).String() != "stmtkind(9)" {
+		t.Error("unknown stmt kind string wrong")
+	}
+}
+
+func TestBuilderDistanceAndVector(t *testing.T) {
+	l := program.NewBuilder("d", 0, program.DOACROSS, 4).
+		Distance(3).
+		Vector("v", 800).
+		CriticalBegin(1).
+		Compute("c", 100).
+		CriticalEnd(1).
+		Loop()
+	if l.Distance != 3 {
+		t.Errorf("Distance = %d, want 3", l.Distance)
+	}
+	if !l.Body[0].Vectorizable {
+		t.Error("Vector statement should be vectorizable")
+	}
+}
+
+func TestLockBuilderAndVars(t *testing.T) {
+	l := program.NewBuilder("locky", 0, program.DOALL, 4).
+		ComputeJitter("jittered", 100, 50).
+		LockStmt(3).
+		Compute("c", 10).
+		UnlockStmt(3).
+		Loop()
+	if got := l.LockVars(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("LockVars = %v, want [3]", got)
+	}
+	if l.Body[0].Jitter != 50 {
+		t.Errorf("jitter = %d, want 50", l.Body[0].Jitter)
+	}
+}
+
+func TestLockValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		loop program.Loop
+		want string
+	}{
+		{
+			"lock in sequential",
+			program.Loop{Name: "x", Iters: 1, Mode: program.Sequential, Body: []program.Stmt{
+				{ID: 0, Kind: program.Lock, Var: 0},
+			}},
+			"concurrent bodies",
+		},
+		{
+			"nested lock",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOALL, Body: []program.Stmt{
+				{ID: 0, Kind: program.Lock, Var: 0},
+				{ID: 1, Kind: program.Lock, Var: 0},
+			}},
+			"nested lock",
+		},
+		{
+			"unlock without lock",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOALL, Body: []program.Stmt{
+				{ID: 0, Kind: program.Unlock, Var: 0},
+			}},
+			"without holding",
+		},
+		{
+			"lock never released",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOALL, Body: []program.Stmt{
+				{ID: 0, Kind: program.Lock, Var: 0},
+			}},
+			"never released",
+		},
+		{
+			"unknown stmt kind",
+			program.Loop{Name: "x", Iters: 1, Mode: program.DOALL, Body: []program.Stmt{
+				{ID: 0, Kind: program.StmtKind(9), Var: 0},
+			}},
+			"unknown kind",
+		},
+	}
+	for _, c := range cases {
+		err := c.loop.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := program.NewProgram("p",
+		program.NewBuilder("a", 0, program.Sequential, 1).Compute("x", 1).Loop(),
+		program.NewBuilder("b", 0, program.DOALL, 2).Compute("y", 1).Loop(),
+	)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.NumStmts(); got != 2 {
+		t.Errorf("NumStmts = %d, want 2", got)
+	}
+	if err := program.NewProgram("empty").Validate(); err == nil {
+		t.Error("empty program should fail")
+	}
+	if err := program.NewProgram("nilphase", nil).Validate(); err == nil {
+		t.Error("nil phase should fail")
+	}
+	bad := program.NewProgram("badphase", &program.Loop{Name: "x", Iters: 0})
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid phase should fail")
+	}
+}

@@ -1,0 +1,44 @@
+package program
+
+import "fmt"
+
+// Program is a sequence of loop phases executed back to back, the shape of
+// real scientific codes (and of the Livermore benchmark itself): each
+// phase forks, iterates, joins at its barrier, and hands off through
+// sequential glue to the next phase. Perturbation analysis handles the
+// multiple fork/join fences via the loop-begin and barrier events each
+// phase emits.
+type Program struct {
+	Name   string
+	Phases []*Loop
+}
+
+// NewProgram assembles a program from loop phases.
+func NewProgram(name string, phases ...*Loop) *Program {
+	return &Program{Name: name, Phases: phases}
+}
+
+// Validate checks every phase.
+func (p *Program) Validate() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("program: program %q has no phases", p.Name)
+	}
+	for i, l := range p.Phases {
+		if l == nil {
+			return fmt.Errorf("program: program %q: phase %d is nil", p.Name, i)
+		}
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("program: program %q phase %d: %w", p.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// NumStmts returns the total statement count across phases.
+func (p *Program) NumStmts() int {
+	n := 0
+	for _, l := range p.Phases {
+		n += l.NumStmts()
+	}
+	return n
+}

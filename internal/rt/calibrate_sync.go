@@ -1,0 +1,99 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// CalibrateSync measures the goroutine runtime's synchronization processing
+// costs on the current machine, in vitro, the way the paper's analysis
+// requires its s_nowait and s_wait inputs:
+//
+//   - SNoWait: an Await whose Advance already happened (fast path through
+//     the mutex, no blocking);
+//   - SWait: the resume latency of an Await that blocked — measured as the
+//     step time of a rotation chain of goroutines, the contention pattern
+//     of a real DOACROSS critical region, minus the advance cost;
+//   - AdvanceOp: the cost of Advance itself.
+//
+// The chain width adapts to GOMAXPROCS: on a single-core machine resume
+// latency is dominated by scheduler time-slicing, and that is precisely
+// the cost the analysis must know about, so it is measured rather than
+// assumed. The probe overheads are measured separately by Calibrate;
+// combine both into the Calibration handed to the analyses.
+func CalibrateSync(rounds int) instr.Calibration {
+	if rounds < 1 {
+		rounds = 1
+	}
+	cal := instr.Calibration{}
+
+	// Advance and no-wait Await: tight-loop minima over a pre-advanced
+	// variable.
+	const burst = 2048
+	bestAdv, bestNoWait := trace.Time(1<<62), trace.Time(1<<62)
+	for r := 0; r < rounds; r++ {
+		v := NewSyncVar(0)
+		t0 := time.Now()
+		for i := 0; i < burst; i++ {
+			v.Advance(i)
+		}
+		if per := trace.Time(time.Since(t0).Nanoseconds() / burst); per < bestAdv {
+			bestAdv = per
+		}
+		t0 = time.Now()
+		for i := 0; i < burst; i++ {
+			v.Await(i)
+		}
+		if per := trace.Time(time.Since(t0).Nanoseconds() / burst); per < bestNoWait {
+			bestNoWait = per
+		}
+	}
+	cal.AdvanceOp = bestAdv
+	cal.SNoWait = bestNoWait
+
+	// Blocked-await resume latency under realistic contention: worker w
+	// handles iterations w, w+N, ...; each awaits the previous
+	// iteration's advance, so every chain link pays one blocked-await
+	// resume plus one advance.
+	chainWorkers := runtime.GOMAXPROCS(0)
+	if chainWorkers < 2 {
+		chainWorkers = 2
+	}
+	if chainWorkers > 8 {
+		chainWorkers = 8
+	}
+	const chainIters = 512
+	bestStep := trace.Time(1 << 62)
+	for r := 0; r < rounds; r++ {
+		v := NewSyncVar(0)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for w := 0; w < chainWorkers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < chainIters; i += chainWorkers {
+					v.Await(i - 1)
+					v.Advance(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		per := trace.Time(time.Since(t0).Nanoseconds() / chainIters)
+		if per < bestStep {
+			bestStep = per
+		}
+	}
+	// Each chain step is one resume plus one advance.
+	sw := bestStep - bestAdv
+	if sw < cal.SNoWait {
+		sw = cal.SNoWait
+	}
+	cal.SWait = sw
+	cal.Barrier = cal.SWait // barrier release is a broadcast wakeup
+	return cal
+}

@@ -1,0 +1,189 @@
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Config describes a goroutine DOACROSS execution.
+type Config struct {
+	// Workers is the number of goroutines (the machine model's CEs).
+	Workers int
+	// Iters is the iteration count.
+	Iters int
+	// Distance is the cross-iteration dependence distance (>= 1).
+	Distance int
+	// Schedule assigns iterations to workers; Interleaved and Blocked
+	// are static, Dynamic self-schedules through an atomic counter.
+	Schedule program.Schedule
+	// Tracer, when non-nil, records loop markers, synchronization events
+	// and the body's Step events.
+	Tracer *Tracer
+}
+
+// Ctx is the per-iteration context handed to the loop body. Bodies call
+// Step to mark instrumented statements and bracket their serialized
+// section with CriticalBegin/CriticalEnd.
+type Ctx struct {
+	Worker int
+	Iter   int
+	r      *runner
+}
+
+// Step records a compute event for statement id on this iteration.
+func (c *Ctx) Step(stmt int) {
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmt, trace.KindCompute, c.Iter, trace.NoVar)
+	}
+}
+
+// CriticalBegin awaits the advance of iteration Iter-Distance, recording
+// awaitB/awaitE events. It must be called at most once per iteration and
+// be matched by CriticalEnd.
+func (c *Ctx) CriticalBegin() {
+	target := c.Iter - c.r.cfg.Distance
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtAwait, trace.KindAwaitB, target, 0)
+	}
+	c.r.sync.Await(target)
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtAwait, trace.KindAwaitE, target, 0)
+	}
+}
+
+// CriticalEnd advances this iteration, releasing its dependent.
+func (c *Ctx) CriticalEnd() {
+	c.r.sync.Advance(c.Iter)
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtAdvance, trace.KindAdvance, c.Iter, 0)
+	}
+}
+
+// Statement ids the runtime uses for its own events.
+const (
+	stmtLoop    = -1
+	stmtBarrier = -2
+	stmtAwait   = -10
+	stmtAdvance = -11
+	stmtLock    = -12
+)
+
+// TracedMutex is a mutual-exclusion lock whose acquisitions and releases
+// are recorded as lock-req/lock-acq/lock-rel events, the goroutine
+// counterpart of the machine model's Lock/Unlock statements.
+type TracedMutex struct {
+	// ID names the lock in trace events.
+	ID int
+	mu sync.Mutex
+}
+
+// Lock acquires m, recording the request and the acquisition.
+func (c *Ctx) Lock(m *TracedMutex) {
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtLock, trace.KindLockReq, c.Iter, m.ID)
+	}
+	m.mu.Lock()
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtLock, trace.KindLockAcq, c.Iter, m.ID)
+	}
+}
+
+// Unlock releases m, recording the release. The event is emitted before
+// the unlock so a successor's lock-acq can never carry an earlier
+// timestamp than the release that enabled it — the ordering the analysis
+// derives lock serialization from.
+func (c *Ctx) Unlock(m *TracedMutex) {
+	if t := c.r.cfg.Tracer; t != nil {
+		t.Emit(c.Worker, stmtLock, trace.KindLockRel, c.Iter, m.ID)
+	}
+	m.mu.Unlock()
+}
+
+type runner struct {
+	cfg  Config
+	sync *SyncVar
+}
+
+// Doacross runs body for every iteration under the configured schedule and
+// returns the recorded trace (nil if no tracer was configured).
+//
+// The dependence constraint is the paper's: iteration i may enter its
+// critical region only after iteration i-Distance has left its own.
+// Iterations outside the critical region run fully concurrently.
+func Doacross(cfg Config, body func(*Ctx)) (*trace.Trace, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("rt: Workers must be >= 1, got %d", cfg.Workers)
+	}
+	if cfg.Iters < 0 {
+		return nil, fmt.Errorf("rt: negative iteration count %d", cfg.Iters)
+	}
+	if cfg.Distance < 1 {
+		cfg.Distance = 1
+	}
+	r := &runner{cfg: cfg, sync: NewSyncVar(0)}
+
+	if t := cfg.Tracer; t != nil {
+		t.Emit(0, stmtLoop, trace.KindLoopBegin, trace.NoIter, trace.NoVar)
+	}
+
+	var next atomic.Int64 // Dynamic schedule cursor
+	chunk := (cfg.Iters + cfg.Workers - 1) / cfg.Workers
+	if chunk == 0 {
+		chunk = 1
+	}
+
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	var arrived atomic.Int64
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			iterate := func(i int) {
+				ctx := &Ctx{Worker: w, Iter: i, r: r}
+				body(ctx)
+			}
+			switch cfg.Schedule {
+			case program.Blocked:
+				for i := w * chunk; i < (w+1)*chunk && i < cfg.Iters; i++ {
+					iterate(i)
+				}
+			case program.Dynamic:
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Iters {
+						break
+					}
+					iterate(i)
+				}
+			default: // Interleaved
+				for i := w; i < cfg.Iters; i += cfg.Workers {
+					iterate(i)
+				}
+			}
+			// End-of-loop barrier.
+			if t := cfg.Tracer; t != nil {
+				t.Emit(w, stmtBarrier, trace.KindBarrierArrive, 0, 0)
+			}
+			if arrived.Add(1) == int64(cfg.Workers) {
+				close(release)
+			}
+			<-release
+			if t := cfg.Tracer; t != nil {
+				t.Emit(w, stmtBarrier, trace.KindBarrierRelease, 0, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if t := cfg.Tracer; t != nil {
+		t.Emit(0, stmtLoop, trace.KindLoopEnd, trace.NoIter, trace.NoVar)
+		return t.Trace(), nil
+	}
+	return nil, nil
+}

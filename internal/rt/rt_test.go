@@ -1,0 +1,277 @@
+package rt_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/program"
+	"perturb/internal/rt"
+	"perturb/internal/trace"
+)
+
+func TestSyncVarBasics(t *testing.T) {
+	v := rt.NewSyncVar(0)
+	if v.Advanced(0) {
+		t.Error("0 should not be advanced yet")
+	}
+	if v.Advanced(-1) {
+		// floor 0: iterations below 0 are pre-advanced
+	} else {
+		t.Error("-1 should be pre-advanced (below floor)")
+	}
+	v.Advance(0)
+	if !v.Advanced(0) {
+		t.Error("0 should be advanced")
+	}
+	if waited := v.Await(0); waited {
+		t.Error("await on advanced iteration should not wait")
+	}
+}
+
+func TestSyncVarOutOfOrderAdvances(t *testing.T) {
+	v := rt.NewSyncVar(0)
+	v.Advance(2)
+	v.Advance(0)
+	if v.Advanced(1) {
+		t.Error("1 not advanced")
+	}
+	v.Advance(1)
+	for i := 0; i <= 2; i++ {
+		if !v.Advanced(i) {
+			t.Errorf("%d should be advanced", i)
+		}
+	}
+}
+
+func TestSyncVarFloor(t *testing.T) {
+	v := rt.NewSyncVar(5)
+	for i := 0; i < 5; i++ {
+		if !v.Advanced(i) {
+			t.Errorf("iteration %d below floor should be pre-advanced", i)
+		}
+	}
+	if v.Advanced(5) {
+		t.Error("5 should not be advanced")
+	}
+	if s := v.String(); s == "" {
+		t.Error("String should describe state")
+	}
+}
+
+func TestSyncVarBlocksUntilAdvance(t *testing.T) {
+	v := rt.NewSyncVar(0)
+	done := make(chan bool, 1)
+	go func() {
+		done <- v.Await(3)
+	}()
+	select {
+	case <-done:
+		t.Fatal("await returned before advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	v.Advance(3)
+	select {
+	case waited := <-done:
+		if !waited {
+			t.Error("blocked await should report waiting")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("await never woke after advance")
+	}
+}
+
+// TestDoacrossSerializesCriticalRegions: the critical regions execute in
+// strict iteration order under every schedule.
+func TestDoacrossSerializesCriticalRegions(t *testing.T) {
+	for _, sched := range []program.Schedule{program.Interleaved, program.Blocked, program.Dynamic} {
+		const iters = 200
+		var mu sync.Mutex
+		var order []int
+		_, err := rt.Doacross(rt.Config{
+			Workers: 4, Iters: iters, Distance: 1, Schedule: sched,
+		}, func(c *rt.Ctx) {
+			c.CriticalBegin()
+			mu.Lock()
+			order = append(order, c.Iter)
+			mu.Unlock()
+			c.CriticalEnd()
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		if len(order) != iters {
+			t.Fatalf("%v: %d iterations ran, want %d", sched, len(order), iters)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("%v: critical region %d ran for iteration %d (order %v...)",
+					sched, i, got, order[:i+1])
+			}
+		}
+	}
+}
+
+// TestDoacrossDistance: with distance d, up to d critical regions may
+// interleave; the order must still respect i-d < i.
+func TestDoacrossDistance(t *testing.T) {
+	const iters, d = 120, 3
+	var mu sync.Mutex
+	pos := make(map[int]int) // iteration -> completion index
+	n := 0
+	_, err := rt.Doacross(rt.Config{Workers: 4, Iters: iters, Distance: d}, func(c *rt.Ctx) {
+		c.CriticalBegin()
+		mu.Lock()
+		pos[c.Iter] = n
+		n++
+		mu.Unlock()
+		c.CriticalEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := d; i < iters; i++ {
+		if pos[i] < pos[i-d] {
+			t.Fatalf("iteration %d entered its critical region before %d", i, i-d)
+		}
+	}
+}
+
+func TestDoacrossTraceWellFormed(t *testing.T) {
+	const workers, iters = 3, 60
+	tr := rt.NewTracer(workers, 8*iters)
+	out, err := rt.Doacross(rt.Config{
+		Workers: workers, Iters: iters, Distance: 1, Tracer: tr,
+	}, func(c *rt.Ctx) {
+		c.Step(1)
+		c.CriticalBegin()
+		c.CriticalEnd()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	counts := map[trace.Kind]int{}
+	for _, e := range out.Events {
+		counts[e.Kind]++
+	}
+	want := map[trace.Kind]int{
+		trace.KindLoopBegin:      1,
+		trace.KindLoopEnd:        1,
+		trace.KindCompute:        iters,
+		trace.KindAwaitB:         iters,
+		trace.KindAwaitE:         iters,
+		trace.KindAdvance:        iters,
+		trace.KindBarrierArrive:  workers,
+		trace.KindBarrierRelease: workers,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%v events = %d, want %d", k, counts[k], n)
+		}
+	}
+
+	// The real trace must be analyzable: event-based analysis resolves
+	// every event and produces a valid approximation.
+	cal := instr.Calibration{Overheads: rt.Calibrate(3)}
+	a, err := core.EventBased(out, cal)
+	if err != nil {
+		t.Fatalf("event-based analysis of real trace: %v", err)
+	}
+	if err := a.Trace.Validate(); err != nil {
+		t.Fatalf("approximation invalid: %v", err)
+	}
+	if a.Duration <= 0 || a.Duration > out.End() {
+		t.Errorf("approximated duration %d outside (0, measured %d]", a.Duration, out.End())
+	}
+}
+
+func TestDoacrossConfigErrors(t *testing.T) {
+	if _, err := rt.Doacross(rt.Config{Workers: 0, Iters: 1}, func(*rt.Ctx) {}); err == nil {
+		t.Error("zero workers should fail")
+	}
+	if _, err := rt.Doacross(rt.Config{Workers: 1, Iters: -1}, func(*rt.Ctx) {}); err == nil {
+		t.Error("negative iters should fail")
+	}
+	// Zero iterations is fine.
+	if _, err := rt.Doacross(rt.Config{Workers: 2, Iters: 0}, func(*rt.Ctx) {}); err != nil {
+		t.Errorf("zero iters: %v", err)
+	}
+}
+
+func TestTracerRestart(t *testing.T) {
+	tr := rt.NewTracer(1, 16)
+	tr.Emit(0, 1, trace.KindCompute, 0, trace.NoVar)
+	if tr.Trace().Len() != 1 {
+		t.Fatal("emit lost")
+	}
+	tr.Restart()
+	if tr.Trace().Len() != 0 {
+		t.Fatal("restart did not clear buffers")
+	}
+	tr.Emit(0, 1, trace.KindCompute, 0, trace.NoVar)
+	got := tr.Trace()
+	if got.Len() != 1 || got.Events[0].Time < 0 {
+		t.Fatalf("post-restart trace wrong: %v", got.Events)
+	}
+}
+
+func TestCalibrateReturnsPositiveCosts(t *testing.T) {
+	o := rt.Calibrate(2)
+	if o.Event < 1 {
+		t.Errorf("probe cost = %d, want >= 1ns", o.Event)
+	}
+	cal := rt.CalibrateSync(1)
+	if cal.AdvanceOp < 1 || cal.SNoWait < 1 || cal.SWait < cal.SNoWait {
+		t.Errorf("sync calibration implausible: %+v", cal)
+	}
+}
+
+// TestStudyPipeline: the consolidated study helper produces a coherent
+// result on a small real workload.
+func TestStudyPipeline(t *testing.T) {
+	spin := func(c *rt.Ctx) {
+		x := 1.0
+		for i := 0; i < 2000; i++ {
+			x *= 1.0000001
+		}
+		c.Step(0)
+		c.CriticalBegin()
+		c.CriticalEnd()
+		_ = x
+	}
+	res, err := rt.Study(rt.StudyConfig{Workers: 2, Iters: 64, Distance: 1}, spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Untraced <= 0 || res.Traced <= 0 {
+		t.Fatalf("missing wall times: %+v", res)
+	}
+	if res.Trace.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx == nil || res.Approx.Duration <= 0 {
+		t.Fatal("analysis missing")
+	}
+	if res.Slowdown() <= 0 || res.RecoveryRatio() <= 0 {
+		t.Errorf("ratios: slowdown %.2f recovery %.2f", res.Slowdown(), res.RecoveryRatio())
+	}
+	// The approximation never exceeds the traced measurement.
+	if res.Approx.Duration > trace.Time(res.Traced.Nanoseconds())*2 {
+		t.Errorf("approximated %v implausibly above traced %v",
+			res.Approx.Duration, res.Traced)
+	}
+}
+
+func TestStudyConfigErrors(t *testing.T) {
+	if _, err := rt.Study(rt.StudyConfig{Workers: 0}, func(*rt.Ctx) {}); err == nil {
+		t.Error("zero workers should fail")
+	}
+}

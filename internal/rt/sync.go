@@ -1,0 +1,82 @@
+// Package rt is a goroutine runtime for DOACROSS loops with advance/await
+// synchronization and low-overhead tracing — a real (wall-clock) companion
+// to the deterministic machine simulator. It lets the perturbation
+// analyses run against traces of genuine Go execution: the examples trace
+// Livermore kernels running on goroutines and recover their approximate
+// uninstrumented timing.
+package rt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SyncVar is the paper's general advance/await synchronization variable:
+// it stores the history of advance operations (§4.2.1).
+//
+//	advance(A, i): mark in A that i was advanced
+//	await(A, i):   if i has not been advanced in A, wait until it has
+//
+// Iterations below the floor passed to NewSyncVar are treated as
+// pre-advanced, which is how a distance-d DOACROSS loop lets its first d
+// iterations proceed.
+type SyncVar struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	floor    int
+	advanced map[int]bool
+	// maxContig tracks the highest i such that all of floor..i are
+	// advanced, so common in-order advances test in O(1).
+	maxContig int
+}
+
+// NewSyncVar returns a synchronization variable whose history contains
+// every iteration below floor.
+func NewSyncVar(floor int) *SyncVar {
+	v := &SyncVar{floor: floor, advanced: make(map[int]bool), maxContig: floor - 1}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Advance marks i as advanced and wakes any awaiting goroutines.
+func (v *SyncVar) Advance(i int) {
+	v.mu.Lock()
+	v.advanced[i] = true
+	for v.advanced[v.maxContig+1] {
+		delete(v.advanced, v.maxContig+1)
+		v.maxContig++
+	}
+	v.mu.Unlock()
+	v.cond.Broadcast()
+}
+
+// Await blocks until i has been advanced. It returns true if it had to
+// wait (the paper's s_wait path) and false if the advance had already
+// occurred (the s_nowait path).
+func (v *SyncVar) Await(i int) (waited bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for !v.isAdvancedLocked(i) {
+		waited = true
+		v.cond.Wait()
+	}
+	return waited
+}
+
+// Advanced reports whether i is in the advance history.
+func (v *SyncVar) Advanced(i int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.isAdvancedLocked(i)
+}
+
+func (v *SyncVar) isAdvancedLocked(i int) bool {
+	return i <= v.maxContig || v.advanced[i]
+}
+
+// String describes the variable's state for debugging.
+func (v *SyncVar) String() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return fmt.Sprintf("SyncVar{contiguous<=%d, sparse=%d}", v.maxContig, len(v.advanced))
+}

@@ -1,0 +1,86 @@
+package rt
+
+import (
+	"time"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// Tracer records events from a real goroutine execution into per-worker
+// buffers with monotonic wall-clock timestamps. Buffers are pre-allocated
+// and strictly per-worker, so tracing costs one clock read and one append
+// per event and never synchronizes between workers — the same design
+// discipline the paper's tracer needed on the FX/80.
+type Tracer struct {
+	start time.Time
+	bufs  [][]trace.Event
+}
+
+// NewTracer returns a tracer for the given worker count, with per-worker
+// buffers sized for capacity events each. The zero time is NewTracer's
+// call time; call Restart just before the traced region for a tight
+// origin.
+func NewTracer(workers, capacity int) *Tracer {
+	t := &Tracer{start: time.Now(), bufs: make([][]trace.Event, workers)}
+	for i := range t.bufs {
+		t.bufs[i] = make([]trace.Event, 0, capacity)
+	}
+	return t
+}
+
+// Restart resets the tracer's time origin and clears all buffers.
+func (t *Tracer) Restart() {
+	t.start = time.Now()
+	for i := range t.bufs {
+		t.bufs[i] = t.bufs[i][:0]
+	}
+}
+
+// now returns nanoseconds since the tracer origin (monotonic).
+func (t *Tracer) now() trace.Time { return trace.Time(time.Since(t.start)) }
+
+// Emit records an event on worker w at the current time.
+func (t *Tracer) Emit(w, stmt int, kind trace.Kind, iter, syncVar int) {
+	t.bufs[w] = append(t.bufs[w], trace.Event{
+		Time: t.now(), Stmt: stmt, Proc: w, Kind: kind, Iter: iter, Var: syncVar,
+	})
+}
+
+// Trace merges the per-worker buffers into one canonical trace.
+func (t *Tracer) Trace() *trace.Trace {
+	out := trace.New(len(t.bufs))
+	for _, b := range t.bufs {
+		out.Events = append(out.Events, b...)
+	}
+	out.Sort()
+	return out
+}
+
+// Calibrate estimates the per-event probe cost of this tracer on the
+// current machine by timing a burst of emits into a scratch buffer, and
+// returns it as a uniform Overheads. This is the in-vitro overhead
+// measurement the paper's analysis takes as input; expect a few tens of
+// nanoseconds on modern hardware rather than the FX/80's microseconds.
+func Calibrate(rounds int) instr.Overheads {
+	if rounds < 1 {
+		rounds = 1
+	}
+	const burst = 4096
+	best := trace.Time(1 << 62)
+	for r := 0; r < rounds; r++ {
+		tr := NewTracer(1, burst)
+		t0 := time.Now()
+		for i := 0; i < burst; i++ {
+			tr.Emit(0, i, trace.KindCompute, i, trace.NoVar)
+		}
+		per := trace.Time(time.Since(t0).Nanoseconds() / burst)
+		if per < best {
+			best = per
+		}
+	}
+	if best < 1 {
+		best = 1
+	}
+	return instr.Uniform(best)
+}

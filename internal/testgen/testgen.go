@@ -1,0 +1,144 @@
+// Package testgen generates random but well-formed workloads for property
+// tests: random loop models, instrumentation overheads and machine
+// configurations. All generation is driven by a *rand.Rand so failures are
+// reproducible from the seed.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Loop returns a random valid loop model. Modes, statement counts, costs,
+// jitter and (for DOACROSS) critical-region shape are all randomized.
+func Loop(r *rand.Rand) *program.Loop {
+	modes := []program.Mode{program.Sequential, program.Vector, program.DOALL, program.DOACROSS}
+	mode := modes[r.Intn(len(modes))]
+	iters := 1 + r.Intn(64)
+	b := program.NewBuilder(fmt.Sprintf("random-%v-%d", mode, iters), 0, mode, iters)
+	if mode == program.DOACROSS {
+		b.Distance(1 + r.Intn(3))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		b.Head(fmt.Sprintf("head%d", i), trace.Time(r.Intn(5000)))
+	}
+	stmt := func(i int) {
+		switch r.Intn(3) {
+		case 0:
+			b.Compute(fmt.Sprintf("s%d", i), trace.Time(r.Intn(4000)))
+		case 1:
+			b.ComputeJitter(fmt.Sprintf("s%d", i), trace.Time(r.Intn(3000)), trace.Time(1+r.Intn(2000)))
+		default:
+			b.Vector(fmt.Sprintf("s%d", i), trace.Time(r.Intn(4000)))
+		}
+	}
+	n := 0
+	pre := 1 + r.Intn(6)
+	for i := 0; i < pre; i++ {
+		stmt(n)
+		n++
+	}
+	if mode == program.DOACROSS && r.Intn(4) > 0 {
+		b.CriticalBegin(0)
+		crit := 1 + r.Intn(3)
+		for i := 0; i < crit; i++ {
+			stmt(n)
+			n++
+		}
+		b.CriticalEnd(0)
+		post := r.Intn(3)
+		for i := 0; i < post; i++ {
+			stmt(n)
+			n++
+		}
+	}
+	// Concurrent bodies sometimes end with a lock-based critical section
+	// (disjoint from any advance/await region, so no deadlock is
+	// possible: the lock is always released after bounded compute).
+	if (mode == program.DOALL || mode == program.DOACROSS) && r.Intn(3) == 0 {
+		b.LockStmt(7)
+		inside := 1 + r.Intn(2)
+		for i := 0; i < inside; i++ {
+			stmt(n)
+			n++
+		}
+		b.UnlockStmt(7)
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		b.Tail(fmt.Sprintf("tail%d", i), trace.Time(r.Intn(5000)))
+	}
+	return b.Loop()
+}
+
+// Overheads returns random non-negative probe costs.
+func Overheads(r *rand.Rand) instr.Overheads {
+	return instr.Overheads{
+		Event:   trace.Time(r.Intn(8000)),
+		Advance: trace.Time(r.Intn(8000)),
+		AwaitB:  trace.Time(r.Intn(8000)),
+		AwaitE:  trace.Time(r.Intn(8000)),
+	}
+}
+
+// Config returns a random valid machine configuration with a static or
+// dynamic schedule.
+func Config(r *rand.Rand) machine.Config {
+	cfg := machine.Alliant()
+	cfg.Procs = 1 + r.Intn(12)
+	cfg.VectorSpeedup = 1 + r.Intn(8)
+	cfg.SNoWait = trace.Time(r.Intn(1000))
+	cfg.SWait = cfg.SNoWait + trace.Time(r.Intn(1000))
+	cfg.AdvanceOp = trace.Time(r.Intn(500))
+	cfg.Fork = trace.Time(r.Intn(3000))
+	cfg.Barrier = trace.Time(r.Intn(2000))
+	cfg.Schedule = program.Schedule(r.Intn(program.NumSchedules))
+	return cfg
+}
+
+// StaticConfig is Config restricted to static schedules (conservative
+// analysis is only exact for those).
+func StaticConfig(r *rand.Rand) machine.Config {
+	cfg := Config(r)
+	if cfg.Schedule == program.Dynamic {
+		cfg.Schedule = program.Interleaved
+	}
+	return cfg
+}
+
+// Trace returns a random well-formed trace (monotonic per processor) for
+// codec and metric property tests. It is synthetic: it need not correspond
+// to any simulated execution.
+func Trace(r *rand.Rand) *trace.Trace {
+	procs := 1 + r.Intn(8)
+	t := trace.New(procs)
+	clocks := make([]trace.Time, procs)
+	n := r.Intn(200)
+	for i := 0; i < n; i++ {
+		p := r.Intn(procs)
+		clocks[p] += trace.Time(r.Intn(5000))
+		kind := trace.Kind(r.Intn(8))
+		e := trace.Event{
+			Time: clocks[p],
+			Stmt: r.Intn(40) - 3,
+			Proc: p,
+			Kind: kind,
+			Iter: r.Intn(50) - 1,
+			Var:  trace.NoVar,
+		}
+		switch kind {
+		case trace.KindAdvance, trace.KindAwaitB, trace.KindAwaitE:
+			e.Var = r.Intn(4)
+		case trace.KindBarrierArrive, trace.KindBarrierRelease:
+			e.Var = 0
+			e.Iter = 0
+		}
+		t.Append(e)
+	}
+	t.Sort()
+	return t
+}

@@ -1,0 +1,109 @@
+package textplot
+
+import (
+	"fmt"
+	"io"
+
+	"perturb/internal/trace"
+)
+
+// GanttSVG renders the per-processor busy/waiting timeline as a standalone
+// SVG document — the shareable form of the paper's Figure 4. Busy spans
+// are dark, waiting spans light with a hatched tone; a microsecond axis
+// runs along the bottom.
+func GanttSVG(w io.Writer, title string, lanes []Lane, from, to trace.Time, width int) error {
+	if to <= from {
+		return fmt.Errorf("textplot: empty time range [%d, %d]", from, to)
+	}
+	if width <= 0 {
+		width = 960
+	}
+	const (
+		laneH   = 22
+		laneGap = 6
+		leftPad = 110
+		topPad  = 34
+		axisH   = 30
+	)
+	height := topPad + len(lanes)*(laneH+laneGap) + axisH
+	span := float64(to - from)
+	x := func(t trace.Time) float64 {
+		return float64(leftPad) + float64(t-from)/span*float64(width-leftPad-10)
+	}
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n",
+		width, height); err != nil {
+		return err
+	}
+	if err := p(`<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", width, height); err != nil {
+		return err
+	}
+	if err := p(`<text x="%d" y="20" font-size="14">%s</text>`+"\n", leftPad, escape(title)); err != nil {
+		return err
+	}
+	for i, lane := range lanes {
+		y := topPad + i*(laneH+laneGap)
+		if err := p(`<text x="6" y="%d">%s</text>`+"\n", y+laneH-6, escape(lane.Label)); err != nil {
+			return err
+		}
+		for _, s := range lane.Spans {
+			x0, x1 := x(s.Start), x(s.End)
+			if x1-x0 < 0.5 {
+				x1 = x0 + 0.5
+			}
+			fill := "#2b4f81" // busy
+			if s.Waiting {
+				fill = "#d98c5f" // waiting
+			}
+			if err := p(`<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s"/>`+"\n",
+				x0, y, x1-x0, laneH, fill); err != nil {
+				return err
+			}
+		}
+	}
+	// Axis with five microsecond labels.
+	axisY := topPad + len(lanes)*(laneH+laneGap) + 12
+	if err := p(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`+"\n",
+		leftPad, axisY, width-10, axisY); err != nil {
+		return err
+	}
+	for i := 0; i <= 4; i++ {
+		t := from + trace.Time(float64(to-from)*float64(i)/4)
+		if err := p(`<text x="%.2f" y="%d" text-anchor="middle">%dus</text>`+"\n",
+			x(t), axisY+16, int64(t)/1000); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	if err := p(`<rect x="%d" y="8" width="14" height="12" fill="#2b4f81"/><text x="%d" y="18">busy</text>`+"\n",
+		width-170, width-152); err != nil {
+		return err
+	}
+	if err := p(`<rect x="%d" y="8" width="14" height="12" fill="#d98c5f"/><text x="%d" y="18">waiting</text>`+"\n",
+		width-100, width-82); err != nil {
+		return err
+	}
+	return p("</svg>\n")
+}
+
+// escape performs minimal XML text escaping.
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

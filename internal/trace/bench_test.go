@@ -1,0 +1,85 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"perturb/internal/trace"
+)
+
+func benchTrace(n int) *trace.Trace {
+	r := rand.New(rand.NewSource(1))
+	t := trace.New(8)
+	clocks := make([]trace.Time, 8)
+	for i := 0; i < n; i++ {
+		p := r.Intn(8)
+		clocks[p] += trace.Time(r.Intn(3000))
+		t.Append(trace.Event{Time: clocks[p], Stmt: i % 16, Proc: p, Kind: trace.KindCompute, Iter: i, Var: trace.NoVar})
+	}
+	t.Sort()
+	return t
+}
+
+func BenchmarkSort(b *testing.B) {
+	base := benchTrace(50000)
+	work := base.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.Events, base.Events)
+		work.Sort()
+	}
+	b.ReportMetric(float64(base.Len()), "events")
+}
+
+func BenchmarkValidate(b *testing.B) {
+	t := benchTrace(50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	t := benchTrace(50000)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := t.WriteBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	t := benchTrace(50000)
+	var buf bytes.Buffer
+	if err := t.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	t := benchTrace(20000)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := t.WriteText(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}

@@ -1,0 +1,166 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := trace.New(3)
+	tr.Append(trace.Event{Time: 0, Proc: 0, Stmt: -1, Kind: trace.KindLoopBegin, Iter: trace.NoIter, Var: trace.NoVar})
+	tr.Append(trace.Event{Time: 10, Proc: 1, Stmt: 4, Kind: trace.KindCompute, Iter: 1, Var: trace.NoVar})
+	tr.Append(trace.Event{Time: 15, Proc: 1, Stmt: 5, Kind: trace.KindAwaitB, Iter: 0, Var: 2})
+	tr.Append(trace.Event{Time: 22, Proc: 1, Stmt: 5, Kind: trace.KindAwaitE, Iter: 0, Var: 2})
+	tr.Append(trace.Event{Time: 30, Proc: 2, Stmt: 6, Kind: trace.KindAdvance, Iter: 2, Var: 2})
+	tr.Append(trace.Event{Time: 31, Proc: 0, Stmt: -2, Kind: trace.KindBarrierArrive, Iter: 0, Var: 0})
+	return tr
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualTraces(t, tr, got)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualTraces(t, tr, got)
+}
+
+func assertEqualTraces(t *testing.T, want, got *trace.Trace) {
+	t.Helper()
+	if got.Procs != want.Procs {
+		t.Fatalf("procs = %d, want %d", got.Procs, want.Procs)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %v, want %v", i, got.Events[i], want.Events[i])
+		}
+	}
+}
+
+// TestCodecRoundTripProperty checks both codecs over random traces,
+// including negative times, negative statement ids, and every kind.
+func TestCodecRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		tr := testgen.Trace(r)
+		var tb, bb bytes.Buffer
+		if err := tr.WriteText(&tb); err != nil {
+			return false
+		}
+		if err := tr.WriteBinary(&bb); err != nil {
+			return false
+		}
+		fromText, err := trace.ReadText(&tb)
+		if err != nil {
+			return false
+		}
+		fromBin, err := trace.ReadBinary(&bb)
+		if err != nil {
+			return false
+		}
+		if fromText.Procs != tr.Procs || fromBin.Procs != tr.Procs ||
+			fromText.Len() != tr.Len() || fromBin.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Events {
+			if fromText.Events[i] != tr.Events[i] || fromBin.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "not a trace\n"},
+		{"header without procs", "# perturb-trace v1 bogus\n"},
+		{"malformed event", "# perturb-trace v1 procs=2\ngarbage line\n"},
+		{"unknown kind", "# perturb-trace v1 procs=2\n10 p0 s1 explode i0 v0\n"},
+		{"short event", "# perturb-trace v1 procs=2\n10 p0\n"},
+	}
+	for _, c := range cases {
+		if _, err := trace.ReadText(strings.NewReader(c.input)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	input := "# perturb-trace v1 procs=1\n\n# a comment\n5 p0 s1 compute i-1 v-1\n"
+	tr, err := trace.ReadText(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 || tr.Events[0].Time != 5 {
+		t.Fatalf("parsed = %v", tr.Events)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Truncations at every boundary must error, not panic.
+	for _, n := range []int{0, 4, 8, 12, 20, len(full) - 10, len(full) - 1} {
+		if n < 0 || n >= len(full) {
+			continue
+		}
+		if _, err := trace.ReadBinary(bytes.NewReader(full[:n])); err == nil {
+			t.Errorf("truncation at %d bytes: expected error", n)
+		}
+	}
+
+	// Corrupted magic.
+	bad := append([]byte{}, full...)
+	bad[0] = 'X'
+	if _, err := trace.ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic: expected error")
+	}
+
+	// Implausible count.
+	bad = append([]byte{}, full...)
+	for i := 12; i < 20; i++ {
+		bad[i] = 0xFF
+	}
+	if _, err := trace.ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("implausible count: expected error")
+	}
+}

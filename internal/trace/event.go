@@ -1,0 +1,134 @@
+// Package trace defines the event-trace model used throughout the
+// perturbation-analysis library.
+//
+// A trace is a time-ordered sequence of events. Following the paper's
+// formulation, a logical event trace r = e1, ..., em represents a program's
+// actual performance; an instrumented run produces a measured event trace rm
+// whose timestamps (and possibly event order) are perturbed by the
+// instrumentation. Perturbation analysis (package core) consumes a measured
+// trace and reconstructs an approximated trace.
+//
+// Every event carries the processor (thread of execution) it occurred on,
+// the statement it represents, its kind (ordinary computation or one of the
+// synchronization markers), and — for synchronization events — the iteration
+// number that uniquely pairs advance and await operations (paper §4.2.2).
+package trace
+
+import "fmt"
+
+// Time is a point in (simulated or real) time, in nanoseconds.
+type Time int64
+
+// Dur is a duration in nanoseconds. It is a separate type from Time so that
+// cost-model arithmetic is explicit about what is a point and what is a span.
+type Dur = Time
+
+// Microsecond is a convenience unit: simulator cost models in this
+// repository are calibrated so that one statement costs on the order of a
+// microsecond, matching the FX/80-era magnitudes in the paper's figures.
+const Microsecond Time = 1000
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds. KindAwaitB/KindAwaitE bracket an await operation: awaitB is
+// recorded when the await begins and awaitE after the paired advance has
+// occurred (paper §4.2.2). KindBarrierArrive/KindBarrierRelease bracket the
+// implicit barrier at the end of a DOACROSS/DOALL loop (paper footnote 7).
+// KindLockReq/KindLockAcq/KindLockRel describe semaphore-style critical
+// sections (the general mutual-exclusion case of the paper's reference
+// [18]): lock-req is recorded when the acquire operation begins, lock-acq
+// once the lock is held, lock-rel when it is released. Unlike
+// advance/await, the acquisition order is a run-time outcome, which is
+// exactly what makes lock-based measurements interesting for perturbation
+// analysis.
+const (
+	KindCompute Kind = iota
+	KindLoopBegin
+	KindLoopEnd
+	KindAdvance
+	KindAwaitB
+	KindAwaitE
+	KindBarrierArrive
+	KindBarrierRelease
+	KindLockReq
+	KindLockAcq
+	KindLockRel
+	numKinds
+)
+
+var kindNames = [...]string{
+	KindCompute:        "compute",
+	KindLoopBegin:      "loopbegin",
+	KindLoopEnd:        "loopend",
+	KindAdvance:        "advance",
+	KindAwaitB:         "awaitB",
+	KindAwaitE:         "awaitE",
+	KindBarrierArrive:  "barrier-arrive",
+	KindBarrierRelease: "barrier-release",
+	KindLockReq:        "lock-req",
+	KindLockAcq:        "lock-acq",
+	KindLockRel:        "lock-rel",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined event kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsSync reports whether the kind is a synchronization event that
+// event-based perturbation analysis treats specially.
+func (k Kind) IsSync() bool {
+	switch k {
+	case KindAdvance, KindAwaitB, KindAwaitE, KindBarrierArrive, KindBarrierRelease,
+		KindLockReq, KindLockAcq, KindLockRel:
+		return true
+	}
+	return false
+}
+
+// NoIter is the Iter value for events that are not associated with a
+// particular loop iteration (for example sequential head/tail statements).
+const NoIter = -1
+
+// NoVar is the Var value for events not associated with a synchronization
+// variable.
+const NoVar = -1
+
+// Event is a single entry of an event trace.
+//
+// Time is the event timestamp: the completion time of the statement the
+// event represents, including any instrumentation overhead the statement's
+// probe added (the paper's tm for measured traces, t or ta for actual and
+// approximated traces).
+type Event struct {
+	Time Time // timestamp (statement completion)
+	Stmt int  // statement identifier (the paper's eid)
+	Proc int  // processor / thread of execution
+	Kind Kind
+	Iter int // iteration number; pairs advance/await events; NoIter if n/a
+	Var  int // synchronization variable id for sync events; NoVar if n/a
+}
+
+// String renders the event in the text-codec line format.
+func (e Event) String() string {
+	return fmt.Sprintf("%d p%d s%d %s i%d v%d", int64(e.Time), e.Proc, e.Stmt, e.Kind, e.Iter, e.Var)
+}
+
+// PairKey identifies the advance/await pair an event belongs to: the
+// synchronization variable plus the iteration number recorded with the
+// event (paper footnote 6: "we store the iteration number with every
+// event"). Events with the same PairKey synchronize with each other.
+type PairKey struct {
+	Var  int
+	Iter int
+}
+
+// Pair returns the pairing key of a synchronization event. It is only
+// meaningful for advance/awaitB/awaitE events.
+func (e Event) Pair() PairKey { return PairKey{Var: e.Var, Iter: e.Iter} }

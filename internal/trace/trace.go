@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Trace is a sequence of events together with the number of processors that
+// participated in the execution. The canonical representation is sorted by
+// (Time, Proc, Stmt); producers that emit events per processor should call
+// Sort (or Normalize) before handing the trace to analysis.
+type Trace struct {
+	Procs  int
+	Events []Event
+}
+
+// New returns an empty trace for the given processor count.
+func New(procs int) *Trace {
+	return &Trace{Procs: procs}
+}
+
+// Append adds an event to the trace.
+func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{Procs: t.Procs, Events: make([]Event, len(t.Events))}
+	copy(c.Events, t.Events)
+	return c
+}
+
+// Sort orders the events by time, breaking ties by processor and then by
+// statement id so that traces have a canonical total order (the paper's
+// "total ordering of measured events consistent with the happened-before
+// relation"). The sort is stable.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		return a.Stmt < b.Stmt
+	})
+}
+
+// Normalize sorts the trace and recomputes Procs as one past the largest
+// processor id seen, if events name a processor outside [0, Procs).
+func (t *Trace) Normalize() {
+	t.Sort()
+	for _, e := range t.Events {
+		if e.Proc >= t.Procs {
+			t.Procs = e.Proc + 1
+		}
+	}
+}
+
+// Start returns the earliest event time, or zero for an empty trace.
+func (t *Trace) Start() Time {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	min := t.Events[0].Time
+	for _, e := range t.Events[1:] {
+		if e.Time < min {
+			min = e.Time
+		}
+	}
+	return min
+}
+
+// End returns the latest event time, or zero for an empty trace.
+func (t *Trace) End() Time {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	max := t.Events[0].Time
+	for _, e := range t.Events[1:] {
+		if e.Time > max {
+			max = e.Time
+		}
+	}
+	return max
+}
+
+// Duration returns End() - Start(): the execution time spanned by the trace.
+func (t *Trace) Duration() Time { return t.End() - t.Start() }
+
+// ByProc splits the trace into per-processor event sequences, each in trace
+// order. The result has Procs entries; processors with no events get an
+// empty (nil) slice. Events are shared with the receiver, not copied.
+func (t *Trace) ByProc() [][]Event {
+	per := make([][]Event, t.Procs)
+	for _, e := range t.Events {
+		if e.Proc >= 0 && e.Proc < t.Procs {
+			per[e.Proc] = append(per[e.Proc], e)
+		}
+	}
+	return per
+}
+
+// Filter returns a new trace containing only events for which keep returns
+// true, preserving order.
+func (t *Trace) Filter(keep func(Event) bool) *Trace {
+	out := New(t.Procs)
+	for _, e := range t.Events {
+		if keep(e) {
+			out.Append(e)
+		}
+	}
+	return out
+}
+
+// CountKind returns the number of events of the given kind.
+func (t *Trace) CountKind(k Kind) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Merge combines several traces into one sorted trace. The processor count
+// of the result is the maximum of the inputs'.
+func Merge(traces ...*Trace) *Trace {
+	out := New(0)
+	for _, t := range traces {
+		if t == nil {
+			continue
+		}
+		if t.Procs > out.Procs {
+			out.Procs = t.Procs
+		}
+		out.Events = append(out.Events, t.Events...)
+	}
+	out.Sort()
+	return out
+}
+
+// Validation errors returned by Validate.
+var (
+	ErrNonMonotonic = errors.New("trace: per-processor event times are not non-decreasing")
+	ErrBadProc      = errors.New("trace: event names a processor outside [0, Procs)")
+	ErrBadKind      = errors.New("trace: event has an undefined kind")
+	ErrSyncNoVar    = errors.New("trace: advance/await event lacks a synchronization variable")
+)
+
+// Validate checks structural trace invariants:
+//
+//   - every event's processor is within [0, Procs);
+//   - every event kind is defined;
+//   - per-processor timestamps are non-decreasing in trace order;
+//   - synchronization events carry the pairing information the event-based
+//     analysis needs (an iteration id, and for advance/await a variable id).
+//
+// It returns nil if the trace is well formed, or an error describing the
+// first violation found (wrapping one of the Err* sentinel values).
+func (t *Trace) Validate() error {
+	last := make([]Time, t.Procs)
+	seen := make([]bool, t.Procs)
+	for i, e := range t.Events {
+		if e.Proc < 0 || e.Proc >= t.Procs {
+			return fmt.Errorf("event %d (%v): %w", i, e, ErrBadProc)
+		}
+		if !e.Kind.Valid() {
+			return fmt.Errorf("event %d (%v): %w", i, e, ErrBadKind)
+		}
+		// Await events record the paper's await(A, i) argument as Iter:
+		// the iteration being waited for, which may be negative for the
+		// first iterations of a distance-d DOACROSS loop (the advance
+		// history is pre-advanced for iterations before the first).
+		switch e.Kind {
+		case KindAdvance, KindAwaitB, KindAwaitE, KindLockReq, KindLockAcq, KindLockRel:
+			if e.Var == NoVar {
+				return fmt.Errorf("event %d (%v): %w", i, e, ErrSyncNoVar)
+			}
+		}
+		if seen[e.Proc] && e.Time < last[e.Proc] {
+			return fmt.Errorf("event %d (%v) precedes time %d on proc %d: %w",
+				i, e, int64(last[e.Proc]), e.Proc, ErrNonMonotonic)
+		}
+		last[e.Proc] = e.Time
+		seen[e.Proc] = true
+	}
+	return nil
+}
+
+// PairIndex maps every advance event's pairing key to its index in the
+// trace, for use by analyses that must locate the advance matching an await.
+// Duplicate advances for the same key keep the first occurrence.
+func (t *Trace) PairIndex() map[PairKey]int {
+	idx := make(map[PairKey]int)
+	for i, e := range t.Events {
+		if e.Kind == KindAdvance {
+			k := e.Pair()
+			if _, dup := idx[k]; !dup {
+				idx[k] = i
+			}
+		}
+	}
+	return idx
+}

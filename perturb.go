@@ -1,0 +1,329 @@
+// Package perturb recovers actual execution performance from perturbed
+// performance measurements, implementing the event-based perturbation
+// analysis of Malony, "Event-Based Performance Perturbation: A Case Study"
+// (PPoPP 1991).
+//
+// # Overview
+//
+// Software trace instrumentation perturbs the program it measures: probes
+// add execution time, and in dependent concurrent execution they also shift
+// the relative timing of synchronization operations, hiding waiting that
+// the uninstrumented program would exhibit or introducing waiting it would
+// not. This package provides:
+//
+//   - a statement-level program model with sequential, vector, DOALL and
+//     DOACROSS loops (NewLoop, LivermoreLoop);
+//   - a deterministic simulator of an 8-processor shared-memory machine in
+//     the style of the Alliant FX/80, with advance/await synchronization
+//     (Simulate) — running without instrumentation yields the actual
+//     execution, running with a Plan yields the measured one;
+//   - time-based perturbation analysis (AnalyzeTimeBased), which removes
+//     per-event probe overhead thread by thread;
+//   - event-based perturbation analysis (AnalyzeEventBased), which
+//     additionally models advance/await pairs and barriers and
+//     reconstructs synchronization waiting;
+//   - a liberal, reschedule-aware variant (AnalyzeLiberal), which can also
+//     predict behaviour under scheduling disciplines other than the
+//     measured one;
+//   - lock-based (semaphore-style) critical sections alongside
+//     advance/await, in both the simulator and the analyses;
+//   - multi-phase programs: sequences of loops with per-phase fork/join
+//     fences (NewProgram, SimulateProgram);
+//   - trace metrics: per-processor waiting, waiting timelines, parallelism
+//     profiles, per-statement profiles, per-event accuracy, critical paths
+//     (Waiting, Timeline, Parallelism, StatementProfile, CompareTiming,
+//     AnalyzeCriticalPath);
+//   - a goroutine runtime with advance/await synchronization for taking
+//     real traces of real Go code (package internal/rt, re-exported via
+//     the examples);
+//   - the paper's full evaluation: Figure 1, Tables 1-3, Figures 4-5
+//     (RunPaperExperiments).
+//
+// # Quickstart
+//
+//	loop := perturb.NewLoop("my doacross", perturb.DOACROSS, 512).
+//		Compute("independent work", 4*perturb.Microsecond).
+//		CriticalBegin(0).
+//		Compute("shared update", perturb.Microsecond).
+//		CriticalEnd(0).
+//		Loop()
+//	cfg := perturb.Alliant()
+//	actual, _ := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
+//	ovh := perturb.UniformOverheads(5 * perturb.Microsecond)
+//	measured, _ := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+//	cal := perturb.ExactCalibration(ovh, cfg)
+//	approx, _ := perturb.AnalyzeEventBased(measured.Trace, cal)
+//	// approx.Duration ~ actual.Duration even though measured.Duration is
+//	// several times larger.
+package perturb
+
+import (
+	"io"
+
+	"perturb/internal/core"
+	"perturb/internal/experiments"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/metrics"
+	"perturb/internal/order"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// Core trace types.
+type (
+	// Time is a point in simulated or real time, in nanoseconds.
+	Time = trace.Time
+	// Event is a single trace entry.
+	Event = trace.Event
+	// Trace is an event sequence with a processor count.
+	Trace = trace.Trace
+	// Kind classifies trace events.
+	Kind = trace.Kind
+)
+
+// Event kinds.
+const (
+	KindCompute        = trace.KindCompute
+	KindLoopBegin      = trace.KindLoopBegin
+	KindLoopEnd        = trace.KindLoopEnd
+	KindAdvance        = trace.KindAdvance
+	KindAwaitB         = trace.KindAwaitB
+	KindAwaitE         = trace.KindAwaitE
+	KindBarrierArrive  = trace.KindBarrierArrive
+	KindBarrierRelease = trace.KindBarrierRelease
+	KindLockReq        = trace.KindLockReq
+	KindLockAcq        = trace.KindLockAcq
+	KindLockRel        = trace.KindLockRel
+)
+
+// Microsecond is the convenience time unit of the cost models.
+const Microsecond = trace.Microsecond
+
+// NewTrace returns an empty trace for the given processor count.
+func NewTrace(procs int) *Trace { return trace.New(procs) }
+
+// ReadTraceText and ReadTraceBinary parse traces written with
+// Trace.WriteText / Trace.WriteBinary.
+var (
+	ReadTraceText   = trace.ReadText
+	ReadTraceBinary = trace.ReadBinary
+)
+
+// Program model types.
+type (
+	// Loop is a statement-level loop model.
+	Loop = program.Loop
+	// Stmt is one statement of a loop.
+	Stmt = program.Stmt
+	// Builder constructs loops fluently.
+	Builder = program.Builder
+	// Mode is the loop execution mode.
+	Mode = program.Mode
+	// Schedule is the iteration-to-processor discipline.
+	Schedule = program.Schedule
+)
+
+// Loop modes and schedules.
+const (
+	Sequential = program.Sequential
+	Vector     = program.Vector
+	DOALL      = program.DOALL
+	DOACROSS   = program.DOACROSS
+
+	Interleaved = program.Interleaved
+	Blocked     = program.Blocked
+	Dynamic     = program.Dynamic
+)
+
+// NewLoop starts building a loop model. Livermore kernel models are
+// available via LivermoreLoop.
+func NewLoop(name string, mode Mode, iters int) *Builder {
+	return program.NewBuilder(name, 0, mode, iters)
+}
+
+// Program is a sequence of loop phases executed back to back.
+type Program = program.Program
+
+// NewProgram assembles a multi-phase program; simulate it with
+// SimulateProgram.
+func NewProgram(name string, phases ...*Loop) *Program {
+	return program.NewProgram(name, phases...)
+}
+
+// LivermoreLoop returns the model of Livermore kernel n (1..24). Loops 3,
+// 4 and 17 are the DOACROSS kernels the paper studies.
+func LivermoreLoop(n int) (*Loop, error) {
+	d, err := loops.Get(n)
+	if err != nil {
+		return nil, err
+	}
+	return d.Loop, nil
+}
+
+// Machine simulation.
+type (
+	// MachineConfig describes the simulated multiprocessor.
+	MachineConfig = machine.Config
+	// RunResult is a simulated execution: trace plus ground truth.
+	RunResult = machine.Result
+)
+
+// Alliant returns the FX/80-flavoured default machine configuration.
+func Alliant() MachineConfig { return machine.Alliant() }
+
+// Simulate executes the loop under the instrumentation plan.
+func Simulate(l *Loop, p Plan, cfg MachineConfig) (*RunResult, error) {
+	return machine.Run(l, p, cfg)
+}
+
+// SimulateProgram executes a multi-phase program under the plan.
+func SimulateProgram(prog *Program, p Plan, cfg MachineConfig) (*RunResult, error) {
+	return machine.RunProgram(prog, p, cfg)
+}
+
+// Instrumentation.
+type (
+	// Plan selects which events are probed and at what cost.
+	Plan = instr.Plan
+	// Overheads are per-event probe costs.
+	Overheads = instr.Overheads
+	// Calibration is the analyst's estimate of probe and
+	// synchronization costs, the input to the analyses.
+	Calibration = instr.Calibration
+)
+
+// UniformOverheads charges the same probe cost for every event kind.
+func UniformOverheads(c Time) Overheads { return instr.Uniform(c) }
+
+// PaperOverheads returns the probe costs of the paper-scale experiments.
+func PaperOverheads() Overheads { return loops.PaperOverheads() }
+
+// FullInstrumentation probes every statement; withSync adds advance/await
+// probes (the paper's Table 1 vs Table 2 configurations).
+func FullInstrumentation(o Overheads, withSync bool) Plan { return instr.FullPlan(o, withSync) }
+
+// NoInstrumentation emits the actual (unperturbed) trace via a zero-cost
+// omniscient observer.
+func NoInstrumentation() Plan { return instr.NonePlan() }
+
+// ExactCalibration returns the calibration that reports the machine's true
+// costs; see PerturbedCalibration for modeling calibration error.
+func ExactCalibration(o Overheads, cfg MachineConfig) Calibration {
+	return instr.Exact(o, cfg.SNoWait, cfg.SWait, cfg.AdvanceOp, cfg.Barrier)
+}
+
+// PerturbedCalibration skews cal by a deterministic relative error (at most
+// maxRelErrPerMille/1000 per constant), emulating real in-vitro overhead
+// measurement noise.
+func PerturbedCalibration(cal Calibration, seed uint64, maxRelErrPerMille int) Calibration {
+	return instr.Perturbed(cal, seed, maxRelErrPerMille)
+}
+
+// Analyses.
+type (
+	// Approximation is a perturbation-analysis result: the measured
+	// trace re-timed to approximate the actual execution.
+	Approximation = core.Approximation
+	// LiberalOptions parameterizes AnalyzeLiberal.
+	LiberalOptions = core.LiberalOptions
+)
+
+// AnalyzeTimeBased applies time-based perturbation analysis (paper §3).
+func AnalyzeTimeBased(m *Trace, cal Calibration) (*Approximation, error) {
+	return core.TimeBased(m, cal)
+}
+
+// AnalyzeEventBased applies event-based perturbation analysis (paper §4).
+func AnalyzeEventBased(m *Trace, cal Calibration) (*Approximation, error) {
+	return core.EventBased(m, cal)
+}
+
+// AnalyzeTimeBasedTotal estimates only the total execution time with the
+// crudest time-based model (per-processor overhead subtraction); a cheap
+// baseline, not an approximated trace.
+func AnalyzeTimeBasedTotal(m *Trace, cal Calibration) (Time, error) {
+	return core.TimeBasedTotal(m, cal)
+}
+
+// AnalyzeLiberal applies the reschedule-aware liberal analysis (paper
+// §4.2.3, work reassignment).
+func AnalyzeLiberal(m *Trace, cal Calibration, opts LiberalOptions) (*Approximation, error) {
+	return core.LiberalEventBased(m, cal, opts)
+}
+
+// Metrics.
+type (
+	// ProcWaiting is one processor's waiting summary.
+	ProcWaiting = metrics.ProcWaiting
+	// WaitInterval is a classified busy/waiting span.
+	WaitInterval = metrics.Interval
+	// ParallelismProfile is a busy-processor step function.
+	ParallelismProfile = metrics.Profile
+)
+
+// Waiting computes per-processor waiting statistics (paper Table 3).
+func Waiting(t *Trace, cal Calibration) ([]ProcWaiting, error) { return metrics.Waiting(t, cal) }
+
+// WaitingPercent converts waiting summaries to percentages of total time.
+func WaitingPercent(ws []ProcWaiting, total Time) []float64 {
+	return metrics.WaitingPercent(ws, total)
+}
+
+// Timeline decomposes a trace into per-processor busy/waiting intervals
+// (paper Figure 4).
+func Timeline(t *Trace, cal Calibration) ([][]WaitInterval, error) {
+	return metrics.Timeline(t, cal)
+}
+
+// Parallelism computes the busy-processor profile (paper Figure 5).
+func Parallelism(t *Trace, cal Calibration) (*ParallelismProfile, error) {
+	return metrics.Parallelism(t, cal)
+}
+
+// TimingError quantifies per-event approximation accuracy.
+type TimingError = metrics.TimingError
+
+// CompareTiming computes per-event timing errors of approx against actual,
+// matching events by identity.
+func CompareTiming(actual, approx *Trace) (*TimingError, error) {
+	return metrics.CompareTiming(actual, approx)
+}
+
+// StmtProfile is one statement's execution-time profile entry.
+type StmtProfile = metrics.StmtProfile
+
+// StatementProfile aggregates per-statement costs over a trace, sorted by
+// descending total time.
+func StatementProfile(t *Trace) ([]StmtProfile, error) {
+	return metrics.StatementProfile(t)
+}
+
+// CriticalPath extracts the chain of dependences that determined the
+// execution's duration; see order.CriticalPath.
+type CriticalPath = order.Path
+
+// CriticalPathStep is one hop of a critical path.
+type CriticalPathStep = order.PathStep
+
+// AnalyzeCriticalPath computes a trace's critical path.
+func AnalyzeCriticalPath(t *Trace) (*CriticalPath, error) {
+	return order.CriticalPath(t)
+}
+
+// CheckFeasible verifies that candidate preserves the happened-before
+// relation of base (the paper's conservative-approximation guarantee).
+func CheckFeasible(base, candidate *Trace) error {
+	rel, err := order.Build(base)
+	if err != nil {
+		return err
+	}
+	return rel.Check(candidate)
+}
+
+// RunPaperExperiments regenerates the paper's complete evaluation (Figure
+// 1, Tables 1-3, Figures 4-5) and renders it to w.
+func RunPaperExperiments(w io.Writer) error {
+	return experiments.RunAll(w, experiments.PaperEnv())
+}
