@@ -1,0 +1,121 @@
+package perturb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"perturb"
+)
+
+// Million-event benchmarks for the sharded event-based engine against the
+// sequential worklist fixpoint.
+//
+// The workload is a backward-wave DOACROSS: iteration i runs on processor
+// P-1-(i mod P), so the cross-iteration dependency chain snakes against
+// the fixpoint's processor scan order. The sequential analysis then
+// resolves only one iteration per full pass — its worst case, with
+// O(iterations x processors) blocked re-checks — while the sharded engine
+// performs exactly one wakeup per dependency edge and merges the finished
+// per-processor runs instead of re-sorting the whole trace.
+
+const (
+	benchProcs = 8
+	benchIters = 250_000 // ~1M events at 4 events per iteration
+)
+
+var (
+	bigOnce  sync.Once
+	bigTrace *perturb.Trace
+	bigCal   perturb.Calibration
+)
+
+// backwardWaveTrace builds the measured trace of the workload above.
+func backwardWaveTrace(procs, iters int) *perturb.Trace {
+	tr := perturb.NewTrace(procs)
+	t := perturb.Time(0)
+	next := func() perturb.Time { t += 10; return t }
+	tr.Append(perturb.Event{Time: next(), Proc: 0, Stmt: -1, Kind: perturb.KindLoopBegin, Iter: -1, Var: -1})
+	for i := 0; i < iters; i++ {
+		p := procs - 1 - i%procs
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 1, Kind: perturb.KindAwaitB, Iter: i - 1, Var: 0})
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 1, Kind: perturb.KindAwaitE, Iter: i - 1, Var: 0})
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 2, Kind: perturb.KindCompute, Iter: i, Var: -1})
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 3, Kind: perturb.KindAdvance, Iter: i, Var: 0})
+	}
+	for p := 0; p < procs; p++ {
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: -2, Kind: perturb.KindBarrierArrive, Iter: 0, Var: 0})
+	}
+	for p := 0; p < procs; p++ {
+		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: -3, Kind: perturb.KindBarrierRelease, Iter: 0, Var: 0})
+	}
+	return tr
+}
+
+func bigBench(b *testing.B) (*perturb.Trace, perturb.Calibration) {
+	b.Helper()
+	bigOnce.Do(func() {
+		bigTrace = backwardWaveTrace(benchProcs, benchIters)
+		if err := bigTrace.Validate(); err != nil {
+			panic(err)
+		}
+		bigCal = perturb.Calibration{
+			Overheads: perturb.UniformOverheads(2),
+			SNoWait:   5,
+			SWait:     8,
+			AdvanceOp: 3,
+			Barrier:   4,
+		}
+	})
+	return bigTrace, bigCal
+}
+
+func BenchmarkEventBasedMillionSequential(b *testing.B) {
+	tr, cal := bigBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perturb.AnalyzeEventBased(tr, cal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Len())/1e6, "Mevents")
+}
+
+func BenchmarkEventBasedMillionParallel(b *testing.B) {
+	tr, cal := bigBench(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := perturb.AnalyzeEventBasedParallel(tr, cal, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())/1e6, "Mevents")
+		})
+	}
+}
+
+// BenchmarkEventBasedMillionEquivalence is a benchmark-shaped sanity
+// check: the two engines agree on the million-event workload (cheap per
+// iteration; the real verification lives in the property tests).
+func BenchmarkEventBasedMillionEquivalence(b *testing.B) {
+	tr, cal := bigBench(b)
+	for i := 0; i < b.N; i++ {
+		seq, err := perturb.AnalyzeEventBased(tr, cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := perturb.AnalyzeEventBasedParallel(tr, cal, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seq.Duration != par.Duration {
+			b.Fatalf("duration mismatch: %d vs %d", seq.Duration, par.Duration)
+		}
+		for j := range seq.Times {
+			if seq.Times[j] != par.Times[j] {
+				b.Fatalf("event %d mismatch", j)
+			}
+		}
+	}
+}

@@ -10,12 +10,14 @@
 //
 //	-loop N        Livermore kernel number (default 17)
 //	-analysis S    time | event | liberal (default event)
+//	-workers N     run event analysis on N shard workers (0 = sequential)
 //	-sync          instrument advance/await operations (default true)
 //	-probe D       per-event probe cost, e.g. 5us (default paper costs)
 //	-procs N       processors (default 8)
 //	-schedule S    interleaved | blocked | dynamic (default interleaved)
 //	-save FILE     write the measured trace (text format) to FILE
 //	-load FILE     skip simulation, analyze the trace in FILE
+//	               (text or binary, auto-detected, decoded as a stream)
 //	-waiting       print per-processor waiting statistics
 //	-timeline      print the busy/waiting timeline
 //	-critpath      print the critical path summary
@@ -42,6 +44,7 @@ import (
 type options struct {
 	loop     int
 	analysis string
+	workers  int
 	withSync bool
 	probe    time.Duration
 	procs    int
@@ -63,6 +66,7 @@ func main() {
 	var o options
 	flag.IntVar(&o.loop, "loop", 17, "Livermore kernel number (1-24)")
 	flag.StringVar(&o.analysis, "analysis", "event", "analysis: time, event or liberal")
+	flag.IntVar(&o.workers, "workers", 0, "shard workers for the event analysis (0 = sequential, -1 = GOMAXPROCS)")
 	flag.BoolVar(&o.withSync, "sync", true, "instrument advance/await operations")
 	flag.DurationVar(&o.probe, "probe", 0, "uniform per-event probe cost (0 = paper costs)")
 	flag.IntVar(&o.procs, "procs", 8, "number of processors")
@@ -116,10 +120,13 @@ func study(w io.Writer, o options) error {
 		if err != nil {
 			return err
 		}
-		measured, err = perturb.ReadTraceText(f)
+		r, rerr := perturb.NewTraceReader(f)
+		if rerr == nil {
+			measured, rerr = perturb.ReadTrace(r)
+		}
 		f.Close()
-		if err != nil {
-			return err
+		if rerr != nil {
+			return rerr
 		}
 	} else {
 		actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
@@ -154,7 +161,11 @@ func study(w io.Writer, o options) error {
 	case "time":
 		approx, err = perturb.AnalyzeTimeBased(measured, cal)
 	case "event":
-		approx, err = perturb.AnalyzeEventBased(measured, cal)
+		if o.workers != 0 {
+			approx, err = perturb.AnalyzeEventBasedParallel(measured, cal, o.workers)
+		} else {
+			approx, err = perturb.AnalyzeEventBased(measured, cal)
+		}
 	case "liberal":
 		approx, err = perturb.AnalyzeLiberal(measured, cal, perturb.LiberalOptions{
 			Procs: cfg.Procs, Distance: loop.Distance, Schedule: cfg.Schedule,

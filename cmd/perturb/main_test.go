@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"perturb"
 )
 
 func defaults() options {
@@ -58,6 +60,74 @@ func TestStudyAnalyses(t *testing.T) {
 		if err := study(&buf, o); err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
+	}
+}
+
+// TestStudyWorkersMatchesSequential: the -workers path must print the
+// exact summary of the sequential event analysis.
+func TestStudyWorkersMatchesSequential(t *testing.T) {
+	var seq bytes.Buffer
+	if err := study(&seq, defaults()); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 1, 4} {
+		o := defaults()
+		o.workers = workers
+		var par bytes.Buffer
+		if err := study(&par, o); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.String() != seq.String() {
+			t.Errorf("workers=%d output differs:\n%s\nvs sequential:\n%s",
+				workers, par.String(), seq.String())
+		}
+	}
+}
+
+// TestStudyLoadBinary: -load auto-detects the binary codec.
+func TestStudyLoadBinary(t *testing.T) {
+	dir := t.TempDir()
+	txt := filepath.Join(dir, "trace.txt")
+	o := defaults()
+	o.saveFile = txt
+	o.quiet = true
+	if err := study(&bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := perturb.ReadTraceText(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "trace.bin")
+	bf, err := os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(bf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var fromTxt, fromBin bytes.Buffer
+	o2 := defaults()
+	o2.loadFile = txt
+	o2.workers = 2
+	if err := study(&fromTxt, o2); err != nil {
+		t.Fatal(err)
+	}
+	o2.loadFile = bin
+	if err := study(&fromBin, o2); err != nil {
+		t.Fatal(err)
+	}
+	if fromTxt.String() != fromBin.String() {
+		t.Errorf("binary -load output differs from text:\n%s\nvs\n%s", fromBin.String(), fromTxt.String())
 	}
 }
 

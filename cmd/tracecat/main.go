@@ -10,7 +10,6 @@
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -98,15 +97,20 @@ func run(w io.Writer, o options, path string) error {
 	return tr.WriteText(w)
 }
 
+// readAuto decodes the file as a stream (codec auto-detected from the
+// first bytes), never holding the raw encoding in memory alongside the
+// decoded events.
 func readAuto(path string) (*perturb.Trace, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	if bytes.HasPrefix(data, []byte("PTRACE1\x00")) {
-		return perturb.ReadTraceBinary(bytes.NewReader(data))
+	defer f.Close()
+	r, err := perturb.NewTraceReader(f)
+	if err != nil {
+		return nil, err
 	}
-	return perturb.ReadTraceText(bytes.NewReader(data))
+	return perturb.ReadTrace(r)
 }
 
 func printSummary(w io.Writer, tr *perturb.Trace) error {

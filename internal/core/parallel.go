@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// EventBasedParallel applies event-based perturbation analysis (paper
+// §4.2.3) with the sharded dependency-scheduled engine: one shard per
+// processor, advanced concurrently by the given number of workers. The
+// result — approximated times, canonical event order, waiting statistics,
+// and error behaviour — is identical to EventBased; the engines differ
+// only in how resolution work is scheduled.
+//
+// workers <= 0 selects GOMAXPROCS workers; workers == 1 runs the sharded
+// engine on the calling goroutine (no locking), which is also the fastest
+// sequential configuration: unlike EventBased's repeated re-scan passes,
+// the scheduler performs O(events + dependencies) work regardless of how
+// dependency chains snake across processors.
+func EventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int) (*Approximation, error) {
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input trace: %w", err)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	g := newEngine(m, cal)
+
+	shards := 0
+	for _, list := range g.deps.perProc {
+		if len(list) > 0 {
+			shards++
+		}
+	}
+	if workers > shards {
+		workers = shards
+	}
+
+	var ok bool
+	if workers <= 1 {
+		ok = runSerial(g)
+	} else {
+		ok = runParallel(g, workers)
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
+			ErrUnresolvable, g.remaining())
+	}
+	return g.finish(), nil
+}
+
+// parkList tracks which shards are parked on which event. At most one
+// park entry exists per shard, so a publish scans the parked shards (at
+// most the processor count, usually a handful) instead of hashing into a
+// map once per watched event.
+type parkList struct {
+	parkedOn []int // per shard: event index it waits on, -1 if not parked
+	parked   []int // shard ids currently parked, unordered
+}
+
+func newParkList(shards int) *parkList {
+	l := &parkList{parkedOn: make([]int, shards)}
+	for i := range l.parkedOn {
+		l.parkedOn[i] = -1
+	}
+	return l
+}
+
+func (l *parkList) park(shard, idx int) {
+	l.parkedOn[shard] = idx
+	l.parked = append(l.parked, shard)
+}
+
+// wake moves every shard parked on idx into runnable and returns it.
+func (l *parkList) wake(idx int, runnable []int) []int {
+	for k := 0; k < len(l.parked); {
+		p := l.parked[k]
+		if l.parkedOn[p] == idx {
+			l.parkedOn[p] = -1
+			l.parked[k] = l.parked[len(l.parked)-1]
+			l.parked = l.parked[:len(l.parked)-1]
+			runnable = append(runnable, p)
+		} else {
+			k++
+		}
+	}
+	return runnable
+}
+
+// serialSched drives all shards on one goroutine: a FIFO of runnable
+// shards plus the park list. No locking — publish is only called from
+// runShard on this goroutine.
+type serialSched struct {
+	g        *ebEngine
+	runnable []int
+	parks    *parkList
+}
+
+func (s *serialSched) publish(idx int) {
+	if len(s.parks.parked) > 0 {
+		s.runnable = s.parks.wake(idx, s.runnable)
+	}
+}
+
+func runSerial(g *ebEngine) bool {
+	s := &serialSched{g: g, parks: newParkList(g.in.Procs)}
+	for p, list := range g.deps.perProc {
+		if len(list) > 0 {
+			s.runnable = append(s.runnable, p)
+		}
+	}
+	for len(s.runnable) > 0 {
+		p := s.runnable[0]
+		s.runnable = s.runnable[1:]
+		if blockedOn, finished := g.runShard(p, s); !finished {
+			// Within one goroutine a dependency reported as blocking
+			// cannot have resolved in the meantime; park directly.
+			s.parks.park(p, blockedOn)
+		}
+	}
+	return g.remaining() == 0
+}
+
+// parSched coordinates worker goroutines: a shared runnable queue, park
+// lists, and idle-detection. Shards publish resolved times with atomic
+// stores (in runShard); the mutex serializes only park/wake transitions,
+// which occur once per blocked dependency rather than once per event.
+type parSched struct {
+	g  *ebEngine
+	mu sync.Mutex
+	// cond signals workers waiting for runnable shards.
+	cond       sync.Cond
+	runnable   []int
+	parks      *parkList
+	running    int // shards currently held by workers
+	unfinished int // shards with events left to resolve
+	dead       bool
+}
+
+func (s *parSched) publish(idx int) {
+	s.mu.Lock()
+	if len(s.parks.parked) > 0 {
+		was := len(s.runnable)
+		s.runnable = s.parks.wake(idx, s.runnable)
+		if len(s.runnable) > was {
+			s.cond.Broadcast()
+		}
+	}
+	s.mu.Unlock()
+}
+
+func (s *parSched) worker() {
+	s.mu.Lock()
+	for {
+		for len(s.runnable) == 0 && s.unfinished > 0 && !s.dead {
+			s.cond.Wait()
+		}
+		if s.dead || s.unfinished == 0 {
+			s.mu.Unlock()
+			return
+		}
+		p := s.runnable[0]
+		s.runnable = s.runnable[1:]
+		s.running++
+		s.mu.Unlock()
+
+		blockedOn, finished := s.g.runShard(p, s)
+
+		s.mu.Lock()
+		s.running--
+		switch {
+		case finished:
+			s.unfinished--
+			if s.unfinished == 0 {
+				s.cond.Broadcast()
+			}
+		case s.g.isDone(blockedOn):
+			// The dependency resolved between the blocked check and
+			// the park; the shard is still runnable.
+			s.runnable = append(s.runnable, p)
+		default:
+			s.parks.park(p, blockedOn)
+			if s.running == 0 && len(s.runnable) == 0 {
+				// Every remaining shard is parked and no producer is
+				// running: the dependencies can never resolve.
+				s.dead = true
+				s.cond.Broadcast()
+			}
+		}
+	}
+}
+
+func runParallel(g *ebEngine, workers int) bool {
+	s := &parSched{g: g, parks: newParkList(g.in.Procs)}
+	s.cond.L = &s.mu
+	for p, list := range g.deps.perProc {
+		if len(list) > 0 {
+			s.runnable = append(s.runnable, p)
+			s.unfinished++
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			s.worker()
+		}()
+	}
+	wg.Wait()
+	return !s.dead
+}

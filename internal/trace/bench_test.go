@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -69,6 +70,94 @@ func BenchmarkReadBinary(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Streaming-vs-whole decode: the whole-trace path materializes every
+// event; the streaming path reuses one 4096-event batch, so decoding is
+// allocation-flat no matter the trace size.
+
+func benchStreamDecode(b *testing.B, data []byte, open func([]byte) (trace.Reader, error)) {
+	b.Helper()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	batch := make([]trace.Event, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := open(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int
+		for {
+			m, err := r.Read(batch)
+			n += m
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+func BenchmarkDecodeBinaryWhole(b *testing.B) {
+	t := benchTrace(1_000_000)
+	var buf bytes.Buffer
+	if err := t.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinaryStream(b *testing.B) {
+	t := benchTrace(1_000_000)
+	var buf bytes.Buffer
+	if err := t.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	benchStreamDecode(b, buf.Bytes(), func(data []byte) (trace.Reader, error) {
+		return trace.NewBinaryReader(bytes.NewReader(data))
+	})
+}
+
+func BenchmarkDecodeTextWhole(b *testing.B) {
+	t := benchTrace(200_000)
+	var buf bytes.Buffer
+	if err := t.WriteText(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadText(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeTextStream(b *testing.B) {
+	t := benchTrace(200_000)
+	var buf bytes.Buffer
+	if err := t.WriteText(&buf); err != nil {
+		b.Fatal(err)
+	}
+	benchStreamDecode(b, buf.Bytes(), func(data []byte) (trace.Reader, error) {
+		return trace.NewTextReader(bytes.NewReader(data))
+	})
 }
 
 func BenchmarkWriteText(b *testing.B) {

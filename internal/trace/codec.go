@@ -3,9 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
-	"strings"
 )
 
 // Text codec
@@ -21,80 +19,24 @@ const textMagic = "# perturb-trace v1"
 
 // WriteText writes the trace in the text format.
 func (t *Trace) WriteText(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%s procs=%d\n", textMagic, t.Procs); err != nil {
+	tw, err := NewTextWriter(w, t.Procs)
+	if err != nil {
 		return err
 	}
-	for _, e := range t.Events {
-		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
-			return err
-		}
+	if err := tw.Write(t.Events); err != nil {
+		return err
 	}
-	return bw.Flush()
+	return tw.Flush()
 }
 
-// ReadText parses a trace in the text format.
+// ReadText parses a trace in the text format. It is the whole-trace form
+// of NewTextReader.
 func ReadText(r io.Reader) (*Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("trace: empty input")
-	}
-	header := sc.Text()
-	if !strings.HasPrefix(header, textMagic) {
-		return nil, fmt.Errorf("trace: bad header %q", header)
-	}
-	var procs int
-	if _, err := fmt.Sscanf(header[len(textMagic):], " procs=%d", &procs); err != nil {
-		return nil, fmt.Errorf("trace: bad header %q: %v", header, err)
-	}
-	t := New(procs)
-	line := 1
-	for sc.Scan() {
-		line++
-		s := strings.TrimSpace(sc.Text())
-		if s == "" || strings.HasPrefix(s, "#") {
-			continue
-		}
-		e, err := parseEventLine(s)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %v", line, err)
-		}
-		t.Append(e)
-	}
-	if err := sc.Err(); err != nil {
+	tr, err := NewTextReader(r)
+	if err != nil {
 		return nil, err
 	}
-	return t, nil
-}
-
-func parseEventLine(s string) (Event, error) {
-	var (
-		tm               int64
-		proc, stmt       int
-		kindStr          string
-		iter, syncVarNum int
-	)
-	if _, err := fmt.Sscanf(s, "%d p%d s%d %s i%d v%d", &tm, &proc, &stmt, &kindStr, &iter, &syncVarNum); err != nil {
-		return Event{}, fmt.Errorf("malformed event %q: %v", s, err)
-	}
-	kind, err := parseKind(kindStr)
-	if err != nil {
-		return Event{}, err
-	}
-	return Event{Time: Time(tm), Proc: proc, Stmt: stmt, Kind: kind, Iter: iter, Var: syncVarNum}, nil
-}
-
-func parseKind(s string) (Kind, error) {
-	for k, name := range kindNames {
-		if s == name {
-			return Kind(k), nil
-		}
-	}
-	return 0, fmt.Errorf("unknown event kind %q", s)
+	return ReadAll(tr)
 }
 
 // Binary codec
@@ -106,29 +48,59 @@ func parseKind(s string) (Kind, error) {
 //	count   uint64
 //	events  count * { time int64; stmt int32; proc int32; kind uint8;
 //	                  iter int32; var int32 }
+//
+// A count of 2^64-1 marks a stream of unknown length (see
+// NewBinaryWriter): events follow until EOF.
 
 var binMagic = [8]byte{'P', 'T', 'R', 'A', 'C', 'E', '1', 0}
 
-// WriteBinary writes the trace in the binary format.
-func (t *Trace) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
+// eventSize is the encoded size of one binary event record.
+const eventSize = 25
+
+func writeBinaryHeader(bw *bufio.Writer, procs int, count uint64) error {
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(t.Procs)); err != nil {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(procs))
+	binary.LittleEndian.PutUint64(hdr[4:], count)
+	_, err := bw.Write(hdr[:])
+	return err
+}
+
+func encodeEvent(buf []byte, e *Event) {
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.Time))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(e.Stmt)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(e.Proc)))
+	buf[16] = byte(e.Kind)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(int32(e.Iter)))
+	binary.LittleEndian.PutUint32(buf[21:], uint32(int32(e.Var)))
+}
+
+func decodeEvent(buf []byte) Event {
+	return Event{
+		Time: Time(int64(binary.LittleEndian.Uint64(buf[0:]))),
+		Stmt: int(int32(binary.LittleEndian.Uint32(buf[8:]))),
+		Proc: int(int32(binary.LittleEndian.Uint32(buf[12:]))),
+		Kind: Kind(buf[16]),
+		Iter: int(int32(binary.LittleEndian.Uint32(buf[17:]))),
+		Var:  int(int32(binary.LittleEndian.Uint32(buf[21:]))),
+	}
+}
+
+func le32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }
+func le64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// WriteBinary writes the trace in the binary format with an exact event
+// count in the header.
+func (t *Trace) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeBinaryHeader(bw, t.Procs, uint64(len(t.Events))); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Events))); err != nil {
-		return err
-	}
-	var buf [25]byte
-	for _, e := range t.Events {
-		binary.LittleEndian.PutUint64(buf[0:], uint64(e.Time))
-		binary.LittleEndian.PutUint32(buf[8:], uint32(int32(e.Stmt)))
-		binary.LittleEndian.PutUint32(buf[12:], uint32(int32(e.Proc)))
-		buf[16] = byte(e.Kind)
-		binary.LittleEndian.PutUint32(buf[17:], uint32(int32(e.Iter)))
-		binary.LittleEndian.PutUint32(buf[21:], uint32(int32(e.Var)))
+	var buf [eventSize]byte
+	for i := range t.Events {
+		encodeEvent(buf[:], &t.Events[i])
 		if _, err := bw.Write(buf[:]); err != nil {
 			return err
 		}
@@ -136,44 +108,12 @@ func (t *Trace) WriteBinary(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a trace in the binary format.
+// ReadBinary parses a trace in the binary format. It is the whole-trace
+// form of NewBinaryReader.
 func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if magic != binMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
-	}
-	var procs uint32
-	if err := binary.Read(br, binary.LittleEndian, &procs); err != nil {
+	br, err := NewBinaryReader(r)
+	if err != nil {
 		return nil, err
 	}
-	var count uint64
-	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-		return nil, err
-	}
-	const maxEvents = 1 << 30
-	if count > maxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
-	}
-	t := New(int(procs))
-	t.Events = make([]Event, 0, count)
-	var buf [25]byte
-	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("trace: event %d: %w", i, err)
-		}
-		e := Event{
-			Time: Time(int64(binary.LittleEndian.Uint64(buf[0:]))),
-			Stmt: int(int32(binary.LittleEndian.Uint32(buf[8:]))),
-			Proc: int(int32(binary.LittleEndian.Uint32(buf[12:]))),
-			Kind: Kind(buf[16]),
-			Iter: int(int32(binary.LittleEndian.Uint32(buf[17:]))),
-			Var:  int(int32(binary.LittleEndian.Uint32(buf[21:]))),
-		}
-		t.Append(e)
-	}
-	return t, nil
+	return ReadAll(br)
 }

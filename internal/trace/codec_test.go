@@ -155,12 +155,40 @@ func TestReadBinaryErrors(t *testing.T) {
 		t.Error("bad magic: expected error")
 	}
 
-	// Implausible count.
+	// Implausible count (but not the all-ones streaming sentinel).
 	bad = append([]byte{}, full...)
 	for i := 12; i < 20; i++ {
 		bad[i] = 0xFF
 	}
+	bad[19] = 0x7F
 	if _, err := trace.ReadBinary(bytes.NewReader(bad)); err == nil {
 		t.Error("implausible count: expected error")
+	}
+}
+
+// TestBinaryStreamSentinel: a header with the all-ones count streams
+// events until EOF; a record truncated mid-way still errors.
+func TestBinaryStreamSentinel(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	w, err := trace.NewBinaryWriter(&buf, tr.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualTraces(t, tr, got)
+
+	truncated := buf.Bytes()[:buf.Len()-7]
+	if _, err := trace.ReadBinary(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated streamed record: expected error")
 	}
 }

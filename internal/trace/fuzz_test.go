@@ -1,0 +1,156 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perturb/internal/trace"
+)
+
+// Fuzzing the codecs. Both targets hold the same contract: arbitrary
+// input either decodes or fails with an error — never a panic, hang, or
+// allocation proportional to a corrupt header's claims — and any input
+// that decodes must re-encode and decode again to the same events
+// (decode/encode stability), with the streaming reader agreeing with the
+// whole-trace path batch by batch.
+
+// seedGolden adds the checked-in golden encodings with the given
+// extension as fuzz seeds.
+func seedGolden(f *testing.F, ext string) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "golden", "*"+ext))
+	if err != nil || len(paths) == 0 {
+		f.Logf("no golden %s seeds found (%v); fuzzing from inline seeds only", ext, err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+}
+
+// reDecodeStable checks the decode -> encode -> decode cycle and the
+// batch-size-1 streaming parity for a successfully decoded trace.
+func reDecodeStable(t *testing.T, tr *trace.Trace,
+	encode func(*trace.Trace) ([]byte, error),
+	newReader func([]byte) (trace.Reader, error)) {
+	t.Helper()
+	enc, err := encode(tr)
+	if err != nil {
+		t.Fatalf("re-encoding a decoded trace failed: %v", err)
+	}
+	r, err := newReader(enc)
+	if err != nil {
+		t.Fatalf("re-decoding own encoding failed: %v", err)
+	}
+	if r.Procs() != tr.Procs {
+		t.Fatalf("procs drifted across re-encode: %d -> %d", tr.Procs, r.Procs())
+	}
+	// Drain with batch size 1: the slowest streaming path must agree
+	// with whatever the whole-trace decode produced.
+	var got []trace.Event
+	dst := make([]trace.Event, 1)
+	for {
+		n, err := r.Read(dst)
+		got = append(got, dst[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("streaming re-decode failed: %v", err)
+		}
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("event count drifted across re-encode: %d -> %d", tr.Len(), len(got))
+	}
+	for i := range got {
+		if got[i] != tr.Events[i] {
+			t.Fatalf("event %d drifted across re-encode: %v -> %v", i, tr.Events[i], got[i])
+		}
+	}
+}
+
+func FuzzReadText(f *testing.F) {
+	seedGolden(f, ".txt")
+	f.Add([]byte("# perturb-trace v1 procs=2\n10 p0 s1 compute i-1 v-1\n"))
+	f.Add([]byte("# perturb-trace v1 procs=2\n10 p0 s1 explode i0 v0\n"))
+	f.Add([]byte("# perturb-trace v1 procs=1\n\n# comment\n-5 p0 s-2 barrier-arrive i0 v0\n"))
+	f.Add([]byte("# perturb-trace v1 procs=9999999\n"))
+	f.Add([]byte("not a trace\n"))
+	f.Add([]byte("# perturb-trace v1 procs=2\n9223372036854775807 p1 s1 advance i1 v1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadText(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and hangs are not
+		}
+		reDecodeStable(t, tr,
+			func(tr *trace.Trace) ([]byte, error) {
+				var buf bytes.Buffer
+				err := tr.WriteText(&buf)
+				return buf.Bytes(), err
+			},
+			func(enc []byte) (trace.Reader, error) {
+				return trace.NewTextReader(bytes.NewReader(enc))
+			})
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	seedGolden(f, ".bin")
+	// A syntactically perfect two-event trace.
+	{
+		tr := trace.New(2)
+		tr.Append(trace.Event{Time: 1, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: -1})
+		tr.Append(trace.Event{Time: 2, Proc: 1, Stmt: 2, Kind: trace.KindAdvance, Iter: 1, Var: 0})
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// The same body truncated mid-record and mid-header.
+		f.Add(buf.Bytes()[:buf.Len()-7])
+		f.Add(buf.Bytes()[:13])
+		// An unknown-length stream of the same events.
+		var sbuf bytes.Buffer
+		w, err := trace.NewBinaryWriter(&sbuf, tr.Procs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Write(tr.Events); err != nil {
+			f.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(sbuf.Bytes())
+	}
+	// A count bomb: header claiming 2^29 events over an empty body.
+	{
+		bomb := append([]byte{}, "PTRACE1\x00"...)
+		bomb = append(bomb, 4, 0, 0, 0) // procs
+		bomb = append(bomb, 0, 0, 0, 0x20, 0, 0, 0, 0)
+		f.Add(bomb)
+	}
+	f.Add([]byte("PTRACE1\x00"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		reDecodeStable(t, tr,
+			func(tr *trace.Trace) ([]byte, error) {
+				var buf bytes.Buffer
+				err := tr.WriteBinary(&buf)
+				return buf.Bytes(), err
+			},
+			func(enc []byte) (trace.Reader, error) {
+				return trace.NewBinaryReader(bytes.NewReader(enc))
+			})
+	})
+}

@@ -1,0 +1,388 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Streaming codecs
+//
+// Reader and Writer stream events in caller-sized batches with buffer
+// reuse, so traces can be decoded, processed and re-encoded without ever
+// materializing the whole event slice. The whole-trace entry points
+// (ReadText, ReadBinary, Trace.WriteText, Trace.WriteBinary) are built on
+// the same paths, so the streaming code is exercised by every decode.
+
+// Reader streams the events of an encoded trace. Read fills dst with up
+// to len(dst) events and returns the number decoded; it returns io.EOF
+// (possibly alongside a final partial batch) once the trace is exhausted.
+// The caller may reuse dst across calls.
+type Reader interface {
+	// Procs returns the processor count recorded in the trace header.
+	Procs() int
+	Read(dst []Event) (int, error)
+}
+
+// Writer streams events into an encoded trace. The header is written on
+// construction; Flush must be called once after the last Write to drain
+// buffered output. Writers do not close the underlying io.Writer.
+type Writer interface {
+	Write(batch []Event) error
+	Flush() error
+}
+
+// NewReader auto-detects the codec (text or binary) from the stream's
+// first bytes and returns the matching streaming reader.
+func NewReader(r io.Reader) (Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, err := br.Peek(len(binMagic))
+	if err == nil && bytes.Equal(magic, binMagic[:]) {
+		return NewBinaryReader(br)
+	}
+	return NewTextReader(br)
+}
+
+// ReadAll drains a streaming reader into a fully materialized trace.
+func ReadAll(r Reader) (*Trace, error) {
+	t := New(r.Procs())
+	if h, ok := r.(interface{ countHint() (uint64, bool) }); ok {
+		if c, known := h.countHint(); known {
+			// Cap the pre-allocation: the count is attacker-controlled
+			// header data, and a truncated or corrupt stream must not
+			// provoke an unbounded up-front allocation.
+			const maxPrealloc = 1 << 16
+			if c > maxPrealloc {
+				c = maxPrealloc
+			}
+			t.Events = make([]Event, 0, c)
+		}
+	}
+	batch := make([]Event, 4096)
+	for {
+		n, err := r.Read(batch)
+		t.Events = append(t.Events, batch[:n]...)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Text streaming
+
+type textReader struct {
+	sc    *bufio.Scanner
+	procs int
+	line  int
+	err   error // sticky terminal state (io.EOF or a parse/read error)
+}
+
+// NewTextReader parses the text header and returns a streaming reader
+// over the event lines.
+func NewTextReader(r io.Reader) (Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	header := sc.Text()
+	if len(header) < len(textMagic) || header[:len(textMagic)] != textMagic {
+		return nil, fmt.Errorf("trace: bad header %q", header)
+	}
+	var procs int
+	if _, err := fmt.Sscanf(header[len(textMagic):], " procs=%d", &procs); err != nil {
+		return nil, fmt.Errorf("trace: bad header %q: %v", header, err)
+	}
+	return &textReader{sc: sc, procs: procs, line: 1}, nil
+}
+
+func (t *textReader) Procs() int { return t.procs }
+
+func (t *textReader) Read(dst []Event) (int, error) {
+	if t.err != nil {
+		return 0, t.err
+	}
+	n := 0
+	for n < len(dst) {
+		if !t.sc.Scan() {
+			if err := t.sc.Err(); err != nil {
+				t.err = err
+			} else {
+				t.err = io.EOF
+			}
+			return n, t.err
+		}
+		t.line++
+		s := trimSpace(t.sc.Bytes())
+		if len(s) == 0 || s[0] == '#' {
+			continue
+		}
+		e, err := parseEventBytes(s)
+		if err != nil {
+			t.err = fmt.Errorf("trace: line %d: %v", t.line, err)
+			return n, t.err
+		}
+		dst[n] = e
+		n++
+	}
+	return n, nil
+}
+
+func trimSpace(s []byte) []byte {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\r') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// parseEventBytes parses one event line ("<time> p<proc> s<stmt> <kind>
+// i<iter> v<var>") without allocating. Extra whitespace between fields
+// and trailing fields are tolerated, matching the historical
+// fmt.Sscanf-based parser.
+func parseEventBytes(s []byte) (Event, error) {
+	bad := func() (Event, error) {
+		return Event{}, fmt.Errorf("malformed event %q", s)
+	}
+	tok, rest := nextField(s)
+	tm, ok := parseInt(tok)
+	if !ok {
+		return bad()
+	}
+	tok, rest = nextField(rest)
+	proc, ok := parseTagged(tok, 'p')
+	if !ok {
+		return bad()
+	}
+	tok, rest = nextField(rest)
+	stmt, ok := parseTagged(tok, 's')
+	if !ok {
+		return bad()
+	}
+	tok, rest = nextField(rest)
+	kind, ok := kindByName[string(tok)]
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", tok)
+	}
+	tok, rest = nextField(rest)
+	iter, ok := parseTagged(tok, 'i')
+	if !ok {
+		return bad()
+	}
+	tok, _ = nextField(rest)
+	syncVar, ok := parseTagged(tok, 'v')
+	if !ok {
+		return bad()
+	}
+	return Event{Time: Time(tm), Proc: int(proc), Stmt: int(stmt), Kind: kind, Iter: int(iter), Var: int(syncVar)}, nil
+}
+
+func nextField(s []byte) (tok, rest []byte) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+		i++
+	}
+	j := i
+	for j < len(s) && s[j] != ' ' && s[j] != '\t' {
+		j++
+	}
+	return s[i:j], s[j:]
+}
+
+func parseInt(s []byte) (int64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	neg := false
+	if s[0] == '-' || s[0] == '+' {
+		neg = s[0] == '-'
+		s = s[1:]
+		if len(s) == 0 {
+			return 0, false
+		}
+	}
+	var v int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int64(c - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, false // overflow
+		}
+		v = v*10 + d
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func parseTagged(s []byte, tag byte) (int64, bool) {
+	if len(s) < 2 || s[0] != tag {
+		return 0, false
+	}
+	return parseInt(s[1:])
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+type textWriter struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewTextWriter writes the text header and returns a streaming writer.
+func NewTextWriter(w io.Writer, procs int) (Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprintf(bw, "%s procs=%d\n", textMagic, procs); err != nil {
+		return nil, err
+	}
+	return &textWriter{bw: bw}, nil
+}
+
+func (t *textWriter) Write(batch []Event) error {
+	for i := range batch {
+		t.scratch = appendEventText(t.scratch[:0], &batch[i])
+		if _, err := t.bw.Write(t.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *textWriter) Flush() error { return t.bw.Flush() }
+
+// appendEventText renders the event exactly as Event.String plus a
+// newline, without fmt overhead.
+func appendEventText(buf []byte, e *Event) []byte {
+	buf = strconv.AppendInt(buf, int64(e.Time), 10)
+	buf = append(buf, ' ', 'p')
+	buf = strconv.AppendInt(buf, int64(e.Proc), 10)
+	buf = append(buf, ' ', 's')
+	buf = strconv.AppendInt(buf, int64(e.Stmt), 10)
+	buf = append(buf, ' ')
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, ' ', 'i')
+	buf = strconv.AppendInt(buf, int64(e.Iter), 10)
+	buf = append(buf, ' ', 'v')
+	buf = strconv.AppendInt(buf, int64(e.Var), 10)
+	return append(buf, '\n')
+}
+
+// Binary streaming
+
+// streamCount in the binary header's count field marks a stream of
+// unknown length: events follow until EOF. Trace.WriteBinary still
+// records the exact count; the sentinel is only produced by
+// NewBinaryWriter, which cannot know the count up front.
+const streamCount = ^uint64(0)
+
+type binReader struct {
+	br    *bufio.Reader
+	procs int
+	count uint64 // streamCount when the length is unknown
+	read  uint64
+	err   error
+}
+
+// NewBinaryReader parses the binary header and returns a streaming reader
+// over the event records.
+func NewBinaryReader(r io.Reader) (Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var header [20]byte
+	if _, err := io.ReadFull(br, header[:8]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if !bytes.Equal(header[:8], binMagic[:]) {
+		return nil, fmt.Errorf("trace: bad magic %q", header[:8])
+	}
+	if _, err := io.ReadFull(br, header[8:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	procs := le32(header[8:])
+	count := le64(header[12:])
+	const maxEvents = 1 << 30
+	if count > maxEvents && count != streamCount {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	return &binReader{br: br, procs: int(procs), count: count}, nil
+}
+
+func (b *binReader) Procs() int { return b.procs }
+
+func (b *binReader) countHint() (uint64, bool) {
+	if b.count == streamCount {
+		return 0, false
+	}
+	return b.count, true
+}
+
+func (b *binReader) Read(dst []Event) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	n := 0
+	var rec [eventSize]byte
+	for n < len(dst) {
+		if b.count != streamCount && b.read == b.count {
+			b.err = io.EOF
+			return n, b.err
+		}
+		if _, err := io.ReadFull(b.br, rec[:]); err != nil {
+			if err == io.EOF && b.count == streamCount {
+				b.err = io.EOF // clean end of an unbounded stream
+			} else {
+				b.err = fmt.Errorf("trace: event %d: %w", b.read, err)
+			}
+			return n, b.err
+		}
+		dst[n] = decodeEvent(rec[:])
+		n++
+		b.read++
+	}
+	return n, nil
+}
+
+type binWriter struct {
+	bw *bufio.Writer
+}
+
+// NewBinaryWriter writes a binary stream header (with the unknown-length
+// sentinel count) and returns a streaming writer.
+func NewBinaryWriter(w io.Writer, procs int) (Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeBinaryHeader(bw, procs, streamCount); err != nil {
+		return nil, err
+	}
+	return &binWriter{bw: bw}, nil
+}
+
+func (b *binWriter) Write(batch []Event) error {
+	var rec [eventSize]byte
+	for i := range batch {
+		encodeEvent(rec[:], &batch[i])
+		if _, err := b.bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *binWriter) Flush() error { return b.bw.Flush() }

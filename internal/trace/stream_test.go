@@ -1,0 +1,174 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+
+	"perturb/internal/testgen"
+	"perturb/internal/trace"
+)
+
+// readInBatches drains a streaming reader with the given batch size,
+// exercising batch-boundary handling and buffer reuse.
+func readInBatches(t *testing.T, r trace.Reader, batch int) *trace.Trace {
+	t.Helper()
+	out := trace.New(r.Procs())
+	dst := make([]trace.Event, batch)
+	for {
+		n, err := r.Read(dst)
+		out.Events = append(out.Events, dst[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("streaming read: %v", err)
+		}
+	}
+}
+
+// TestStreamingMatchesWholeTrace: for both codecs and a range of batch
+// sizes, the streaming reader yields exactly the events of the
+// whole-trace decoder.
+func TestStreamingMatchesWholeTrace(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		tr := testgen.Trace(r)
+		var text, bin bytes.Buffer
+		if err := tr.WriteText(&text); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteBinary(&bin); err != nil {
+			t.Fatal(err)
+		}
+		for _, batch := range []int{1, 2, 7, 4096} {
+			tx, err := trace.NewTextReader(bytes.NewReader(text.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualTraces(t, tr, readInBatches(t, tx, batch))
+
+			bx, err := trace.NewBinaryReader(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEqualTraces(t, tr, readInBatches(t, bx, batch))
+		}
+	}
+}
+
+// TestStreamingWritersRoundTrip: events written batch by batch through
+// the streaming writers decode back identically, for both codecs, and
+// the text output is byte-identical to Trace.WriteText.
+func TestStreamingWritersRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	tr := testgen.Trace(r)
+
+	var text, whole bytes.Buffer
+	tw, err := trace.NewTextWriter(&text, tr.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tr.Events); i += 3 {
+		end := i + 3
+		if end > len(tr.Events) {
+			end = len(tr.Events)
+		}
+		if err := tw.Write(tr.Events[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteText(&whole); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text.Bytes(), whole.Bytes()) {
+		t.Error("streamed text differs from Trace.WriteText output")
+	}
+
+	var bin bytes.Buffer
+	bw, err := trace.NewBinaryWriter(&bin, tr.Procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Write(tr.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.ReadBinary(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualTraces(t, tr, got)
+}
+
+// TestNewReaderAutoDetect: NewReader picks the right codec from the
+// stream's first bytes.
+func TestNewReaderAutoDetect(t *testing.T) {
+	tr := sampleTrace()
+	var text, bin bytes.Buffer
+	if err := tr.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{text.Bytes(), bin.Bytes()} {
+		r, err := trace.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := trace.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualTraces(t, tr, got)
+	}
+}
+
+// TestBinaryCountBombBounded: a header claiming a huge (but allowed)
+// event count over a tiny body must fail with an error, without
+// attempting to pre-allocate storage for the claimed count.
+func TestBinaryCountBombBounded(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("PTRACE1\x00")
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 4)
+	binary.LittleEndian.PutUint64(hdr[4:], 1<<29) // plausible per the cap, absurd for the body
+	buf.Write(hdr[:])
+	buf.WriteString("a few stray bytes")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := trace.ReadBinary(bytes.NewReader(buf.Bytes()))
+		done <- err
+	}()
+	if err := <-done; err == nil {
+		t.Fatal("count bomb: expected error")
+	}
+}
+
+// TestTextReaderParseErrorsAreSticky: after a malformed line the reader
+// keeps returning the same error.
+func TestTextReaderParseErrorsAreSticky(t *testing.T) {
+	input := "# perturb-trace v1 procs=1\n5 p0 s1 compute i-1 v-1\ngarbage\n6 p0 s1 compute i-1 v-1\n"
+	r, err := trace.NewTextReader(bytes.NewReader([]byte(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]trace.Event, 8)
+	n, err := r.Read(dst)
+	if n != 1 || err == nil {
+		t.Fatalf("Read = %d, %v; want 1 event and a parse error", n, err)
+	}
+	first := err
+	if n2, err2 := r.Read(dst); n2 != 0 || err2 != first {
+		t.Fatalf("second Read = %d, %v; want 0, sticky %v", n2, err2, first)
+	}
+}

@@ -111,6 +111,31 @@ var (
 	ReadTraceBinary = trace.ReadBinary
 )
 
+// Streaming trace I/O.
+type (
+	// TraceReader streams trace events in caller-sized batches with
+	// buffer reuse; see NewTraceReader.
+	TraceReader = trace.Reader
+	// TraceWriter streams trace events into an encoded trace; call
+	// Flush once after the last Write.
+	TraceWriter = trace.Writer
+)
+
+// NewTraceReader auto-detects the codec (text or binary) and returns a
+// streaming reader; use ReadTrace to drain it into a whole Trace.
+func NewTraceReader(r io.Reader) (TraceReader, error) { return trace.NewReader(r) }
+
+// NewTraceTextWriter and NewTraceBinaryWriter return streaming encoders.
+// The binary stream uses an unknown-length header sentinel, so it can be
+// produced without knowing the event count up front.
+var (
+	NewTraceTextWriter   = trace.NewTextWriter
+	NewTraceBinaryWriter = trace.NewBinaryWriter
+)
+
+// ReadTrace drains a streaming reader into a fully materialized trace.
+func ReadTrace(r TraceReader) (*Trace, error) { return trace.ReadAll(r) }
+
 // Program model types.
 type (
 	// Loop is a statement-level loop model.
@@ -238,6 +263,17 @@ func AnalyzeTimeBased(m *Trace, cal Calibration) (*Approximation, error) {
 // AnalyzeEventBased applies event-based perturbation analysis (paper §4).
 func AnalyzeEventBased(m *Trace, cal Calibration) (*Approximation, error) {
 	return core.EventBased(m, cal)
+}
+
+// AnalyzeEventBasedParallel is AnalyzeEventBased computed by the sharded
+// concurrent engine: per-processor timelines advance independently and
+// synchronize only at cross-processor dependencies (advance/await pairs,
+// lock hand-offs, barriers). Output is byte-identical to
+// AnalyzeEventBased. workers <= 0 uses GOMAXPROCS; workers == 1 runs the
+// sharded engine on a single goroutine, which still avoids the
+// sequential fixpoint's re-scan passes.
+func AnalyzeEventBasedParallel(m *Trace, cal Calibration, workers int) (*Approximation, error) {
+	return core.EventBasedParallel(m, cal, workers)
 }
 
 // AnalyzeTimeBasedTotal estimates only the total execution time with the
