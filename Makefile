@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim workers-check vet fmt experiments examples clean
 
 all: build test
 
@@ -13,10 +13,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/rt/
+	$(GO) test -race ./internal/rt/ ./internal/experiments/ ./internal/machine/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Simulator-core benchmarks only (throughput, schedules, lock-heavy),
+# with allocation counts — the numbers EXPERIMENTS.md quotes.
+bench-sim:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulator' -benchmem ./internal/machine/
+
+# The parallel sweep runner must not change a single output byte.
+workers-check:
+	$(GO) run ./cmd/experiments -exact -run all -workers 1 > /tmp/perturb-w1.txt
+	$(GO) run ./cmd/experiments -exact -run all -workers 8 > /tmp/perturb-w8.txt
+	diff /tmp/perturb-w1.txt /tmp/perturb-w8.txt && echo "workers-invariant: OK"
 
 vet:
 	$(GO) vet ./...

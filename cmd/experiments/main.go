@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation] [-noise N] [-exact]
+//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation] [-noise N] [-exact] [-workers N]
 //
 // -noise sets the calibration error in per mille (default 8, the
-// paper-scale environment); -exact forces perfect calibration.
+// paper-scale environment); -exact forces perfect calibration; -workers
+// runs independent simulations concurrently on up to N goroutines
+// (default 1, serial). The output is byte-identical for any worker
+// count — only the wall-clock time changes.
 package main
 
 import (
@@ -27,6 +30,7 @@ func main() {
 	noise := flag.Int("noise", 8, "calibration error in per mille")
 	exact := flag.Bool("exact", false, "use exact calibration (overrides -noise)")
 	markdown := flag.Bool("markdown", false, "emit the full evaluation as a Markdown report")
+	workers := flag.Int("workers", 1, "run independent simulations on up to N goroutines")
 	flag.Parse()
 
 	env := experiments.PaperEnv()
@@ -34,6 +38,7 @@ func main() {
 	if *exact {
 		env.CalNoisePerMille = 0
 	}
+	env = env.WithWorkers(*workers)
 
 	if *markdown {
 		if err := experiments.WriteMarkdownReport(os.Stdout, env); err != nil {

@@ -6,7 +6,6 @@ import (
 
 	"perturb/internal/core"
 	"perturb/internal/instr"
-	"perturb/internal/loops"
 	"perturb/internal/machine"
 	"perturb/internal/program"
 	"perturb/internal/trace"
@@ -44,17 +43,24 @@ type AblationResult struct {
 // DOACROSS kernel from a fraction of a microsecond to well past the paper's
 // 5us, measuring how perturbation grows and how each analysis copes.
 func AblationProbeCost(env Env, loopN int) (*AblationResult, error) {
+	costs := []float64{0.5, 1, 2, 5, 10, 20}
 	res := &AblationResult{
 		Name:   fmt.Sprintf("Ablation: probe cost sweep on LL%d", loopN),
 		XLabel: "probe cost (us)",
+		Points: make([]AblationPoint, len(costs)),
 	}
-	for _, us := range []float64{0.5, 1, 2, 5, 10, 20} {
+	err := env.sweep(len(costs), func(i int) error {
+		us := costs[i]
 		ovh := instr.Uniform(trace.Time(us * 1000))
 		pt, err := ablationPoint(env, loopN, loopN, ovh, nil, us)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, *pt)
+		res.Points[i] = *pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -63,13 +69,15 @@ func AblationProbeCost(env Env, loopN int) (*AblationResult, error) {
 // probes (synchronization probes stay on, as event-based analysis requires
 // them) at the environment's probe costs.
 func AblationCoverage(env Env, loopN int) (*AblationResult, error) {
-	def, err := loops.Get(loopN)
+	def, err := env.Kernel(loopN)
 	if err != nil {
 		return nil, err
 	}
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
 	res := &AblationResult{
 		Name:   fmt.Sprintf("Ablation: statement coverage sweep on LL%d", loopN),
 		XLabel: "fraction of statements instrumented",
+		Points: make([]AblationPoint, len(fracs)),
 	}
 	var computeIDs []int
 	for _, s := range def.Stmts() {
@@ -77,7 +85,8 @@ func AblationCoverage(env Env, loopN int) (*AblationResult, error) {
 			computeIDs = append(computeIDs, s.ID)
 		}
 	}
-	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+	err = env.sweep(len(fracs), func(i int) error {
+		frac := fracs[i]
 		sel := make(map[int]bool)
 		n := int(frac * float64(len(computeIDs)))
 		for _, id := range computeIDs[:n] {
@@ -85,9 +94,13 @@ func AblationCoverage(env Env, loopN int) (*AblationResult, error) {
 		}
 		pt, err := ablationPoint(env, loopN, loopN, env.Ovh, sel, frac)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Points = append(res.Points, *pt)
+		res.Points[i] = *pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -98,19 +111,22 @@ func AblationCoverage(env Env, loopN int) (*AblationResult, error) {
 // calibration draws (the deterministic skew of a single draw can land
 // anywhere within its bound).
 func AblationCalibration(env Env, loopN int) (*AblationResult, error) {
+	noises := []int{0, 5, 10, 20, 50, 100}
 	res := &AblationResult{
 		Name:   fmt.Sprintf("Ablation: calibration error sweep on LL%d", loopN),
 		XLabel: "calibration error (per mille)",
+		Points: make([]AblationPoint, len(noises)),
 	}
 	const draws = 5
-	for _, noise := range []int{0, 5, 10, 20, 50, 100} {
+	err := env.sweep(len(noises), func(i int) error {
+		noise := noises[i]
 		var acc AblationPoint
 		for d := 0; d < draws; d++ {
 			e := env
 			e.CalNoisePerMille = noise
 			pt, err := ablationPoint(e, loopN*1000+d*7+1, loopN, env.Ovh, nil, float64(noise))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			acc.Events = pt.Events
 			acc.Slowdown = pt.Slowdown
@@ -118,7 +134,11 @@ func AblationCalibration(env Env, loopN int) (*AblationResult, error) {
 			acc.EventBasedErr += pt.EventBasedErr / draws
 		}
 		acc.X = float64(noise)
-		res.Points = append(res.Points, acc)
+		res.Points[i] = acc
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -127,11 +147,11 @@ func AblationCalibration(env Env, loopN int) (*AblationResult, error) {
 // the given probes and statement selection (nil = all), both analyses.
 // calSeed selects the calibration-noise draw (usually the kernel number).
 func ablationPoint(env Env, calSeed, loopN int, ovh instr.Overheads, sel map[int]bool, x float64) (*AblationPoint, error) {
-	def, err := loops.Get(loopN)
+	def, err := env.Kernel(loopN)
 	if err != nil {
 		return nil, err
 	}
-	actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+	actual, err := env.Actual(def.Loop, env.Cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -33,35 +33,41 @@ type EventTimingResult struct {
 // EventTiming measures per-event timing accuracy of the event-based
 // approximation for loops 3, 4 and 17 (the Table-2 pipeline).
 func EventTiming(env Env) (*EventTimingResult, error) {
-	res := &EventTimingResult{}
-	for _, n := range loops.DoacrossNumbers() {
-		def, err := loops.Get(n)
+	ns := loops.DoacrossNumbers()
+	res := &EventTimingResult{Rows: make([]EventTimingRow, len(ns))}
+	err := env.sweep(len(ns), func(i int) error {
+		n := ns[i]
+		def, err := env.Kernel(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		actual, err := env.Actual(def.Loop, env.Cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), env.Cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		approx, err := core.EventBased(measured.Trace, env.Calibration(n))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		te, err := metrics.CompareTiming(actual.Trace, approx.Trace)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d timing comparison: %w", n, err)
+			return fmt.Errorf("experiments: LL%d timing comparison: %w", n, err)
 		}
-		res.Rows = append(res.Rows, EventTimingRow{
+		res.Rows[i] = EventTimingRow{
 			Loop:       n,
 			Events:     te.Events,
 			MeanRelPct: 100 * te.MeanRel,
 			MaxAbsUS:   float64(te.MaxAbs) / 1000,
 			MeanAbsUS:  te.MeanAbs / 1000,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -105,11 +111,13 @@ type ScalarVectorResult struct {
 // the measured perturbation is far worse in vector mode, yet time-based
 // analysis recovers both (event times stay execution independent).
 func ScalarVector(env Env) (*ScalarVectorResult, error) {
-	res := &ScalarVectorResult{}
-	for _, n := range loops.VectorizableNumbers() {
-		def, err := loops.Get(n)
+	ns := loops.VectorizableNumbers()
+	res := &ScalarVectorResult{Rows: make([]ScalarVectorRow, len(ns))}
+	err := env.sweep(len(ns), func(i int) error {
+		n := ns[i]
+		def, err := env.Kernel(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := ScalarVectorRow{Loop: n}
 		var actualScalar, actualVector float64
@@ -117,15 +125,15 @@ func ScalarVector(env Env) (*ScalarVectorResult, error) {
 			l := def.WithMode(mode)
 			actual, err := machine.Run(l, instr.NonePlan(), env.Cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			measured, err := machine.Run(l, instr.FullPlan(env.Ovh, false), env.Cfg)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			approx, err := core.TimeBased(measured.Trace, env.Calibration(n))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			slow := float64(measured.Duration) / float64(actual.Duration)
 			model := float64(approx.Duration) / float64(actual.Duration)
@@ -138,7 +146,11 @@ func ScalarVector(env Env) (*ScalarVectorResult, error) {
 			}
 		}
 		row.VectorSpeedup = actualScalar / actualVector
-		res.Rows = append(res.Rows, row)
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

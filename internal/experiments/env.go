@@ -12,7 +12,9 @@ import (
 )
 
 // Env carries the machine configuration and instrumentation costs shared
-// by all experiments.
+// by all experiments, plus the sweep machinery (worker pool and reference-
+// run cache) the experiments fan out over. The zero value runs serially
+// with no memoization.
 type Env struct {
 	Cfg machine.Config
 	Ovh instr.Overheads
@@ -23,13 +25,35 @@ type Env struct {
 	// approximations deviate from actual by a few percent, as in the
 	// paper.
 	CalNoisePerMille int
+
+	pool  *Pool
+	cache *simCache
 }
 
 // PaperEnv is the environment the paper-scale experiments run under:
 // FX/80-flavoured machine costs, 5us probes, and a 0.8% calibration error.
 func PaperEnv() Env {
-	return Env{Cfg: machine.Alliant(), Ovh: loops.PaperOverheads(), CalNoisePerMille: 8}
+	return Env{
+		Cfg:              machine.Alliant(),
+		Ovh:              loops.PaperOverheads(),
+		CalNoisePerMille: 8,
+		cache:            newSimCache(),
+	}
 }
+
+// WithWorkers returns a copy of the environment whose sweeps run on a pool
+// of the given size (1 = serial). The report output is byte-identical for
+// every worker count; only wall-clock time changes.
+func (e Env) WithWorkers(n int) Env {
+	e.pool = NewPool(n)
+	if e.cache == nil {
+		e.cache = newSimCache()
+	}
+	return e
+}
+
+// Workers returns the environment's concurrency bound.
+func (e Env) Workers() int { return e.pool.Workers() }
 
 // ExactEnv is PaperEnv with perfect calibration, used by tests that must
 // separate model error from calibration error.

@@ -30,35 +30,41 @@ type Figure1Result struct {
 // Livermore loops under full statement instrumentation, showing the
 // measured slowdown and the accuracy of the time-based model.
 func Figure1(env Env) (*Figure1Result, error) {
-	res := &Figure1Result{}
-	for _, n := range loops.Figure1Numbers() {
-		def, err := loops.Get(n)
+	ns := loops.Figure1Numbers()
+	res := &Figure1Result{Rows: make([]Figure1Row, len(ns))}
+	err := env.sweep(len(ns), func(i int) error {
+		n := ns[i]
+		def, err := env.Kernel(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		actual, err := env.Actual(def.Loop, env.Cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d actual: %w", n, err)
+			return fmt.Errorf("experiments: LL%d actual: %w", n, err)
 		}
 		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, false), env.Cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d measured: %w", n, err)
+			return fmt.Errorf("experiments: LL%d measured: %w", n, err)
 		}
 		approx, err := core.TimeBased(measured.Trace, env.Calibration(n))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d time-based model: %w", n, err)
+			return fmt.Errorf("experiments: LL%d time-based model: %w", n, err)
 		}
 		mRatio, err := metrics.ExecutionRatio(measured.Duration, actual.Duration)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		aRatio, err := metrics.ExecutionRatio(approx.Duration, actual.Duration)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, Figure1Row{
+		res.Rows[i] = Figure1Row{
 			Loop: n, Measured: mRatio, Model: aRatio, PaperMeasured: def.Figure1Ratio,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -187,52 +193,39 @@ func (r *Figure5Result) Render(w io.Writer) error {
 }
 
 // RunAll executes every experiment and renders them to w in paper order.
+// With a multi-worker Env the experiments compute concurrently (each one
+// additionally sweeping its own points over the shared pool); rendering is
+// always sequential in paper order, so the output bytes are identical for
+// any worker count.
 func RunAll(w io.Writer, env Env) error {
-	fig1, err := Figure1(env)
+	var (
+		fig1       *Figure1Result
+		tbl1, tbl2 *TableResult
+		t3         *Table3Result
+		fig4       *Figure4Result
+		fig5       *Figure5Result
+	)
+	err := env.gather(
+		func() (err error) { fig1, err = Figure1(env); return },
+		func() (err error) { tbl1, err = Table1(env); return },
+		func() (err error) { tbl2, err = Table2(env); return },
+		func() (err error) { t3, err = Table3(env); return },
+		func() (err error) { fig4, err = Figure4(env); return },
+		func() (err error) { fig5, err = Figure5(env); return },
+	)
 	if err != nil {
 		return err
 	}
 	if err := fig1.Render(w); err != nil {
 		return err
 	}
-	for _, f := range []func(Env) (*TableResult, error){Table1, Table2} {
-		t, err := f(env)
-		if err != nil {
-			return err
-		}
+	for _, r := range []interface{ Render(io.Writer) error }{tbl1, tbl2, t3, fig4, fig5} {
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}
-		if err := t.Render(w); err != nil {
+		if err := r.Render(w); err != nil {
 			return err
 		}
 	}
-	t3, err := Table3(env)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	if err := t3.Render(w); err != nil {
-		return err
-	}
-	fig4, err := Figure4(env)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	if err := fig4.Render(w); err != nil {
-		return err
-	}
-	fig5, err := Figure5(env)
-	if err != nil {
-		return err
-	}
-	if _, err := fmt.Fprintln(w); err != nil {
-		return err
-	}
-	return fig5.Render(w)
+	return nil
 }

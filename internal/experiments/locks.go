@@ -51,33 +51,39 @@ func Locks(env Env) (*LocksResult, error) {
 		UnlockStmt(0).
 		Loop()
 
-	res := &LocksResult{}
-	for _, tc := range []struct {
+	cases := []struct {
 		name string
 		loop *program.Loop
 	}{
 		{"advance/await (iteration order)", ordered},
 		{"FIFO lock (request order)", unordered},
-	} {
+	}
+	res := &LocksResult{Rows: make([]LocksRow, len(cases))}
+	err := env.sweep(len(cases), func(i int) error {
+		tc := cases[i]
 		actual, err := machine.Run(tc.loop, instr.NonePlan(), env.Cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured, err := machine.Run(tc.loop, instr.FullPlan(env.Ovh, true), env.Cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		approx, err := core.EventBased(measured.Trace, env.Calibration(100))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: locks (%s): %w", tc.name, err)
+			return fmt.Errorf("experiments: locks (%s): %w", tc.name, err)
 		}
-		res.Rows = append(res.Rows, LocksRow{
+		res.Rows[i] = LocksRow{
 			Flavour:   tc.name,
 			ActualUS:  float64(actual.Duration) / 1000,
 			Slowdown:  float64(measured.Duration) / float64(actual.Duration),
 			Recovered: float64(approx.Duration) / float64(actual.Duration),
 			WaitShare: waitShare(actual, env.Cfg.Procs),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -14,15 +14,58 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 		_, err := fmt.Fprintf(w, format, args...)
 		return err
 	}
+
+	// Compute every section first (concurrently under a multi-worker Env),
+	// then render sequentially so the output bytes are identical for any
+	// worker count.
+	scalingLoops := []int{3, 4, 17}
+	ablations := []func(Env, int) (*AblationResult, error){
+		AblationProbeCost, AblationCoverage, AblationCalibration,
+	}
+	var (
+		fig1       *Figure1Result
+		tbl1, tbl2 *TableResult
+		t3         *Table3Result
+		fig5       *Figure5Result
+		et         *EventTimingResult
+		sv         *ScalarVectorResult
+		lk         *LocksResult
+		scalings   = make([]*ScalingResult, len(scalingLoops))
+		ablRes     = make([]*AblationResult, len(ablations))
+	)
+	jobs := []func() error{
+		func() (err error) { fig1, err = Figure1(env); return },
+		func() (err error) { tbl1, err = Table1(env); return },
+		func() (err error) { tbl2, err = Table2(env); return },
+		func() (err error) { t3, err = Table3(env); return },
+		func() (err error) { fig5, err = Figure5(env); return },
+		func() (err error) { et, err = EventTiming(env); return },
+		func() (err error) { sv, err = ScalarVector(env); return },
+		func() (err error) { lk, err = Locks(env); return },
+	}
+	for i := range scalingLoops {
+		i := i
+		jobs = append(jobs, func() (err error) {
+			scalings[i], err = Scaling(env, scalingLoops[i], nil)
+			return
+		})
+	}
+	for i := range ablations {
+		i := i
+		jobs = append(jobs, func() (err error) {
+			ablRes[i], err = ablations[i](env, 17)
+			return
+		})
+	}
+	if err := env.gather(jobs...); err != nil {
+		return err
+	}
+
 	if err := p("# Reproduced evaluation\n\nCalibration noise: %d per mille. All ratios are vs the simulator's exact actual run.\n\n", env.CalNoisePerMille); err != nil {
 		return err
 	}
 
 	// Figure 1.
-	fig1, err := Figure1(env)
-	if err != nil {
-		return err
-	}
 	if err := p("## Figure 1 — sequential loops, full instrumentation\n\n| loop | measured/actual (paper) | measured/actual | model/actual |\n|---|---|---|---|\n"); err != nil {
 		return err
 	}
@@ -34,16 +77,13 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 
 	// Tables 1 and 2.
 	for _, tbl := range []struct {
-		f     func(Env) (*TableResult, error)
+		res   *TableResult
 		title string
 	}{
-		{Table1, "## Table 1 — time-based analysis of DOACROSS loops"},
-		{Table2, "## Table 2 — event-based analysis"},
+		{tbl1, "## Table 1 — time-based analysis of DOACROSS loops"},
+		{tbl2, "## Table 2 — event-based analysis"},
 	} {
-		res, err := tbl.f(env)
-		if err != nil {
-			return err
-		}
+		res := tbl.res
 		if err := p("\n%s\n\n| loop | measured/actual (paper) | repro | approx/actual (paper) | repro |\n|---|---|---|---|---|\n", tbl.title); err != nil {
 			return err
 		}
@@ -56,10 +96,6 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 	}
 
 	// Table 3.
-	t3, err := Table3(env)
-	if err != nil {
-		return err
-	}
 	if err := p("\n## Table 3 — loop 17 waiting %% per processor\n\n| CE | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 |\n|---|---|---|---|---|---|---|---|---|\n| paper |"); err != nil {
 		return err
 	}
@@ -78,19 +114,11 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 	}
 
 	// Figure 5 headline.
-	fig5, err := Figure5(env)
-	if err != nil {
-		return err
-	}
 	if err := p("\n\n## Figure 5 — average parallelism (concurrent portion)\n\npaper 7.5, reproduced %.2f\n", fig5.Average); err != nil {
 		return err
 	}
 
 	// Extension studies.
-	et, err := EventTiming(env)
-	if err != nil {
-		return err
-	}
 	if err := p("\n## Extension — per-event timing accuracy (event-based)\n\n| loop | events | mean err (us) | max err (us) | mean err (%%run) |\n|---|---|---|---|---|\n"); err != nil {
 		return err
 	}
@@ -101,10 +129,6 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 		}
 	}
 
-	sv, err := ScalarVector(env)
-	if err != nil {
-		return err
-	}
 	if err := p("\n## Extension — scalar vs vector execution\n\n| loop | scalar slowdown | model | vector slowdown | model | vector speedup |\n|---|---|---|---|---|---|\n"); err != nil {
 		return err
 	}
@@ -119,12 +143,8 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 	if err := p("\n## Extension — processor scaling (speedup over 1 CE)\n\n| loop | procs | actual | recovered | raw measured |\n|---|---|---|---|---|\n"); err != nil {
 		return err
 	}
-	for _, n := range []int{3, 4, 17} {
-		sc, err := Scaling(env, n, nil)
-		if err != nil {
-			return err
-		}
-		for _, pt := range sc.Points {
+	for i, n := range scalingLoops {
+		for _, pt := range scalings[i].Points {
 			if err := p("| %d | %d | %.2fx | %.2fx | %.2fx |\n",
 				n, pt.Procs, pt.ActualSpeedup, pt.RecoveredSpeedup, pt.MeasuredSpeedup); err != nil {
 				return err
@@ -132,10 +152,6 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 		}
 	}
 
-	lk, err := Locks(env)
-	if err != nil {
-		return err
-	}
 	if err := p("\n## Extension — ordered vs unordered critical sections\n\n| flavour | actual (us) | slowdown | recovered | wait share |\n|---|---|---|---|---|\n"); err != nil {
 		return err
 	}
@@ -149,13 +165,7 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 	if err := p("\n## Extension — instrumentation-uncertainty ablations (LL17)\n"); err != nil {
 		return err
 	}
-	for _, f := range []func(Env, int) (*AblationResult, error){
-		AblationProbeCost, AblationCoverage, AblationCalibration,
-	} {
-		res, err := f(env, 17)
-		if err != nil {
-			return err
-		}
+	for _, res := range ablRes {
 		if err := p("\n### %s\n\n| %s | events | slowdown | time-based err | event-based err |\n|---|---|---|---|---|\n",
 			res.Name, res.XLabel); err != nil {
 			return err

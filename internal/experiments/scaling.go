@@ -6,7 +6,6 @@ import (
 
 	"perturb/internal/core"
 	"perturb/internal/instr"
-	"perturb/internal/loops"
 	"perturb/internal/machine"
 )
 
@@ -35,43 +34,54 @@ type ScalingResult struct {
 // measured one. A perturbation analysis that works lets an analyst chart
 // scalability without ever running uninstrumented experiments.
 func Scaling(env Env, loopN int, procCounts []int) (*ScalingResult, error) {
-	def, err := loops.Get(loopN)
+	def, err := env.Kernel(loopN)
 	if err != nil {
 		return nil, err
 	}
 	if len(procCounts) == 0 {
 		procCounts = []int{1, 2, 4, 8, 16}
 	}
-	res := &ScalingResult{Loop: loopN}
-	var base struct {
+	// Each processor count is an independent (actual, measured, analysis)
+	// triple; speedups are ratios against the first point, computed once
+	// all durations are in.
+	type durations struct {
 		actual, recovered, measured float64
 	}
-	for i, procs := range procCounts {
+	durs := make([]durations, len(procCounts))
+	err = env.sweep(len(procCounts), func(i int) error {
 		cfg := env.Cfg
-		cfg.Procs = procs
-		actual, err := machine.Run(def.Loop, instr.NonePlan(), cfg)
+		cfg.Procs = procCounts[i]
+		actual, err := env.Actual(def.Loop, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		approx, err := core.EventBased(measured.Trace, env.Calibration(loopN))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if i == 0 {
-			base.actual = float64(actual.Duration)
-			base.recovered = float64(approx.Duration)
-			base.measured = float64(measured.Duration)
+		durs[i] = durations{
+			actual:    float64(actual.Duration),
+			recovered: float64(approx.Duration),
+			measured:  float64(measured.Duration),
 		}
-		res.Points = append(res.Points, ScalingPoint{
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalingResult{Loop: loopN, Points: make([]ScalingPoint, len(procCounts))}
+	base := durs[0]
+	for i, procs := range procCounts {
+		res.Points[i] = ScalingPoint{
 			Procs:            procs,
-			ActualSpeedup:    base.actual / float64(actual.Duration),
-			RecoveredSpeedup: base.recovered / float64(approx.Duration),
-			MeasuredSpeedup:  base.measured / float64(measured.Duration),
-		})
+			ActualSpeedup:    base.actual / durs[i].actual,
+			RecoveredSpeedup: base.recovered / durs[i].recovered,
+			MeasuredSpeedup:  base.measured / durs[i].measured,
+		}
 	}
 	return res, nil
 }

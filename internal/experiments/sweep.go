@@ -1,0 +1,177 @@
+// Sweep harness: the evaluation is hundreds of independent simulations
+// (loop x plan x noise), so every experiment fans its points out over a
+// shared worker pool and memoizes the uninstrumented reference runs that
+// several experiments would otherwise recompute. Results are always
+// collected by index, so the rendered report is byte-identical for any
+// worker count.
+package experiments
+
+import (
+	"sync"
+
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+)
+
+// Pool bounds how many simulations run concurrently across all experiments
+// sharing an Env. A nil Pool (or one worker) means fully serial execution.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool admitting up to workers concurrent jobs; counts
+// below one are clamped to one (serial).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return cap(p.sem)
+}
+
+// sweep runs n independent jobs, bounded by the Env's pool, and returns the
+// lowest-indexed error. Jobs write their output into index i of a
+// caller-owned slice, which keeps collection order — and therefore report
+// bytes — independent of the worker count. Jobs must not call sweep
+// themselves: nested sweeps could exhaust the pool and deadlock.
+func (e Env) sweep(n int, job func(i int) error) error {
+	if e.pool.Workers() <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e.pool.sem <- struct{}{}
+			defer func() { <-e.pool.sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gather runs whole experiments concurrently (serially for a one-worker
+// Env) and returns the lowest-indexed error. Unlike sweep it does not hold
+// pool slots — the closures are coordinators whose inner simulations are
+// what the pool bounds.
+func (e Env) gather(fs ...func() error) error {
+	if e.pool.Workers() <= 1 {
+		for _, f := range fs {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(fs))
+	var wg sync.WaitGroup
+	for i, f := range fs {
+		wg.Add(1)
+		go func(i int, f func() error) {
+			defer wg.Done()
+			errs[i] = f()
+		}(i, f)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simCache memoizes kernel definitions and uninstrumented reference runs
+// across the experiments sharing an Env. Entries are built at most once
+// even under concurrent access.
+type simCache struct {
+	mu     sync.Mutex
+	defs   map[int]*loops.Def
+	actual map[actualKey]*actualEntry
+}
+
+// actualKey identifies one reference run: loop models are memoized by
+// pointer (Kernel returns a stable pointer per kernel number), and the
+// machine configuration is a comparable value.
+type actualKey struct {
+	loop *program.Loop
+	cfg  machine.Config
+}
+
+type actualEntry struct {
+	once sync.Once
+	res  *machine.Result
+	err  error
+}
+
+func newSimCache() *simCache {
+	return &simCache{
+		defs:   make(map[int]*loops.Def),
+		actual: make(map[actualKey]*actualEntry),
+	}
+}
+
+// Kernel returns the model of Livermore kernel n, memoized per Env so that
+// every experiment sees the same definition pointer — which in turn lets
+// Actual share one reference run per (kernel, configuration).
+func (e Env) Kernel(n int) (*loops.Def, error) {
+	if e.cache == nil {
+		return loops.Get(n)
+	}
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	if def, ok := e.cache.defs[n]; ok {
+		return def, nil
+	}
+	def, err := loops.Get(n)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.defs[n] = def
+	return def, nil
+}
+
+// Actual returns the uninstrumented (ground truth) simulation of the loop
+// under cfg. Runs are memoized by (loop pointer, configuration): the
+// tables, the accuracy study and every ablation point previously re-ran the
+// same reference simulation per plan. The returned Result is shared across
+// callers and must be treated as immutable.
+func (e Env) Actual(l *program.Loop, cfg machine.Config) (*machine.Result, error) {
+	if e.cache == nil {
+		return machine.Run(l, instr.NonePlan(), cfg)
+	}
+	key := actualKey{loop: l, cfg: cfg}
+	e.cache.mu.Lock()
+	ent, ok := e.cache.actual[key]
+	if !ok {
+		ent = &actualEntry{}
+		e.cache.actual[key] = ent
+	}
+	e.cache.mu.Unlock()
+	ent.once.Do(func() {
+		ent.res, ent.err = machine.Run(l, instr.NonePlan(), cfg)
+	})
+	return ent.res, ent.err
+}

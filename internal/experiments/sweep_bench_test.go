@@ -1,0 +1,40 @@
+package experiments_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+// BenchmarkRunAll measures the full evaluation at several pool sizes.
+// Each iteration starts from a fresh Env so the reference-run cache is
+// cold and every simulation is really executed.
+func BenchmarkRunAll(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := experiments.ExactEnv().WithWorkers(workers)
+				if err := experiments.RunAll(io.Discard, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMarkdownReport measures the heavier Markdown report (every
+// experiment, extension study and ablation) at several pool sizes.
+func BenchmarkMarkdownReport(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := experiments.ExactEnv().WithWorkers(workers)
+				if err := experiments.WriteMarkdownReport(io.Discard, env); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

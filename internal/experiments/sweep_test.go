@@ -1,0 +1,157 @@
+package experiments_test
+
+import (
+	"bytes"
+	"testing"
+
+	"perturb/internal/experiments"
+	"perturb/internal/loops"
+)
+
+// TestRunAllWorkersInvariance is the acceptance check for the parallel
+// sweep runner: the full evaluation must render byte-identically whether
+// the simulations run serially or on a pool of workers.
+func TestRunAllWorkersInvariance(t *testing.T) {
+	var serial bytes.Buffer
+	if err := experiments.RunAll(&serial, experiments.ExactEnv().WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := experiments.RunAll(&parallel, experiments.ExactEnv().WithWorkers(8)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("RunAll output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- 8 workers ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestMarkdownReportWorkersInvariance checks the same property for the
+// Markdown report, which fans out every experiment including the
+// extension studies and ablations.
+func TestMarkdownReportWorkersInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	var serial bytes.Buffer
+	if err := experiments.WriteMarkdownReport(&serial, experiments.ExactEnv().WithWorkers(1)); err != nil {
+		t.Fatal(err)
+	}
+	var parallel bytes.Buffer
+	if err := experiments.WriteMarkdownReport(&parallel, experiments.ExactEnv().WithWorkers(8)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Error("markdown report differs between 1 and 8 workers")
+	}
+}
+
+func TestPoolWorkersClamped(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {4, 4},
+	} {
+		if got := experiments.NewPool(tc.in).Workers(); got != tc.want {
+			t.Errorf("NewPool(%d).Workers() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	var nil_ *experiments.Pool
+	if got := nil_.Workers(); got != 1 {
+		t.Errorf("(*Pool)(nil).Workers() = %d, want 1", got)
+	}
+}
+
+// TestKernelMemoized checks that an Env hands out one stable definition
+// pointer per kernel, the property the Actual run cache keys on.
+func TestKernelMemoized(t *testing.T) {
+	env := experiments.PaperEnv()
+	a, err := env.Kernel(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Kernel(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Kernel(17) returned distinct pointers from one Env")
+	}
+	if _, err := env.Kernel(9999); err == nil {
+		t.Error("Kernel(9999) should fail")
+	}
+}
+
+// TestActualMemoized checks that the uninstrumented reference run is
+// computed once per (kernel, configuration) and shared.
+func TestActualMemoized(t *testing.T) {
+	env := experiments.PaperEnv()
+	def, err := env.Kernel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.Actual(def.Loop, env.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Actual(def.Loop, env.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Actual returned distinct results for the same (loop, config)")
+	}
+	cfg := env.Cfg
+	cfg.Procs = 2
+	c, err := env.Actual(def.Loop, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("Actual shared a result across different configurations")
+	}
+	// Without a cache the call still works, just uncached.
+	var bare experiments.Env
+	bare.Cfg = env.Cfg
+	fresh, err := loops.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.Actual(fresh.Loop, bare.Cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWithWorkersKeepsCache checks that widening the pool does not drop
+// an Env's memoized reference runs.
+func TestWithWorkersKeepsCache(t *testing.T) {
+	env := experiments.PaperEnv()
+	def, err := env.Kernel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.Actual(def.Loop, env.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := env.WithWorkers(4)
+	if wide.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", wide.Workers())
+	}
+	b, err := wide.Actual(def.Loop, env.Cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("WithWorkers dropped the reference-run cache")
+	}
+}
+
+// TestSweepPropagatesErrors checks that a failing experiment surfaces its
+// error on both the serial and the parallel path.
+func TestSweepPropagatesErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		env := experiments.ExactEnv().WithWorkers(workers)
+		if _, err := experiments.Scaling(env, 9999, nil); err == nil {
+			t.Errorf("workers=%d: Scaling(9999) should fail", workers)
+		}
+	}
+}

@@ -63,18 +63,21 @@ func runTable(env Env, withSync bool) (*TableResult, error) {
 		res.Name = "Table 2 (event-based analysis)"
 		paper = paperTable2
 	}
-	for _, n := range loops.DoacrossNumbers() {
-		def, err := loops.Get(n)
+	ns := loops.DoacrossNumbers()
+	res.Rows = make([]TableRow, len(ns))
+	err := env.sweep(len(ns), func(i int) error {
+		n := ns[i]
+		def, err := env.Kernel(n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		actual, err := machine.Run(def.Loop, instr.NonePlan(), env.Cfg)
+		actual, err := env.Actual(def.Loop, env.Cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d actual run: %w", n, err)
+			return fmt.Errorf("experiments: LL%d actual run: %w", n, err)
 		}
 		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, withSync), env.Cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d measured run: %w", n, err)
+			return fmt.Errorf("experiments: LL%d measured run: %w", n, err)
 		}
 		cal := env.Calibration(n)
 		var approx *core.Approximation
@@ -84,17 +87,17 @@ func runTable(env Env, withSync bool) (*TableResult, error) {
 			approx, err = core.TimeBased(measured.Trace, cal)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("experiments: LL%d analysis: %w", n, err)
+			return fmt.Errorf("experiments: LL%d analysis: %w", n, err)
 		}
 		mRatio, err := metrics.ExecutionRatio(measured.Duration, actual.Duration)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		aRatio, err := metrics.ExecutionRatio(approx.Duration, actual.Duration)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Rows = append(res.Rows, TableRow{
+		res.Rows[i] = TableRow{
 			Loop:            n,
 			Measured:        mRatio,
 			Approx:          aRatio,
@@ -106,7 +109,11 @@ func runTable(env Env, withSync bool) (*TableResult, error) {
 			WaitsKept:       approx.WaitsKept,
 			WaitsRemoved:    approx.WaitsRemoved,
 			WaitsIntroduced: approx.WaitsIntroduced,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -197,7 +204,7 @@ func (r *Table3Result) Render(w io.Writer) error {
 // loop17Approximation runs the Table-2 pipeline for loop 17 and returns the
 // event-based approximation (the source for Table 3 and Figures 4 and 5).
 func loop17Approximation(env Env) (*core.Approximation, *machine.Result, error) {
-	def, err := loops.Get(17)
+	def, err := env.Kernel(17)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -23,11 +23,26 @@ func benchLoop(iters int) *program.Loop {
 		Loop()
 }
 
+// lockHeavyLoop serializes almost entirely on one FIFO lock, exercising
+// the lock wait queue and arbitration path rather than the compute path.
+func lockHeavyLoop(iters int) *program.Loop {
+	return program.NewBuilder("bench-locks", 0, program.DOALL, iters).
+		Compute("w", 200).
+		LockStmt(0).
+		Compute("c1", 900).
+		UnlockStmt(0).
+		LockStmt(1).
+		Compute("c2", 700).
+		UnlockStmt(1).
+		Loop()
+}
+
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	l := benchLoop(2048)
 	cfg := machine.Alliant()
 	plan := instr.FullPlan(instr.Uniform(5000), true)
 	var events int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := machine.Run(l, plan, cfg)
@@ -42,6 +57,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkSimulatorUninstrumented(b *testing.B) {
 	l := benchLoop(2048)
 	cfg := machine.Alliant()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := machine.Run(l, instr.NonePlan(), cfg); err != nil {
@@ -54,9 +70,52 @@ func BenchmarkSimulatorDynamicSchedule(b *testing.B) {
 	l := benchLoop(2048)
 	cfg := machine.Alliant()
 	cfg.Schedule = machine.Dynamic
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := machine.Run(l, instr.NonePlan(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorSchedules measures the fully instrumented hot path
+// under each iteration-scheduling policy.
+func BenchmarkSimulatorSchedules(b *testing.B) {
+	plan := instr.FullPlan(instr.Uniform(5000), true)
+	for _, tc := range []struct {
+		name  string
+		sched program.Schedule
+	}{
+		{"Blocked", machine.Blocked},
+		{"Interleaved", machine.Interleaved},
+		{"Dynamic", machine.Dynamic},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			l := benchLoop(2048)
+			cfg := machine.Alliant()
+			cfg.Schedule = tc.sched
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := machine.Run(l, plan, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorLockHeavy stresses the lock queues: nearly every
+// iteration blocks, so the run is dominated by park/wake transitions.
+func BenchmarkSimulatorLockHeavy(b *testing.B) {
+	l := lockHeavyLoop(4096)
+	cfg := machine.Alliant()
+	plan := instr.FullPlan(instr.Uniform(5000), true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Run(l, plan, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

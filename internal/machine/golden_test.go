@@ -1,0 +1,214 @@
+package machine_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perturb/internal/instr"
+	"perturb/internal/machine"
+	"perturb/internal/program"
+	"perturb/internal/trace"
+)
+
+// The simulator golden suite pins machine.Run output byte for byte on the
+// synchronization and scheduling shapes the optimization work must not
+// disturb: all three iteration schedules, advance/await at distance 1 and
+// 2, FIFO locks, partial instrumentation, and the zero-overhead actual run
+// (whose tied timestamps exercise the canonical event ordering).
+// Regenerate after a deliberate semantic change with:
+//
+//	go test -run TestSimGolden -update ./internal/machine
+var updateSim = flag.Bool("update", false, "rewrite the sim golden files from the current simulator")
+
+// simGoldenDir is the shared golden directory at the repository root.
+const simGoldenDir = "../../testdata/golden"
+
+type simScenario struct {
+	name string
+	loop *program.Loop
+	plan instr.Plan
+	cfg  machine.Config
+}
+
+// simLoop is the canonical DOACROSS shape: sequential head and tail, an
+// iteration-ordered critical region, a FIFO lock, and jittered compute.
+func simLoop(iters, distance int) *program.Loop {
+	return program.NewBuilder("sim-golden doacross", 0, program.DOACROSS, iters).
+		Distance(distance).
+		Head("setup", 900).
+		Compute("pre", 1100).
+		CriticalBegin(0).
+		ComputeJitter("critical", 700, 300).
+		CriticalEnd(0).
+		LockStmt(1).
+		Compute("locked", 500).
+		UnlockStmt(1).
+		Compute("post", 1300).
+		Tail("teardown", 800).
+		Loop()
+}
+
+// lockLoop is a DOALL reduction serialized by one FIFO lock, with enough
+// jitter that request order differs from iteration order.
+func goldenLockLoop(iters int) *program.Loop {
+	return program.NewBuilder("sim-golden locks", 0, program.DOALL, iters).
+		ComputeJitter("partial", 1500, 2500).
+		LockStmt(3).
+		Compute("fold", 900).
+		UnlockStmt(3).
+		Loop()
+}
+
+// serialLoop exercises the sequential/vector paths, including a
+// vectorizable statement and head/tail statements.
+func serialLoop(mode program.Mode) *program.Loop {
+	return program.NewBuilder("sim-golden serial", 0, mode, 10).
+		Head("init", 600).
+		Compute("scalar", 1000).
+		Vector("vectorizable", 2400).
+		ComputeJitter("jittered", 500, 400).
+		Tail("finish", 700).
+		Loop()
+}
+
+func simScenarios() []simScenario {
+	cfg := machine.Alliant()
+	cfg.Procs = 4
+
+	blocked := cfg
+	blocked.Schedule = machine.Blocked
+	dynamic := cfg
+	dynamic.Schedule = machine.Dynamic
+	three := cfg
+	three.Procs = 3
+
+	full := instr.FullPlan(instr.Uniform(500), true)
+	// partial instruments only the first compute statement of serialLoop's
+	// body (id 1) plus the tail (id 4), pinning the Statements-map path.
+	partial := instr.Plan{
+		Statements:  map[int]bool{1: true, 4: true},
+		Sync:        true,
+		LoopMarkers: true,
+		Overheads:   instr.Uniform(500),
+	}
+
+	return []simScenario{
+		{"sim_doacross_interleaved", simLoop(12, 1), full, cfg},
+		{"sim_doacross_blocked", simLoop(12, 1), full, blocked},
+		{"sim_doacross_dynamic", simLoop(12, 1), full, dynamic},
+		{"sim_doacross_dist2", simLoop(10, 2), full, three},
+		{"sim_locks", goldenLockLoop(12), full, cfg},
+		{"sim_locks_actual", goldenLockLoop(12), instr.NonePlan(), cfg},
+		{"sim_serial_partial", serialLoop(program.Sequential), partial, cfg},
+		{"sim_vector", serialLoop(program.Vector), full, cfg},
+	}
+}
+
+// renderSimResult renders a Result deterministically: the ground-truth
+// statistics as comment lines, then the trace in the text codec.
+func renderSimResult(t *testing.T, res *machine.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "# sim-golden v1\n")
+	fmt.Fprintf(&buf, "# duration=%d loopstart=%d loopend=%d events=%d\n",
+		res.Duration, res.LoopStart, res.LoopEnd, res.Events)
+	fmt.Fprintf(&buf, "# waiting=%v\n", res.Waiting)
+	fmt.Fprintf(&buf, "# awaitwaiting=%v\n", res.AwaitWaiting)
+	fmt.Fprintf(&buf, "# busy=%v\n", res.Busy)
+	fmt.Fprintf(&buf, "# assignment=%v\n", res.Assignment)
+	if err := res.Trace.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSimGolden(t *testing.T) {
+	for _, sc := range simScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			res, err := machine.Run(sc.loop, sc.plan, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Trace.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			got := renderSimResult(t, res)
+			path := filepath.Join(simGoldenDir, sc.name+".txt")
+			if *updateSim {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to generate): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("simulator output drifted from %s:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestSimDeterminism pins that two identical Run calls produce bitwise
+// identical traces and statistics — the property the golden files and the
+// parallel sweep harness both rely on.
+func TestSimDeterminism(t *testing.T) {
+	for _, sc := range simScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			a, err := machine.Run(sc.loop, sc.plan, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := machine.Run(sc.loop, sc.plan, sc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var abuf, bbuf bytes.Buffer
+			if err := a.Trace.WriteBinary(&abuf); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Trace.WriteBinary(&bbuf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+				t.Fatal("two identical Run calls encoded differently")
+			}
+			if !bytes.Equal(renderSimResult(t, a), renderSimResult(t, b)) {
+				t.Fatal("two identical Run calls produced different statistics")
+			}
+		})
+	}
+}
+
+// TestSimGoldenCoverage guards the suite itself: every schedule discipline
+// and every statement kind must appear across the scenarios, so a future
+// edit cannot quietly drop coverage.
+func TestSimGoldenCoverage(t *testing.T) {
+	schedules := map[program.Schedule]bool{}
+	kinds := map[program.StmtKind]bool{}
+	for _, sc := range simScenarios() {
+		schedules[sc.cfg.Schedule] = true
+		for _, s := range sc.loop.Stmts() {
+			kinds[s.Kind] = true
+		}
+	}
+	for s := program.Schedule(0); int(s) < program.NumSchedules; s++ {
+		if !schedules[s] {
+			t.Errorf("no golden scenario uses schedule %v", s)
+		}
+	}
+	for _, k := range []program.StmtKind{
+		program.Compute, program.Await, program.Advance, program.Lock, program.Unlock,
+	} {
+		if !kinds[k] {
+			t.Errorf("no golden scenario uses statement kind %v", k)
+		}
+	}
+	_ = trace.NoVar
+}

@@ -1,0 +1,65 @@
+package machine
+
+import "perturb/internal/trace"
+
+// resumePoint is one (time, processor) entry of the DES priority queue.
+// Ties break to the lower processor id so the simulation is deterministic;
+// processor ids are unique, so the order is strict and total.
+type resumePoint struct {
+	at   trace.Time
+	proc int32
+}
+
+func (p resumePoint) less(o resumePoint) bool {
+	if p.at != o.at {
+		return p.at < o.at
+	}
+	return p.proc < o.proc
+}
+
+// resumeQueue is an inline binary min-heap over resumePoint values. It
+// replaces container/heap on the simulator hot path: pushes and pops move
+// plain values with no interface boxing, so steady-state operation does not
+// allocate (the backing array is preallocated to the processor count, the
+// maximum number of simultaneously runnable processors).
+type resumeQueue []resumePoint
+
+func (q *resumeQueue) push(p resumePoint) {
+	h := append(*q, p)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	*q = h
+}
+
+func (q *resumeQueue) pop() resumePoint {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].less(h[l]) {
+			m = r
+		}
+		if !h[m].less(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	*q = h
+	return top
+}

@@ -1,8 +1,8 @@
 package machine
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 
 	"perturb/internal/instr"
 	"perturb/internal/program"
@@ -24,6 +24,13 @@ import (
 // orders processor resume points globally, which is what makes FIFO lock
 // arbitration (and dynamic self-scheduling) exact — a lock request can only
 // be granted once no earlier request can still arrive.
+//
+// The hot path is allocation free in steady state: events accumulate in
+// preallocated per-processor buffers sized from the plan's event count, the
+// resume queue is an inline value heap, and synchronization state lives in
+// flat slices indexed by (variable, iteration). The per-processor streams
+// are already time ordered when the simulation ends, so the canonical trace
+// is produced by a k-way merge rather than a global sort.
 func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
@@ -34,7 +41,7 @@ func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	if err := p.Overheads.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{loop: l, plan: p, cfg: cfg, tr: trace.New(cfg.Procs)}
+	r := &run{loop: l, plan: p, cfg: cfg, perProc: make([][]trace.Event, cfg.Procs)}
 	switch l.Mode {
 	case program.Sequential, program.Vector:
 		r.runSerial()
@@ -45,9 +52,8 @@ func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("machine: unknown loop mode %v", l.Mode)
 	}
-	r.res.Trace = r.tr
-	r.res.Trace.Sort()
-	r.res.Events = r.tr.Len()
+	r.res.Trace = r.finish()
+	r.res.Events = r.res.Trace.Len()
 	return &r.res, nil
 }
 
@@ -55,15 +61,70 @@ type run struct {
 	loop *program.Loop
 	plan instr.Plan
 	cfg  Config
-	tr   *trace.Trace
 	res  Result
+
+	// perProc accumulates each processor's events in emission order.
+	// Per-processor clocks are monotone, so each buffer is time ordered
+	// up to same-time statement ties, which finish canonicalizes.
+	perProc [][]trace.Event
 }
 
 // emit charges the probe overhead for an event of the given kind to *clock
 // and records the event at the resulting time.
 func (r *run) emit(clock *trace.Time, proc, stmt int, kind trace.Kind, iter, v int) {
 	*clock += r.plan.Overheads.ForKind(kind)
-	r.tr.Append(trace.Event{Time: *clock, Stmt: stmt, Proc: proc, Kind: kind, Iter: iter, Var: v})
+	r.perProc[proc] = append(r.perProc[proc],
+		trace.Event{Time: *clock, Stmt: stmt, Proc: proc, Kind: kind, Iter: iter, Var: v})
+}
+
+// finish canonicalizes the per-processor streams and k-way merges them into
+// one trace in the canonical (Time, Proc, Stmt) order — byte-identical to
+// what Trace.Sort would produce on the interleaved emission sequence, since
+// per-processor emission order is preserved for fully tied events.
+func (r *run) finish() *trace.Trace {
+	total := 0
+	for _, evs := range r.perProc {
+		total += len(evs)
+		// Equal-time runs may be emitted out of statement order (zero
+		// overheads tie many events); restore (Time, Stmt) order only
+		// when actually violated, keeping emission order within ties.
+		if !sortedByTimeStmt(evs) {
+			sort.SliceStable(evs, func(i, j int) bool {
+				if evs[i].Time != evs[j].Time {
+					return evs[i].Time < evs[j].Time
+				}
+				return evs[i].Stmt < evs[j].Stmt
+			})
+		}
+	}
+	out := trace.NewWithCap(r.cfg.Procs, total)
+	heads := make([]int, len(r.perProc))
+	for out.Len() < total {
+		best := -1
+		for p := range r.perProc {
+			if heads[p] >= len(r.perProc[p]) {
+				continue
+			}
+			// Streams hold distinct processors, so ties on Time resolve
+			// by processor id: the ascending scan keeps the first.
+			if best < 0 || r.perProc[p][heads[p]].Time < r.perProc[best][heads[best]].Time {
+				best = p
+			}
+		}
+		out.Append(r.perProc[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func sortedByTimeStmt(evs []trace.Event) bool {
+	for i := 1; i < len(evs); i++ {
+		a, b := &evs[i-1], &evs[i]
+		if b.Time < a.Time || (b.Time == a.Time && b.Stmt < a.Stmt) {
+			return false
+		}
+	}
+	return true
 }
 
 // stmtCost returns the execution cost of statement s in iteration iter,
@@ -89,6 +150,7 @@ func (r *run) execCompute(clock *trace.Time, proc int, s program.Stmt, iter int)
 
 // runSerial executes Sequential and Vector loops on processor 0.
 func (r *run) runSerial() {
+	r.perProc[0] = make([]trace.Event, 0, r.plan.EventCount(r.loop))
 	var clock trace.Time
 	for _, s := range r.loop.Head {
 		r.execCompute(&clock, 0, s, trace.NoIter)
@@ -120,73 +182,84 @@ func (r *run) runSerial() {
 
 // procState tracks one simulated processor through the loop.
 type procState struct {
-	id    int
+	id    int32
 	clock trace.Time
-
-	// Iteration cursor: static schedules walk iters; Dynamic pulls from
-	// the runner's shared cursor.
-	iters   []int
-	iterPos int
-	curIter int
-	stmtPos int
 
 	blocked bool // parked on a sync variable or lock queue
 	arrived bool // reached the end-of-loop barrier
 
+	// Iteration cursor: static schedules step nextIter by iterStep until
+	// endIter; Dynamic pulls from the runner's shared cursor.
+	nextIter int
+	endIter  int
+	iterStep int
+	curIter  int
+	stmtPos  int
+
 	// pending is the arrival time at a blocking operation, for waiting
-	// accounting and for the s_wait resume path.
+	// accounting and for the s_wait resume path; pendingStmtID and
+	// pendingVar identify the statement for the resume event.
 	pendingArrival trace.Time
-	pendingStmt    program.Stmt
+	pendingStmtID  int32
+	pendingVar     int32
+
+	// next chains parked processors into per-(variable, iteration) waiter
+	// lists without allocating; -1 terminates the list.
+	next int32
 }
 
-// resumeQueue is the DES priority queue of (time, proc) resume points; ties
-// break to the lower processor id so the simulation is deterministic.
-type resumeQueue []resumePoint
-
-type resumePoint struct {
-	at   trace.Time
-	proc *procState
-}
-
-func (q resumeQueue) Len() int { return len(q) }
-func (q resumeQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].proc.id < q[j].proc.id
-}
-func (q resumeQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *resumeQueue) Push(x any)   { *q = append(*q, x.(resumePoint)) }
-func (q *resumeQueue) Pop() any {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+// stmtMeta is the precomputed per-body-statement execution metadata: the
+// plan and synchronization-variable lookups are resolved once per Run so
+// the DES inner loop never touches a map.
+type stmtMeta struct {
+	kind         program.StmtKind
+	varIdx       int32 // index into advance tables (Await/Advance) or locks (Lock/Unlock)
+	instrumented bool  // Compute: the plan probes this statement
 }
 
 // lockState is one FIFO mutual-exclusion lock. freeAt is the completion
 // time of the most recent release: a release executes in the DES at its
 // statement's pop time but completes later, and a request arriving in that
-// window must pay the wait path even though held is already false.
+// window must pay the wait path even though held is already false. The
+// waiter queue is a fixed ring of processor ids (at most Procs-1 park).
 type lockState struct {
 	held   bool
 	freeAt trace.Time
-	queue  []*procState // FIFO by request time (pop order)
+	queue  []int32
+	qhead  int
+	qlen   int
+}
+
+func (lk *lockState) enqueue(id int32) {
+	lk.queue[(lk.qhead+lk.qlen)%len(lk.queue)] = id
+	lk.qlen++
+}
+
+func (lk *lockState) dequeue() int32 {
+	id := lk.queue[lk.qhead]
+	lk.qhead = (lk.qhead + 1) % len(lk.queue)
+	lk.qlen--
+	return id
 }
 
 type concRunner struct {
 	*run
 	queue        resumeQueue
-	procs        []*procState
+	procs        []procState
 	waiting      []trace.Time
 	awaitWaiting []trace.Time
 	arriveTime   []trace.Time
 	arrivedCount int
 
-	advTime      map[int]map[int]trace.Time     // var -> iter -> advance completion
-	awaitWaiters map[trace.PairKey][]*procState // (var, target) -> parked procs
-	locks        map[int]*lockState
+	// advPosted[v][i] is the completion time of advance(v, i), or -1 if it
+	// has not executed yet; waiterHead[v][i] heads the intrusive list of
+	// processors parked on that advance (-1 = none). v is the dense index
+	// of the loop's v-th synchronization variable, i the iteration.
+	advPosted  [][]trace.Time
+	waiterHead [][]int32
+
+	locks    []lockState
+	bodyMeta []stmtMeta
 
 	nextDynamic int // Dynamic schedule cursor
 }
@@ -194,6 +267,18 @@ type concRunner struct {
 func (r *run) runConcurrent() error {
 	nProcs := r.cfg.Procs
 	nIters := r.loop.Iters
+
+	// Sequential head on processor 0. Buffer capacity covers the head,
+	// loop markers and tail plus processor 0's share of the body.
+	syncVars := r.loop.SyncVars()
+	lockVars := r.loop.LockVars()
+	perIter := r.perIterEvents()
+	maxItersPerProc := (nIters + nProcs - 1) / nProcs
+	procCap := perIter*maxItersPerProc + 2 // body share + barrier pair
+	r.perProc[0] = make([]trace.Event, 0, procCap+len(r.loop.Head)+len(r.loop.Tail)+2)
+	for p := 1; p < nProcs; p++ {
+		r.perProc[p] = make([]trace.Event, 0, procCap)
+	}
 
 	var clock0 trace.Time
 	for _, s := range r.loop.Head {
@@ -207,19 +292,40 @@ func (r *run) runConcurrent() error {
 
 	c := &concRunner{
 		run:          r,
-		procs:        make([]*procState, nProcs),
+		queue:        make(resumeQueue, 0, nProcs),
+		procs:        make([]procState, nProcs),
 		waiting:      make([]trace.Time, nProcs),
 		awaitWaiting: make([]trace.Time, nProcs),
 		arriveTime:   make([]trace.Time, nProcs),
-		advTime:      make(map[int]map[int]trace.Time),
-		awaitWaiters: make(map[trace.PairKey][]*procState),
-		locks:        make(map[int]*lockState),
+		advPosted:    make([][]trace.Time, len(syncVars)),
+		waiterHead:   make([][]int32, len(syncVars)),
+		locks:        make([]lockState, len(lockVars)),
+		bodyMeta:     make([]stmtMeta, len(r.loop.Body)),
 	}
-	for _, v := range r.loop.SyncVars() {
-		c.advTime[v] = make(map[int]trace.Time, nIters)
+	for v := range syncVars {
+		posted := make([]trace.Time, nIters)
+		heads := make([]int32, nIters)
+		for i := 0; i < nIters; i++ {
+			posted[i] = -1
+			heads[i] = -1
+		}
+		c.advPosted[v] = posted
+		c.waiterHead[v] = heads
 	}
-	for _, v := range r.loop.LockVars() {
-		c.locks[v] = &lockState{}
+	for v := range lockVars {
+		c.locks[v] = lockState{queue: make([]int32, nProcs)}
+	}
+	for i, s := range r.loop.Body {
+		m := stmtMeta{kind: s.Kind, varIdx: -1}
+		switch s.Kind {
+		case program.Compute:
+			m.instrumented = r.plan.StmtInstrumented(s.ID)
+		case program.Await, program.Advance:
+			m.varIdx = denseIndex(syncVars, s.Var)
+		case program.Lock, program.Unlock:
+			m.varIdx = denseIndex(lockVars, s.Var)
+		}
+		c.bodyMeta[i] = m
 	}
 
 	// Static iteration assignment.
@@ -232,28 +338,34 @@ func (r *run) runConcurrent() error {
 		assign[i] = -1
 	}
 	for p := 0; p < nProcs; p++ {
-		ps := &procState{id: p, clock: start, curIter: -1}
+		ps := &c.procs[p]
+		ps.id = int32(p)
+		ps.clock = start
+		ps.curIter = -1
+		ps.next = -1
 		switch r.cfg.Schedule {
 		case program.Blocked:
-			for i := p * chunk; i < (p+1)*chunk && i < nIters; i++ {
-				ps.iters = append(ps.iters, i)
+			ps.nextIter = p * chunk
+			ps.endIter = (p + 1) * chunk
+			if ps.endIter > nIters {
+				ps.endIter = nIters
 			}
+			ps.iterStep = 1
 		case program.Dynamic:
-			// Pull-based; no static list.
+			// Pull-based; the cursor fields are unused.
 		default: // Interleaved
-			for i := p; i < nIters; i += nProcs {
-				ps.iters = append(ps.iters, i)
-			}
+			ps.nextIter = p
+			ps.endIter = nIters
+			ps.iterStep = nProcs
 		}
-		c.procs[p] = ps
-		heap.Push(&c.queue, resumePoint{at: start, proc: ps})
+		c.queue.push(resumePoint{at: start, proc: ps.id})
 	}
 
 	// Main DES loop: pop the earliest resume point and run that
 	// processor's next step.
-	for c.queue.Len() > 0 {
-		rp := heap.Pop(&c.queue).(resumePoint)
-		c.step(rp.proc, assign)
+	for len(c.queue) > 0 {
+		rp := c.queue.pop()
+		c.step(&c.procs[rp.proc], assign)
 	}
 	if c.arrivedCount != nProcs {
 		return fmt.Errorf("machine: deadlock in %q: %d of %d processors blocked at the end of simulation (lock held across a dependent await?)",
@@ -305,6 +417,41 @@ func (r *run) runConcurrent() error {
 	return nil
 }
 
+// perIterEvents counts the trace events one loop-body iteration emits under
+// the plan, for sizing the per-processor buffers.
+func (r *run) perIterEvents() int {
+	n := 0
+	for _, s := range r.loop.Body {
+		switch s.Kind {
+		case program.Compute:
+			if r.plan.StmtInstrumented(s.ID) {
+				n++
+			}
+		case program.Await, program.Lock:
+			if r.plan.Sync {
+				n += 2 // awaitB+awaitE, lock-req+lock-acq
+			}
+		case program.Advance, program.Unlock:
+			if r.plan.Sync {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// denseIndex maps a synchronization-variable id to its position in the
+// loop's first-use-ordered variable list. The lists hold a handful of
+// entries, so a linear scan beats a map and allocates nothing.
+func denseIndex(vars []int, v int) int32 {
+	for i, x := range vars {
+		if x == v {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
 // step runs one statement (or scheduling action) of proc ps.
 func (c *concRunner) step(ps *procState, assign []int) {
 	if ps.blocked || ps.arrived {
@@ -317,7 +464,7 @@ func (c *concRunner) step(ps *procState, assign []int) {
 		if !c.takeIteration(ps, assign) {
 			// No work left: arrive at the barrier.
 			if c.plan.LoopMarkers {
-				c.emit(&ps.clock, ps.id, -2, trace.KindBarrierArrive, 0, 0)
+				c.emit(&ps.clock, int(ps.id), -2, trace.KindBarrierArrive, 0, 0)
 			}
 			c.arriveTime[ps.id] = ps.clock
 			ps.arrived = true
@@ -329,20 +476,25 @@ func (c *concRunner) step(ps *procState, assign []int) {
 		}
 	}
 	s := c.loop.Body[ps.stmtPos]
-	switch s.Kind {
+	m := c.bodyMeta[ps.stmtPos]
+	switch m.kind {
 	case program.Compute:
-		c.execCompute(&ps.clock, ps.id, s, ps.curIter)
+		ps.clock += c.stmtCost(s, ps.curIter)
+		if m.instrumented {
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindCompute, ps.curIter, trace.NoVar)
+		}
 		c.advanceCursor(ps)
 
 	case program.Await:
 		target := ps.curIter - c.loop.Distance
 		if c.plan.Sync {
-			c.emit(&ps.clock, ps.id, s.ID, trace.KindAwaitB, target, s.Var)
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindAwaitB, target, s.Var)
 		}
 		arrival := ps.clock
 		rel, posted := trace.Time(0), false
 		if target >= 0 {
-			rel, posted = c.advTime[s.Var][target]
+			rel = c.advPosted[m.varIdx][target]
+			posted = rel >= 0
 		}
 		targetFuture := target >= 0 && !posted
 		switch {
@@ -351,9 +503,9 @@ func (c *concRunner) step(ps *procState, assign []int) {
 			// park until it does.
 			ps.blocked = true
 			ps.pendingArrival = arrival
-			ps.pendingStmt = s
-			key := trace.PairKey{Var: s.Var, Iter: target}
-			c.awaitWaiters[key] = append(c.awaitWaiters[key], ps)
+			ps.pendingStmtID = int32(s.ID)
+			ps.pendingVar = int32(s.Var)
+			c.parkAwaiter(m.varIdx, target, ps)
 			return
 		case posted && rel > arrival:
 			// Advance executed but completes later than our arrival.
@@ -363,24 +515,24 @@ func (c *concRunner) step(ps *procState, assign []int) {
 			ps.clock = arrival + c.cfg.SNoWait
 		}
 		if c.plan.Sync {
-			c.emit(&ps.clock, ps.id, s.ID, trace.KindAwaitE, target, s.Var)
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindAwaitE, target, s.Var)
 		}
 		c.advanceCursor(ps)
 
 	case program.Advance:
 		ps.clock += c.cfg.AdvanceOp
 		if c.plan.Sync {
-			c.emit(&ps.clock, ps.id, s.ID, trace.KindAdvance, ps.curIter, s.Var)
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindAdvance, ps.curIter, s.Var)
 		}
-		c.advTime[s.Var][ps.curIter] = ps.clock
-		c.wakeAwaiters(trace.PairKey{Var: s.Var, Iter: ps.curIter}, ps.clock)
+		c.advPosted[m.varIdx][ps.curIter] = ps.clock
+		c.wakeAwaiters(m.varIdx, ps.curIter, s.Var, ps.clock)
 		c.advanceCursor(ps)
 
 	case program.Lock:
 		if c.plan.Sync {
-			c.emit(&ps.clock, ps.id, s.ID, trace.KindLockReq, ps.curIter, s.Var)
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindLockReq, ps.curIter, s.Var)
 		}
-		lk := c.locks[s.Var]
+		lk := &c.locks[m.varIdx]
 		if !lk.held {
 			arrival := ps.clock
 			lk.held = true
@@ -394,7 +546,7 @@ func (c *concRunner) step(ps *procState, assign []int) {
 				ps.clock = arrival + c.cfg.SNoWait
 			}
 			if c.plan.Sync {
-				c.emit(&ps.clock, ps.id, s.ID, trace.KindLockAcq, ps.curIter, s.Var)
+				c.emit(&ps.clock, int(ps.id), s.ID, trace.KindLockAcq, ps.curIter, s.Var)
 			}
 			c.advanceCursor(ps)
 			break
@@ -402,20 +554,21 @@ func (c *concRunner) step(ps *procState, assign []int) {
 		// Queue FIFO by request (pop) time.
 		ps.blocked = true
 		ps.pendingArrival = ps.clock
-		ps.pendingStmt = s
-		lk.queue = append(lk.queue, ps)
+		ps.pendingStmtID = int32(s.ID)
+		ps.pendingVar = int32(s.Var)
+		lk.enqueue(ps.id)
 		return
 
 	case program.Unlock:
 		ps.clock += c.cfg.AdvanceOp
 		if c.plan.Sync {
-			c.emit(&ps.clock, ps.id, s.ID, trace.KindLockRel, ps.curIter, s.Var)
+			c.emit(&ps.clock, int(ps.id), s.ID, trace.KindLockRel, ps.curIter, s.Var)
 		}
-		c.releaseLock(c.locks[s.Var], ps.clock)
+		c.releaseLock(&c.locks[m.varIdx], ps.clock)
 		c.advanceCursor(ps)
 	}
 	if !ps.blocked && !ps.arrived {
-		heap.Push(&c.queue, resumePoint{at: ps.clock, proc: ps})
+		c.queue.push(resumePoint{at: ps.clock, proc: ps.id})
 	}
 }
 
@@ -438,14 +591,14 @@ func (c *concRunner) takeIteration(ps *procState, assign []int) bool {
 		ps.curIter = c.nextDynamic
 		c.nextDynamic++
 	} else {
-		if ps.iterPos >= len(ps.iters) {
+		if ps.nextIter >= ps.endIter {
 			return false
 		}
-		ps.curIter = ps.iters[ps.iterPos]
-		ps.iterPos++
+		ps.curIter = ps.nextIter
+		ps.nextIter += ps.iterStep
 	}
 	ps.stmtPos = 0
-	assign[ps.curIter] = ps.id
+	assign[ps.curIter] = int(ps.id)
 	return true
 }
 
@@ -455,22 +608,43 @@ func (c *concRunner) noteAwaitWait(ps *procState, w trace.Time) {
 	c.awaitWaiting[ps.id] += w
 }
 
-// wakeAwaiters resumes processors parked on the given advance.
-func (c *concRunner) wakeAwaiters(key trace.PairKey, rel trace.Time) {
-	waiters := c.awaitWaiters[key]
-	if len(waiters) == 0 {
+// parkAwaiter appends the processor to the FIFO waiter list for
+// advance(varIdx, iter). The walk to the tail is bounded by the processor
+// count, which keeps insertion allocation free.
+func (c *concRunner) parkAwaiter(varIdx int32, iter int, ps *procState) {
+	ps.next = -1
+	heads := c.waiterHead[varIdx]
+	if heads[iter] < 0 {
+		heads[iter] = ps.id
 		return
 	}
-	delete(c.awaitWaiters, key)
-	for _, w := range waiters {
+	tail := heads[iter]
+	for c.procs[tail].next >= 0 {
+		tail = c.procs[tail].next
+	}
+	c.procs[tail].next = ps.id
+}
+
+// wakeAwaiters resumes processors parked on the given advance.
+func (c *concRunner) wakeAwaiters(varIdx int32, iter, varID int, rel trace.Time) {
+	heads := c.waiterHead[varIdx]
+	pi := heads[iter]
+	if pi < 0 {
+		return
+	}
+	heads[iter] = -1
+	for pi >= 0 {
+		w := &c.procs[pi]
+		pi = w.next
+		w.next = -1
 		c.noteAwaitWait(w, rel-w.pendingArrival)
 		w.clock = rel + c.cfg.SWait
 		if c.plan.Sync {
-			c.emit(&w.clock, w.id, w.pendingStmt.ID, trace.KindAwaitE, key.Iter, key.Var)
+			c.emit(&w.clock, int(w.id), int(w.pendingStmtID), trace.KindAwaitE, iter, varID)
 		}
 		w.blocked = false
 		c.advanceCursor(w)
-		heap.Push(&c.queue, resumePoint{at: w.clock, proc: w})
+		c.queue.push(resumePoint{at: w.clock, proc: w.id})
 	}
 }
 
@@ -478,18 +652,17 @@ func (c *concRunner) wakeAwaiters(key trace.PairKey, rel trace.Time) {
 func (c *concRunner) releaseLock(lk *lockState, rel trace.Time) {
 	lk.held = false
 	lk.freeAt = rel
-	if len(lk.queue) == 0 {
+	if lk.qlen == 0 {
 		return
 	}
-	w := lk.queue[0]
-	lk.queue = lk.queue[1:]
+	w := &c.procs[lk.dequeue()]
 	lk.held = true
 	c.noteAwaitWait(w, rel-w.pendingArrival)
 	w.clock = rel + c.cfg.SWait
 	if c.plan.Sync {
-		c.emit(&w.clock, w.id, w.pendingStmt.ID, trace.KindLockAcq, w.curIter, w.pendingStmt.Var)
+		c.emit(&w.clock, int(w.id), int(w.pendingStmtID), trace.KindLockAcq, w.curIter, int(w.pendingVar))
 	}
 	w.blocked = false
 	c.advanceCursor(w)
-	heap.Push(&c.queue, resumePoint{at: w.clock, proc: w})
+	c.queue.push(resumePoint{at: w.clock, proc: w.id})
 }

@@ -20,6 +20,28 @@ func New(procs int) *Trace {
 	return &Trace{Procs: procs}
 }
 
+// NewWithCap returns an empty trace for the given processor count whose
+// event buffer is preallocated to hold capacity events. Producers that know
+// (or can bound) their event count ahead of time should use it so hot
+// append loops never reallocate.
+func NewWithCap(procs, capacity int) *Trace {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Trace{Procs: procs, Events: make([]Event, 0, capacity)}
+}
+
+// Grow ensures space for at least n additional events without another
+// allocation, like the append-doubling escape hatch of bytes.Buffer.Grow.
+func (t *Trace) Grow(n int) {
+	if n <= 0 || len(t.Events)+n <= cap(t.Events) {
+		return
+	}
+	grown := make([]Event, len(t.Events), len(t.Events)+n)
+	copy(grown, t.Events)
+	t.Events = grown
+}
+
 // Append adds an event to the trace.
 func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
 
@@ -129,15 +151,23 @@ func (t *Trace) CountKind(k Kind) int {
 }
 
 // Merge combines several traces into one sorted trace. The processor count
-// of the result is the maximum of the inputs'.
+// of the result is the maximum of the inputs'. The output buffer is sized
+// exactly in one allocation; the inputs are never modified.
 func Merge(traces ...*Trace) *Trace {
-	out := New(0)
+	procs, total := 0, 0
 	for _, t := range traces {
 		if t == nil {
 			continue
 		}
-		if t.Procs > out.Procs {
-			out.Procs = t.Procs
+		if t.Procs > procs {
+			procs = t.Procs
+		}
+		total += len(t.Events)
+	}
+	out := NewWithCap(procs, total)
+	for _, t := range traces {
+		if t == nil {
+			continue
 		}
 		out.Events = append(out.Events, t.Events...)
 	}

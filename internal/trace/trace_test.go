@@ -210,3 +210,66 @@ func TestEventString(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestNewWithCapPreallocates(t *testing.T) {
+	tr := trace.NewWithCap(4, 128)
+	if tr.Procs != 4 || tr.Len() != 0 {
+		t.Fatalf("NewWithCap shape: procs=%d len=%d", tr.Procs, tr.Len())
+	}
+	if cap(tr.Events) != 128 {
+		t.Fatalf("cap = %d, want 128", cap(tr.Events))
+	}
+	base := &tr.Events[:1][0]
+	for i := 0; i < 128; i++ {
+		tr.Append(trace.Event{Time: trace.Time(i), Kind: trace.KindCompute})
+	}
+	if &tr.Events[0] != base {
+		t.Fatal("appending within capacity reallocated the buffer")
+	}
+	// Negative capacity degrades to an empty buffer rather than panicking.
+	if tr := trace.NewWithCap(1, -5); cap(tr.Events) != 0 {
+		t.Fatalf("negative capacity: cap = %d, want 0", cap(tr.Events))
+	}
+}
+
+func TestGrowReservesSpace(t *testing.T) {
+	tr := trace.New(2)
+	tr.Append(trace.Event{Time: 1, Kind: trace.KindCompute})
+	tr.Grow(64)
+	if cap(tr.Events) < 65 {
+		t.Fatalf("cap = %d, want >= 65", cap(tr.Events))
+	}
+	base := &tr.Events[0]
+	for i := 0; i < 64; i++ {
+		tr.Append(trace.Event{Time: trace.Time(i + 2), Kind: trace.KindCompute})
+	}
+	if &tr.Events[0] != base {
+		t.Fatal("appending within grown capacity reallocated the buffer")
+	}
+	tr.Grow(0)
+	tr.Grow(-3) // no-ops must not shrink or panic
+	if tr.Len() != 65 {
+		t.Fatalf("len = %d, want 65", tr.Len())
+	}
+}
+
+func TestMergeAllocatesExactly(t *testing.T) {
+	a := trace.New(2)
+	b := trace.New(3)
+	for i := 0; i < 10; i++ {
+		a.Append(trace.Event{Time: trace.Time(2 * i), Proc: 1, Kind: trace.KindCompute})
+		b.Append(trace.Event{Time: trace.Time(2*i + 1), Proc: 2, Kind: trace.KindCompute})
+	}
+	m := trace.Merge(a, nil, b)
+	if m.Procs != 3 || m.Len() != 20 {
+		t.Fatalf("merge shape: procs=%d len=%d", m.Procs, m.Len())
+	}
+	if cap(m.Events) != 20 {
+		t.Fatalf("merge cap = %d, want exactly 20", cap(m.Events))
+	}
+	for i := 1; i < m.Len(); i++ {
+		if m.Events[i].Time < m.Events[i-1].Time {
+			t.Fatal("merge output not sorted")
+		}
+	}
+}
