@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim workers-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke selfperturb vet fmt experiments examples clean
 
 all: build test
 
@@ -28,6 +28,21 @@ workers-check:
 	$(GO) run ./cmd/experiments -exact -run all -workers 1 > /tmp/perturb-w1.txt
 	$(GO) run ./cmd/experiments -exact -run all -workers 8 > /tmp/perturb-w8.txt
 	diff /tmp/perturb-w1.txt /tmp/perturb-w8.txt && echo "workers-invariant: OK"
+
+# Telemetry on/off cost of the million-event analysis (EXPERIMENTS.md,
+# "Self-perturbation audit").
+bench-obs:
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchtime 10x .
+
+# -stats must emit a machine-readable JSON line after the human summary.
+stats-smoke:
+	$(GO) run ./cmd/perturb -load testdata/golden/doacross.txt -stats -quiet \
+		2> /tmp/perturb-stats.txt > /dev/null
+	grep -m1 '^{' /tmp/perturb-stats.txt > /dev/null && echo "stats JSON: OK"
+
+# Dogfooded audit: the obs layer's own perturbation of the analysis.
+selfperturb:
+	$(GO) run ./cmd/experiments -run selfperturb
 
 vet:
 	$(GO) vet ./...

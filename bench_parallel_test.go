@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"perturb"
+	"perturb/internal/obs"
+	"perturb/internal/testgen"
 )
 
 // Million-event benchmarks for the sharded event-based engine against the
@@ -30,32 +32,10 @@ var (
 	bigCal   perturb.Calibration
 )
 
-// backwardWaveTrace builds the measured trace of the workload above.
-func backwardWaveTrace(procs, iters int) *perturb.Trace {
-	tr := perturb.NewTrace(procs)
-	t := perturb.Time(0)
-	next := func() perturb.Time { t += 10; return t }
-	tr.Append(perturb.Event{Time: next(), Proc: 0, Stmt: -1, Kind: perturb.KindLoopBegin, Iter: -1, Var: -1})
-	for i := 0; i < iters; i++ {
-		p := procs - 1 - i%procs
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 1, Kind: perturb.KindAwaitB, Iter: i - 1, Var: 0})
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 1, Kind: perturb.KindAwaitE, Iter: i - 1, Var: 0})
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 2, Kind: perturb.KindCompute, Iter: i, Var: -1})
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: 3, Kind: perturb.KindAdvance, Iter: i, Var: 0})
-	}
-	for p := 0; p < procs; p++ {
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: -2, Kind: perturb.KindBarrierArrive, Iter: 0, Var: 0})
-	}
-	for p := 0; p < procs; p++ {
-		tr.Append(perturb.Event{Time: next(), Proc: p, Stmt: -3, Kind: perturb.KindBarrierRelease, Iter: 0, Var: 0})
-	}
-	return tr
-}
-
 func bigBench(b *testing.B) (*perturb.Trace, perturb.Calibration) {
 	b.Helper()
 	bigOnce.Do(func() {
-		bigTrace = backwardWaveTrace(benchProcs, benchIters)
+		bigTrace = testgen.BackwardWave(benchProcs, benchIters)
 		if err := bigTrace.Validate(); err != nil {
 			panic(err)
 		}
@@ -87,6 +67,32 @@ func BenchmarkEventBasedMillionParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := perturb.AnalyzeEventBasedParallel(tr, cal, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tr.Len())/1e6, "Mevents")
+		})
+	}
+}
+
+// BenchmarkObsOverhead times the sharded event-based analysis with the
+// telemetry layer disabled and enabled: the on/off delta is the
+// self-perturbation of our own instrumentation, which the obs design
+// (gated flushes off the hot path) is required to keep under a few
+// percent. Compare the two sub-benchmarks' ns/op.
+func BenchmarkObsOverhead(b *testing.B) {
+	tr, cal := bigBench(b)
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run("telemetry="+name, func(b *testing.B) {
+			obs.SetEnabled(on)
+			defer obs.SetEnabled(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := perturb.AnalyzeEventBasedParallel(tr, cal, 1); err != nil {
 					b.Fatal(err)
 				}
 			}

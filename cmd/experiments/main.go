@@ -4,34 +4,67 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation] [-noise N] [-exact] [-workers N]
+//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation|selfperturb] [-noise N] [-exact] [-workers N]
 //
 // -noise sets the calibration error in per mille (default 8, the
 // paper-scale environment); -exact forces perfect calibration; -workers
 // runs independent simulations concurrently on up to N goroutines
 // (default 1, serial). The output is byte-identical for any worker
 // count — only the wall-clock time changes.
+//
+// -run selfperturb is the exception: it audits the toolchain's own
+// telemetry overhead and therefore prints wall-clock times, so it is not
+// part of -run all or the Markdown report.
+//
+// -stats prints the obs telemetry snapshot (human summary followed by one
+// JSON line) to stderr after the run; -debug-addr serves expvar and pprof
+// while the experiments execute.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"strings"
 
 	"perturb/internal/experiments"
+	"perturb/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation")
+	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation, selfperturb")
 	noise := flag.Int("noise", 8, "calibration error in per mille")
 	exact := flag.Bool("exact", false, "use exact calibration (overrides -noise)")
 	markdown := flag.Bool("markdown", false, "emit the full evaluation as a Markdown report")
 	workers := flag.Int("workers", 1, "run independent simulations on up to N goroutines")
+	stats := flag.Bool("stats", false, "print telemetry statistics (human summary + one JSON line) to stderr")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := validateFlags(*workers, *noise, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *stats {
+		obs.Reset()
+		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		obs.SetEnabled(true)
+		d, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		log.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)", d.Addr())
+	}
 
 	env := experiments.PaperEnv()
 	env.CalNoisePerMille = *noise
@@ -44,11 +77,34 @@ func main() {
 		if err := experiments.WriteMarkdownReport(os.Stdout, env); err != nil {
 			log.Fatal(err)
 		}
-		return
-	}
-	if err := run(os.Stdout, *which, env); err != nil {
+	} else if err := run(os.Stdout, *which, env); err != nil {
 		log.Fatal(err)
 	}
+
+	if *stats {
+		snap := obs.Snapshot()
+		if err := snap.WriteText(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewEncoder(os.Stderr).Encode(snap); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// validateFlags rejects unusable flag values before any experiment runs;
+// main reports the error with usage and exits non-zero.
+func validateFlags(workers, noise int, args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(args, " "))
+	}
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
+	if noise < 0 {
+		return fmt.Errorf("-noise must not be negative, got %d", noise)
+	}
+	return nil
 }
 
 type renderer interface{ Render(io.Writer) error }
@@ -114,6 +170,14 @@ func run(w io.Writer, which string, env experiments.Env) error {
 			}
 		}
 		return nil
+	case "selfperturb":
+		// The audit toggles the telemetry layer itself, so it runs on the
+		// benchmark workload rather than through env; see SelfPerturb.
+		res, err := experiments.SelfPerturb(8, 250_000, 5)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
 	default:
 		return fmt.Errorf("unknown experiment %q", which)
 	}

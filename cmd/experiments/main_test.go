@@ -55,6 +55,40 @@ func TestRunExtensionExperiments(t *testing.T) {
 	}
 }
 
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(1, 8, nil); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	cases := []struct {
+		name           string
+		workers, noise int
+		args           []string
+	}{
+		{"zero workers", 0, 8, nil},
+		{"negative workers", -3, 8, nil},
+		{"negative noise", 1, -1, nil},
+		{"extra args", 1, 8, []string{"stray"}},
+	}
+	for _, tc := range cases {
+		if err := validateFlags(tc.workers, tc.noise, tc.args); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestRunSelfPerturb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock audit skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "selfperturb", experiments.ExactEnv()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Self-perturbation audit") {
+		t.Errorf("selfperturb output unexpected:\n%s", buf.String())
+	}
+}
+
 func TestRunAllExperiments(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(&buf, "all", experiments.ExactEnv()); err != nil {

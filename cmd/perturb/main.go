@@ -24,9 +24,15 @@
 //	-profile       print the per-statement time profile
 //	-svg FILE      write the approximated timeline as SVG to FILE
 //	-quiet         print only the summary line
+//	-stats         print pipeline span timings and engine telemetry to
+//	               stderr: a human-readable summary followed by one JSON
+//	               line (machine-readable, starts with '{')
+//	-debug-addr A  serve expvar (/debug/vars) and pprof (/debug/pprof/)
+//	               on this address, e.g. localhost:6060
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,27 +42,31 @@ import (
 	"time"
 
 	"perturb"
+	"perturb/internal/obs"
 	"perturb/internal/textplot"
 )
 
 // options collects everything main parses from flags, so the study itself
 // is testable.
 type options struct {
-	loop     int
-	analysis string
-	workers  int
-	withSync bool
-	probe    time.Duration
-	procs    int
-	schedule string
-	saveFile string
-	loadFile string
-	waiting  bool
-	timeline bool
-	critpath bool
-	profile  bool
-	svgFile  string
-	quiet    bool
+	loop      int
+	analysis  string
+	workers   int
+	withSync  bool
+	probe     time.Duration
+	procs     int
+	schedule  string
+	saveFile  string
+	loadFile  string
+	waiting   bool
+	timeline  bool
+	critpath  bool
+	profile   bool
+	svgFile   string
+	quiet     bool
+	stats     bool
+	debugAddr string
+	statsW    io.Writer // -stats destination; nil means os.Stderr
 }
 
 func main() {
@@ -79,15 +89,72 @@ func main() {
 	flag.BoolVar(&o.profile, "profile", false, "print the per-statement time profile")
 	flag.StringVar(&o.svgFile, "svg", "", "write the approximated timeline as SVG to this file")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
+	flag.BoolVar(&o.stats, "stats", false, "print pipeline/telemetry statistics (human summary + one JSON line) to stderr")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := validateOptions(o, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "perturb: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if o.debugAddr != "" {
+		perturb.EnableObservability(true)
+		d, err := perturb.ServeDebug(o.debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		log.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)", d.Addr())
+	}
 
 	if err := study(os.Stdout, o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// study runs the simulate / instrument / analyze / report pipeline.
+// validateOptions rejects flag combinations that cannot run before any
+// work starts; main reports the error with usage and exits non-zero.
+func validateOptions(o options, args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(args, " "))
+	}
+	if o.workers < -1 {
+		return fmt.Errorf("-workers must be -1 (GOMAXPROCS), 0 (sequential) or positive, got %d", o.workers)
+	}
+	if o.procs < 1 {
+		return fmt.Errorf("-procs must be at least 1, got %d", o.procs)
+	}
+	if o.probe < 0 {
+		return fmt.Errorf("-probe must not be negative, got %v", o.probe)
+	}
+	if o.loadFile != "" && o.saveFile != "" {
+		return fmt.Errorf("-load and -save are mutually exclusive (use tracecat to convert traces)")
+	}
+	return nil
+}
+
+// derived holds every requested report view, computed in the metrics
+// phase so rendering (the report phase) is pure output.
+type derived struct {
+	ws    []perturb.ProcWaiting
+	pct   []float64
+	path  *perturb.CriticalPath
+	prof  []perturb.StmtProfile
+	lanes []textplot.Lane
+}
+
+// study runs the load / analyze / metrics / report pipeline. Each phase
+// is traced as an obs span; -stats resets the telemetry layer, enables
+// it for the run, and emits the snapshot afterwards.
 func study(w io.Writer, o options) error {
+	if o.stats {
+		perturb.ResetObservability()
+		perturb.EnableObservability(true)
+		defer perturb.EnableObservability(false)
+	}
+
 	cfg := perturb.Alliant()
 	cfg.Procs = o.procs
 	switch strings.ToLower(o.schedule) {
@@ -112,13 +179,51 @@ func study(w io.Writer, o options) error {
 		return err
 	}
 
-	var measured *perturb.Trace
-	var actualDur perturb.Time
-	haveActual := false
+	measured, actualDur, haveActual, err := loadPhase(o, loop, cfg, ovh)
+	if err != nil {
+		return err
+	}
+
+	approx, err := analyzePhase(o, measured, cal, loop, cfg)
+	if err != nil {
+		return err
+	}
+
+	d, err := metricsPhase(o, cal, approx)
+	if err != nil {
+		return err
+	}
+
+	if err := reportPhase(w, o, loop, measured, approx, d, actualDur, haveActual); err != nil {
+		return err
+	}
+
+	if o.stats {
+		statsW := o.statsW
+		if statsW == nil {
+			statsW = os.Stderr
+		}
+		snap := perturb.ObservabilitySnapshot()
+		if err := snap.WriteText(statsW); err != nil {
+			return err
+		}
+		if err := json.NewEncoder(statsW).Encode(snap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadPhase produces the measured trace, either by simulating the kernel
+// (plus an uninstrumented run for the actual duration) or by streaming a
+// saved trace from disk; -save persists the result.
+func loadPhase(o options, loop *perturb.Loop, cfg perturb.MachineConfig, ovh perturb.Overheads) (measured *perturb.Trace, actualDur perturb.Time, haveActual bool, err error) {
+	defer obs.StartSpan("pipeline.load").End()
+
 	if o.loadFile != "" {
 		f, err := os.Open(o.loadFile)
 		if err != nil {
-			return err
+			return nil, 0, false, err
 		}
 		r, rerr := perturb.NewTraceReader(f)
 		if rerr == nil {
@@ -126,18 +231,18 @@ func study(w io.Writer, o options) error {
 		}
 		f.Close()
 		if rerr != nil {
-			return rerr
+			return nil, 0, false, rerr
 		}
 	} else {
 		actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
 		if err != nil {
-			return err
+			return nil, 0, false, err
 		}
 		actualDur = actual.Duration
 		haveActual = true
 		res, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, o.withSync), cfg)
 		if err != nil {
-			return err
+			return nil, 0, false, err
 		}
 		measured = res.Trace
 	}
@@ -145,37 +250,78 @@ func study(w io.Writer, o options) error {
 	if o.saveFile != "" {
 		f, err := os.Create(o.saveFile)
 		if err != nil {
-			return err
+			return nil, 0, false, err
 		}
 		err = measured.WriteText(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return err
+			return nil, 0, false, err
 		}
 	}
+	return measured, actualDur, haveActual, nil
+}
 
-	var approx *perturb.Approximation
+// analyzePhase runs the selected perturbation analysis.
+func analyzePhase(o options, measured *perturb.Trace, cal perturb.Calibration, loop *perturb.Loop, cfg perturb.MachineConfig) (*perturb.Approximation, error) {
+	defer obs.StartSpan("pipeline.analyze").End()
+
 	switch strings.ToLower(o.analysis) {
 	case "time":
-		approx, err = perturb.AnalyzeTimeBased(measured, cal)
+		return perturb.AnalyzeTimeBased(measured, cal)
 	case "event":
 		if o.workers != 0 {
-			approx, err = perturb.AnalyzeEventBasedParallel(measured, cal, o.workers)
-		} else {
-			approx, err = perturb.AnalyzeEventBased(measured, cal)
+			return perturb.AnalyzeEventBasedParallel(measured, cal, o.workers)
 		}
+		return perturb.AnalyzeEventBased(measured, cal)
 	case "liberal":
-		approx, err = perturb.AnalyzeLiberal(measured, cal, perturb.LiberalOptions{
+		return perturb.AnalyzeLiberal(measured, cal, perturb.LiberalOptions{
 			Procs: cfg.Procs, Distance: loop.Distance, Schedule: cfg.Schedule,
 		})
 	default:
-		return fmt.Errorf("unknown analysis %q", o.analysis)
+		return nil, fmt.Errorf("unknown analysis %q", o.analysis)
 	}
-	if err != nil {
-		return err
+}
+
+// metricsPhase derives every view the report will render: waiting
+// statistics, critical path, statement profile and timeline lanes.
+func metricsPhase(o options, cal perturb.Calibration, approx *perturb.Approximation) (derived, error) {
+	defer obs.StartSpan("pipeline.metrics").End()
+
+	var d derived
+	if o.quiet && o.svgFile == "" {
+		return d, nil
 	}
+	var err error
+	if o.waiting && !o.quiet {
+		if d.ws, err = perturb.Waiting(approx.Trace, cal); err != nil {
+			return d, err
+		}
+		d.pct = perturb.WaitingPercent(d.ws, approx.Duration)
+	}
+	if o.critpath && !o.quiet {
+		if d.path, err = perturb.AnalyzeCriticalPath(approx.Trace); err != nil {
+			return d, err
+		}
+	}
+	if o.profile && !o.quiet {
+		if d.prof, err = perturb.StatementProfile(approx.Trace); err != nil {
+			return d, err
+		}
+	}
+	if (o.timeline && !o.quiet) || o.svgFile != "" {
+		if d.lanes, err = timelineLanes(cal, approx); err != nil {
+			return d, err
+		}
+	}
+	return d, nil
+}
+
+// reportPhase renders the summary line, the optional detail sections and
+// the SVG export from the precomputed metric views.
+func reportPhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.Trace, approx *perturb.Approximation, d derived, actualDur perturb.Time, haveActual bool) error {
+	defer obs.StartSpan("pipeline.report").End()
 
 	mdur := time.Duration(measured.End()) * time.Nanosecond
 	adur := time.Duration(approx.Duration) * time.Nanosecond
@@ -190,7 +336,7 @@ func study(w io.Writer, o options) error {
 			o.loop, loop.Name, mdur, adur, float64(approx.Duration)/float64(measured.End()))
 	}
 	if o.svgFile != "" {
-		if err := writeSVG(o, cal, approx); err != nil {
+		if err := writeSVG(o, d.lanes, approx); err != nil {
 			return err
 		}
 	}
@@ -201,41 +347,28 @@ func study(w io.Writer, o options) error {
 		measured.Len(), approx.WaitsKept, approx.WaitsRemoved, approx.WaitsIntroduced)
 
 	if o.waiting {
-		ws, err := perturb.Waiting(approx.Trace, cal)
-		if err != nil {
-			return err
-		}
-		pct := perturb.WaitingPercent(ws, approx.Duration)
 		fmt.Fprintln(w, "\nper-processor waiting (approximated execution):")
-		for p, pw := range ws {
+		for p, pw := range d.ws {
 			fmt.Fprintf(w, "  proc %d: await %8v  barrier %8v  (%.2f%% of total)\n",
-				p, time.Duration(pw.Await), time.Duration(pw.Barrier), pct[p])
+				p, time.Duration(pw.Await), time.Duration(pw.Barrier), d.pct[p])
 		}
 	}
 
 	if o.critpath {
-		path, err := perturb.AnalyzeCriticalPath(approx.Trace)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "\n%s\n", path)
+		fmt.Fprintf(w, "\n%s\n", d.path)
 		fmt.Fprintf(w, "  per-processor shares:")
-		for pr, d := range path.ProcTime {
-			if d > 0 {
-				fmt.Fprintf(w, "  p%d=%v", pr, time.Duration(d))
+		for pr, dur := range d.path.ProcTime {
+			if dur > 0 {
+				fmt.Fprintf(w, "  p%d=%v", pr, time.Duration(dur))
 			}
 		}
 		fmt.Fprintln(w)
 	}
 
 	if o.profile {
-		prof, err := perturb.StatementProfile(approx.Trace)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintln(w, "\nper-statement profile (approximated execution):")
 		shown := 0
-		for _, p := range prof {
+		for _, p := range d.prof {
 			if p.Stmt < 0 {
 				continue // runtime markers
 			}
@@ -253,12 +386,8 @@ func study(w io.Writer, o options) error {
 	}
 
 	if o.timeline {
-		lanes, err := timelineLanes(cal, approx)
-		if err != nil {
-			return err
-		}
 		fmt.Fprintln(w)
-		if err := textplot.Gantt(w, "approximated timeline", lanes, 0, approx.Duration, 96); err != nil {
+		if err := textplot.Gantt(w, "approximated timeline", d.lanes, 0, approx.Duration, 96); err != nil {
 			return err
 		}
 	}
@@ -284,11 +413,7 @@ func timelineLanes(cal perturb.Calibration, approx *perturb.Approximation) ([]te
 }
 
 // writeSVG renders the approximated timeline to the -svg file.
-func writeSVG(o options, cal perturb.Calibration, approx *perturb.Approximation) error {
-	lanes, err := timelineLanes(cal, approx)
-	if err != nil {
-		return err
-	}
+func writeSVG(o options, lanes []textplot.Lane, approx *perturb.Approximation) error {
 	f, err := os.Create(o.svgFile)
 	if err != nil {
 		return err

@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"perturb"
 )
@@ -176,6 +178,100 @@ func TestStudyErrors(t *testing.T) {
 	bad.loadFile = "/nonexistent/trace.txt"
 	if err := study(&bytes.Buffer{}, bad); err == nil {
 		t.Error("missing trace file should fail")
+	}
+}
+
+func TestValidateOptions(t *testing.T) {
+	if err := validateOptions(defaults(), nil); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*options)
+		args []string
+	}{
+		{"extra args", func(o *options) {}, []string{"stray.trace"}},
+		{"workers below -1", func(o *options) { o.workers = -2 }, nil},
+		{"zero procs", func(o *options) { o.procs = 0 }, nil},
+		{"negative probe", func(o *options) { o.probe = -time.Microsecond }, nil},
+		{"load with save", func(o *options) { o.loadFile = "a"; o.saveFile = "b" }, nil},
+	}
+	for _, tc := range cases {
+		o := defaults()
+		tc.mut(&o)
+		if err := validateOptions(o, tc.args); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+// TestStudyStatsJSON: -stats emits the human summary plus exactly one
+// machine-readable JSON line whose snapshot round-trips and contains a
+// span for every pipeline phase and the engine telemetry counters.
+func TestStudyStatsJSON(t *testing.T) {
+	var out, stats bytes.Buffer
+	o := defaults()
+	o.quiet = true
+	o.workers = 2 // sharded engine, so scheduler telemetry flows
+	o.stats = true
+	o.statsW = &stats
+	if err := study(&out, o); err != nil {
+		t.Fatal(err)
+	}
+	text := stats.String()
+	for _, want := range []string{"obs: telemetry enabled=true", "obs: spans", "obs: counters"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("human stats lack %q:\n%s", want, text)
+		}
+	}
+
+	var jsonLine string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "{") {
+			if jsonLine != "" {
+				t.Fatal("more than one JSON line in -stats output")
+			}
+			jsonLine = line
+		}
+	}
+	if jsonLine == "" {
+		t.Fatalf("no JSON line in -stats output:\n%s", text)
+	}
+	var st perturb.ObsStats
+	if err := json.Unmarshal([]byte(jsonLine), &st); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	back, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != jsonLine {
+		t.Errorf("stats JSON does not round-trip:\n%s\nvs\n%s", back, jsonLine)
+	}
+
+	for _, phase := range []string{"pipeline.load", "pipeline.analyze", "pipeline.metrics", "pipeline.report"} {
+		sp, ok := st.Span(phase)
+		if !ok || sp.Count < 1 {
+			t.Errorf("span %q missing from snapshot (ok=%v count=%d)", phase, ok, sp.Count)
+		}
+	}
+	if _, ok := st.Span("perturb.simulate"); !ok {
+		t.Error("facade span perturb.simulate missing")
+	}
+	if st.Counter("machine.sim.runs") == 0 {
+		t.Error("simulator telemetry missing (machine.sim.runs = 0)")
+	}
+	if st.Counter("core.analysis.events") == 0 {
+		t.Error("scheduler telemetry missing (core.analysis.events = 0)")
+	}
+	found := false
+	for _, c := range st.Counters {
+		if strings.HasPrefix(c.Name, "trace.read.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("codec counters missing from snapshot")
 	}
 }
 

@@ -41,12 +41,42 @@ func main() {
 	flag.StringVar(&o.out, "o", "", "write the (filtered) trace to FILE")
 	flag.BoolVar(&o.binary, "binary", false, "write -o output in the binary codec")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		log.Fatal("usage: tracecat [flags] FILE")
+	if err := validateOptions(o, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecat: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	if err := run(os.Stdout, o, flag.Arg(0)); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// validateOptions rejects unusable flag combinations before the trace is
+// read; main reports the error with usage and exits non-zero.
+func validateOptions(o options, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("expected exactly one trace FILE argument, got %d", len(args))
+	}
+	if o.binary && o.out == "" {
+		return fmt.Errorf("-binary selects the codec for -o output and requires -o FILE")
+	}
+	if o.proc < -1 {
+		return fmt.Errorf("-proc must be a processor number or -1 (no filter), got %d", o.proc)
+	}
+	if o.kind != "" && !knownKind(o.kind) {
+		return fmt.Errorf("unknown event kind %q (e.g. compute, advance, awaitB)", o.kind)
+	}
+	return nil
+}
+
+// knownKind reports whether name is one of the defined event kinds.
+func knownKind(name string) bool {
+	for k := perturb.Kind(0); k.Valid(); k++ {
+		if k.String() == name {
+			return true
+		}
+	}
+	return false
 }
 
 func run(w io.Writer, o options, path string) error {

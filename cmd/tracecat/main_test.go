@@ -115,6 +115,34 @@ func TestDumpText(t *testing.T) {
 	}
 }
 
+func TestValidateOptions(t *testing.T) {
+	good := options{proc: -1}
+	if err := validateOptions(good, []string{"trace.txt"}); err != nil {
+		t.Errorf("default options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		o    options
+		args []string
+	}{
+		{"no file", options{proc: -1}, nil},
+		{"two files", options{proc: -1}, []string{"a", "b"}},
+		{"binary without -o", options{proc: -1, binary: true}, []string{"a"}},
+		{"proc below -1", options{proc: -2}, []string{"a"}},
+		{"unknown kind", options{proc: -1, kind: "teleport"}, []string{"a"}},
+	}
+	for _, tc := range cases {
+		if err := validateOptions(tc.o, tc.args); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+	for _, kind := range []string{"compute", "advance", "awaitB", "barrier-arrive", "lock-rel"} {
+		if err := validateOptions(options{proc: -1, kind: kind}, []string{"a"}); err != nil {
+			t.Errorf("kind %q rejected: %v", kind, err)
+		}
+	}
+}
+
 func TestMissingFile(t *testing.T) {
 	if err := run(&bytes.Buffer{}, options{proc: -1}, "/nonexistent"); err == nil {
 		t.Error("missing file should fail")

@@ -6,8 +6,62 @@ import (
 	"sync"
 
 	"perturb/internal/instr"
+	"perturb/internal/obs"
 	"perturb/internal/trace"
 )
+
+// Scheduler telemetry. The schedulers accumulate plain integers locally
+// (park/wake transitions are off the per-event hot path already) and
+// EventBasedParallel flushes them once per analysis when the obs layer is
+// enabled.
+var (
+	obsAnaRuns      = obs.NewCounter("core.analysis.runs")
+	obsAnaEvents    = obs.NewCounter("core.analysis.events")
+	obsSchedParks   = obs.NewCounter("core.sched.parks")
+	obsSchedWakes   = obs.NewCounter("core.sched.wakes")
+	obsSchedRetries = obs.NewCounter("core.sched.retries")
+	obsSchedDepth   = obs.NewMaxGauge("core.sched.runnable_peak")
+	obsShardPeak    = obs.NewMaxGauge("core.sched.shard_events_peak")
+	obsShardEvents  = obs.NewHistogram("core.sched.events_per_shard")
+)
+
+// schedStats aggregates one analysis run's scheduler activity: how often
+// shards parked on an unresolved dependency, how many wakeups publishes
+// produced, how many parks were avoided because the dependency resolved
+// in the race window (retries), and the peak runnable-queue depth — the
+// observable cost of dependency scheduling, and the skew inputs for the
+// events-per-shard histogram.
+type schedStats struct {
+	parks, wakes, retries int64
+	depthPeak             int64
+}
+
+func (s *schedStats) noteDepth(depth int) {
+	if d := int64(depth); d > s.depthPeak {
+		s.depthPeak = d
+	}
+}
+
+// flush publishes the run's scheduler statistics plus the per-shard event
+// distribution.
+func (g *ebEngine) flushTelemetry(st *schedStats) {
+	if !obs.Enabled() {
+		return
+	}
+	obsAnaRuns.Add(1)
+	obsAnaEvents.Add(int64(g.in.Len()))
+	obsSchedParks.Add(st.parks)
+	obsSchedWakes.Add(st.wakes)
+	obsSchedRetries.Add(st.retries)
+	obsSchedDepth.Observe(st.depthPeak)
+	for p, list := range g.deps.perProc {
+		if len(list) == 0 {
+			continue
+		}
+		obsShardEvents.Observe(p, int64(len(list)))
+		obsShardPeak.Observe(int64(len(list)))
+	}
+}
 
 // EventBasedParallel applies event-based perturbation analysis (paper
 // §4.2.3) with the sharded dependency-scheduled engine: one shard per
@@ -41,11 +95,13 @@ func EventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int) (*Ap
 	}
 
 	var ok bool
+	var st schedStats
 	if workers <= 1 {
-		ok = runSerial(g)
+		st, ok = runSerial(g)
 	} else {
-		ok = runParallel(g, workers)
+		st, ok = runParallel(g, workers)
 	}
+	g.flushTelemetry(&st)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
 			ErrUnresolvable, g.remaining())
@@ -98,21 +154,26 @@ type serialSched struct {
 	g        *ebEngine
 	runnable []int
 	parks    *parkList
+	stats    schedStats
 }
 
 func (s *serialSched) publish(idx int) {
 	if len(s.parks.parked) > 0 {
+		was := len(s.runnable)
 		s.runnable = s.parks.wake(idx, s.runnable)
+		s.stats.wakes += int64(len(s.runnable) - was)
+		s.stats.noteDepth(len(s.runnable))
 	}
 }
 
-func runSerial(g *ebEngine) bool {
+func runSerial(g *ebEngine) (schedStats, bool) {
 	s := &serialSched{g: g, parks: newParkList(g.in.Procs)}
 	for p, list := range g.deps.perProc {
 		if len(list) > 0 {
 			s.runnable = append(s.runnable, p)
 		}
 	}
+	s.stats.noteDepth(len(s.runnable))
 	for len(s.runnable) > 0 {
 		p := s.runnable[0]
 		s.runnable = s.runnable[1:]
@@ -120,9 +181,10 @@ func runSerial(g *ebEngine) bool {
 			// Within one goroutine a dependency reported as blocking
 			// cannot have resolved in the meantime; park directly.
 			s.parks.park(p, blockedOn)
+			s.stats.parks++
 		}
 	}
-	return g.remaining() == 0
+	return s.stats, g.remaining() == 0
 }
 
 // parSched coordinates worker goroutines: a shared runnable queue, park
@@ -139,6 +201,7 @@ type parSched struct {
 	running    int // shards currently held by workers
 	unfinished int // shards with events left to resolve
 	dead       bool
+	stats      schedStats // guarded by mu
 }
 
 func (s *parSched) publish(idx int) {
@@ -147,6 +210,8 @@ func (s *parSched) publish(idx int) {
 		was := len(s.runnable)
 		s.runnable = s.parks.wake(idx, s.runnable)
 		if len(s.runnable) > was {
+			s.stats.wakes += int64(len(s.runnable) - was)
+			s.stats.noteDepth(len(s.runnable))
 			s.cond.Broadcast()
 		}
 	}
@@ -182,8 +247,11 @@ func (s *parSched) worker() {
 			// The dependency resolved between the blocked check and
 			// the park; the shard is still runnable.
 			s.runnable = append(s.runnable, p)
+			s.stats.retries++
+			s.stats.noteDepth(len(s.runnable))
 		default:
 			s.parks.park(p, blockedOn)
+			s.stats.parks++
 			if s.running == 0 && len(s.runnable) == 0 {
 				// Every remaining shard is parked and no producer is
 				// running: the dependencies can never resolve.
@@ -194,7 +262,7 @@ func (s *parSched) worker() {
 	}
 }
 
-func runParallel(g *ebEngine, workers int) bool {
+func runParallel(g *ebEngine, workers int) (schedStats, bool) {
 	s := &parSched{g: g, parks: newParkList(g.in.Procs)}
 	s.cond.L = &s.mu
 	for p, list := range g.deps.perProc {
@@ -203,6 +271,7 @@ func runParallel(g *ebEngine, workers int) bool {
 			s.unfinished++
 		}
 	}
+	s.stats.noteDepth(len(s.runnable))
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -212,5 +281,5 @@ func runParallel(g *ebEngine, workers int) bool {
 		}()
 	}
 	wg.Wait()
-	return !s.dead
+	return s.stats, !s.dead
 }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"perturb/internal/obs"
+)
+
+// TestSelfPerturbSmall checks the audit machinery on a small trace: the
+// measurement runs, the result is well-formed, and the telemetry layer is
+// restored to its previous state.
+func TestSelfPerturbSmall(t *testing.T) {
+	obs.SetEnabled(false)
+	res, err := SelfPerturb(4, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Enabled() {
+		t.Error("SelfPerturb left the telemetry layer enabled")
+	}
+	if res.Events < 4*500 {
+		t.Errorf("events = %d, want >= %d", res.Events, 4*500)
+	}
+	if res.OffNS <= 0 || res.OnNS <= 0 {
+		t.Errorf("non-positive wall times: off=%d on=%d", res.OffNS, res.OnNS)
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Self-perturbation audit", "telemetry", "overhead", "budget 3%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSelfPerturbOverhead is the dogfooded audit itself: on the
+// ~million-event backward-wave trace, enabling the obs layer must cost
+// less than 3% of the analysis wall time. Wall-clock assertions are
+// inherently noisy, so the test takes the best of several rounds and
+// allows a few attempts before declaring the budget blown.
+func TestSelfPerturbOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock audit skipped in -short mode")
+	}
+	const (
+		procs, iters = 8, 250_000 // ~1M events, the benchmark workload
+		rounds       = 5
+		attempts     = 3
+		budget       = 3.0 // percent
+	)
+	var last *SelfPerturbResult
+	for a := 0; a < attempts; a++ {
+		res, err := SelfPerturb(procs, iters, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+		if res.OverheadPercent() < budget {
+			t.Logf("telemetry overhead %.2f%% (off %v, on %v, attempt %d)",
+				res.OverheadPercent(), res.OffNS, res.OnNS, a+1)
+			return
+		}
+	}
+	t.Errorf("telemetry overhead %.2f%% exceeds the %.0f%% budget after %d attempts (off %dns, on %dns)",
+		last.OverheadPercent(), budget, attempts, last.OffNS, last.OnNS)
+}

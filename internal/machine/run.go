@@ -5,8 +5,21 @@ import (
 	"sort"
 
 	"perturb/internal/instr"
+	"perturb/internal/obs"
 	"perturb/internal/program"
 	"perturb/internal/trace"
+)
+
+// Simulator telemetry. The DES inner loop never touches these directly: it
+// accumulates into plain fields on the runner (an integer compare or add
+// per operation) and Run flushes once per simulation when the obs layer is
+// enabled, so the disabled-telemetry cost is effectively zero.
+var (
+	obsSimRuns       = obs.NewCounter("machine.sim.runs")
+	obsSimEvents     = obs.NewCounter("machine.sim.events")
+	obsSimHeapPeak   = obs.NewMaxGauge("machine.sim.resume_heap_peak")
+	obsSimWaiterPeak = obs.NewMaxGauge("machine.sim.waiter_peak")
+	obsSimProcEvents = obs.NewHistogram("machine.sim.events_per_proc")
 )
 
 // Run simulates one execution of the loop under the instrumentation plan on
@@ -54,7 +67,22 @@ func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	}
 	r.res.Trace = r.finish()
 	r.res.Events = r.res.Trace.Len()
+	r.flushTelemetry()
 	return &r.res, nil
+}
+
+// flushTelemetry publishes the run's accumulated simulator statistics.
+func (r *run) flushTelemetry() {
+	if !obs.Enabled() {
+		return
+	}
+	obsSimRuns.Add(1)
+	obsSimEvents.Add(int64(r.res.Events))
+	for p := range r.perProc {
+		obsSimProcEvents.Observe(p, int64(len(r.perProc[p])))
+	}
+	obsSimHeapPeak.Observe(int64(r.heapPeak))
+	obsSimWaiterPeak.Observe(int64(r.waiterPeak))
 }
 
 type run struct {
@@ -67,6 +95,13 @@ type run struct {
 	// Per-processor clocks are monotone, so each buffer is time ordered
 	// up to same-time statement ties, which finish canonicalizes.
 	perProc [][]trace.Event
+
+	// Telemetry peaks, tracked unconditionally (one compare each) and
+	// flushed by flushTelemetry: the resume heap's maximum length and the
+	// maximum number of simultaneously parked processors (waiter-table
+	// plus lock-queue occupancy).
+	heapPeak   int
+	waiterPeak int
 }
 
 // emit charges the probe overhead for an event of the given kind to *clock
@@ -262,7 +297,27 @@ type concRunner struct {
 	bodyMeta []stmtMeta
 
 	nextDynamic int // Dynamic schedule cursor
+
+	parked int // processors currently parked on a sync variable or lock
 }
+
+// push enqueues a resume point, tracking the heap's peak occupancy.
+func (c *concRunner) push(rp resumePoint) {
+	c.queue.push(rp)
+	if n := len(c.queue); n > c.heapPeak {
+		c.heapPeak = n
+	}
+}
+
+// notePark records a processor parking; noteUnpark its release.
+func (c *concRunner) notePark() {
+	c.parked++
+	if c.parked > c.waiterPeak {
+		c.waiterPeak = c.parked
+	}
+}
+
+func (c *concRunner) noteUnpark() { c.parked-- }
 
 func (r *run) runConcurrent() error {
 	nProcs := r.cfg.Procs
@@ -358,7 +413,7 @@ func (r *run) runConcurrent() error {
 			ps.endIter = nIters
 			ps.iterStep = nProcs
 		}
-		c.queue.push(resumePoint{at: start, proc: ps.id})
+		c.push(resumePoint{at: start, proc: ps.id})
 	}
 
 	// Main DES loop: pop the earliest resume point and run that
@@ -506,6 +561,7 @@ func (c *concRunner) step(ps *procState, assign []int) {
 			ps.pendingStmtID = int32(s.ID)
 			ps.pendingVar = int32(s.Var)
 			c.parkAwaiter(m.varIdx, target, ps)
+			c.notePark()
 			return
 		case posted && rel > arrival:
 			// Advance executed but completes later than our arrival.
@@ -557,6 +613,7 @@ func (c *concRunner) step(ps *procState, assign []int) {
 		ps.pendingStmtID = int32(s.ID)
 		ps.pendingVar = int32(s.Var)
 		lk.enqueue(ps.id)
+		c.notePark()
 		return
 
 	case program.Unlock:
@@ -568,7 +625,7 @@ func (c *concRunner) step(ps *procState, assign []int) {
 		c.advanceCursor(ps)
 	}
 	if !ps.blocked && !ps.arrived {
-		c.queue.push(resumePoint{at: ps.clock, proc: ps.id})
+		c.push(resumePoint{at: ps.clock, proc: ps.id})
 	}
 }
 
@@ -643,8 +700,9 @@ func (c *concRunner) wakeAwaiters(varIdx int32, iter, varID int, rel trace.Time)
 			c.emit(&w.clock, int(w.id), int(w.pendingStmtID), trace.KindAwaitE, iter, varID)
 		}
 		w.blocked = false
+		c.noteUnpark()
 		c.advanceCursor(w)
-		c.queue.push(resumePoint{at: w.clock, proc: w.id})
+		c.push(resumePoint{at: w.clock, proc: w.id})
 	}
 }
 
@@ -663,6 +721,7 @@ func (c *concRunner) releaseLock(lk *lockState, rel trace.Time) {
 		c.emit(&w.clock, int(w.id), int(w.pendingStmtID), trace.KindLockAcq, w.curIter, int(w.pendingVar))
 	}
 	w.blocked = false
+	c.noteUnpark()
 	c.advanceCursor(w)
-	c.queue.push(resumePoint{at: w.clock, proc: w.id})
+	c.push(resumePoint{at: w.clock, proc: w.id})
 }

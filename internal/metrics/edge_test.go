@@ -1,0 +1,163 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"perturb/internal/metrics"
+	"perturb/internal/trace"
+)
+
+// Edge-case behaviour of the metric derivations: traces that are valid
+// but degenerate (no events, one event, an unfinished await, zero-width
+// intervals) must produce well-formed, all-zero results rather than
+// panics or phantom intervals.
+
+func TestMetricsEmptyTrace(t *testing.T) {
+	tr := trace.New(3)
+	tl, err := metrics.Timeline(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 {
+		t.Fatalf("timeline lanes = %d, want 3", len(tl))
+	}
+	for p, ivs := range tl {
+		if len(ivs) != 0 {
+			t.Errorf("proc %d has %d intervals on an empty trace", p, len(ivs))
+		}
+	}
+	ws, err := metrics.Waiting(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Await != 0 || w.Barrier != 0 || w.Busy != 0 {
+			t.Errorf("proc %d nonzero waiting on an empty trace: %+v", w.Proc, w)
+		}
+	}
+	prof, err := metrics.Parallelism(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Times) != 0 || prof.At(100) != 0 {
+		t.Errorf("empty trace produced a profile: %+v", prof)
+	}
+	sp, err := metrics.StatementProfile(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 0 {
+		t.Errorf("empty trace produced statement profile entries: %+v", sp)
+	}
+}
+
+func TestMetricsSingleEvent(t *testing.T) {
+	tr := trace.New(2)
+	tr.Append(trace.Event{Time: 40, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	tl, err := metrics.Timeline(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One busy interval from the anchor (time zero, no fork) to the event.
+	if len(tl[0]) != 1 || tl[0][0].Waiting || tl[0][0].Start != 0 || tl[0][0].End != 40 {
+		t.Errorf("proc 0 intervals = %+v, want one busy [0,40]", tl[0])
+	}
+	if len(tl[1]) != 0 {
+		t.Errorf("proc 1 has intervals without events: %+v", tl[1])
+	}
+	ws, err := metrics.Waiting(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Await != 0 || ws[0].Barrier != 0 || ws[0].Busy != 40 {
+		t.Errorf("single-event waiting = %+v, want busy 40 only", ws[0])
+	}
+}
+
+// TestMetricsAwaitBWithoutAwaitE: a trace ending inside a blocking await
+// (awaitB recorded, awaitE never reached) must not be charged any wait —
+// there is no completion event to measure the wait against.
+func TestMetricsAwaitBWithoutAwaitE(t *testing.T) {
+	tr := trace.New(1)
+	tr.Append(trace.Event{Time: 10, Proc: 0, Stmt: 1, Kind: trace.KindCompute, Iter: 0, Var: trace.NoVar})
+	tr.Append(trace.Event{Time: 20, Proc: 0, Stmt: 2, Kind: trace.KindAwaitB, Iter: 0, Var: 0})
+	ws, err := metrics.Waiting(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Await != 0 {
+		t.Errorf("unfinished await charged %d wait, want 0", ws[0].Await)
+	}
+	tl, err := metrics.Timeline(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iv := range tl[0] {
+		if iv.Waiting {
+			t.Errorf("unfinished await produced a waiting interval: %+v", iv)
+		}
+	}
+	// An awaitE not preceded by its awaitB (trace starts mid-wait) is
+	// likewise not a measurable wait.
+	tr2 := trace.New(1)
+	tr2.Append(trace.Event{Time: 100, Proc: 0, Stmt: 2, Kind: trace.KindAwaitE, Iter: 0, Var: 0})
+	ws2, err := metrics.Waiting(tr2, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws2[0].Await != 0 {
+		t.Errorf("orphan awaitE charged %d wait, want 0", ws2[0].Await)
+	}
+}
+
+// TestMetricsZeroDurationIntervals: simultaneous events produce zero-width
+// gaps; the timeline must not emit empty intervals and the profile must
+// stay a well-formed step function.
+func TestMetricsZeroDurationIntervals(t *testing.T) {
+	tr := trace.New(2)
+	add := func(tm trace.Time, p, s int, k trace.Kind) {
+		tr.Append(trace.Event{Time: tm, Proc: p, Stmt: s, Kind: k, Iter: 0, Var: trace.NoVar})
+	}
+	// proc 0: three events at the same instant, then a barrier whose
+	// arrive->release span is exactly the release cost — the waiting
+	// portion of the barrier interval is zero-width.
+	add(50, 0, 1, trace.KindCompute)
+	add(50, 0, 2, trace.KindCompute)
+	add(50, 0, 3, trace.KindCompute)
+	add(60, 0, -2, trace.KindBarrierArrive)
+	add(65, 0, -3, trace.KindBarrierRelease)
+	add(60, 1, -2, trace.KindBarrierArrive)
+	add(65, 1, -3, trace.KindBarrierRelease)
+	tr.Sort()
+
+	tl, err := metrics.Timeline(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, ivs := range tl {
+		for _, iv := range ivs {
+			if iv.Dur() <= 0 {
+				t.Errorf("proc %d emitted a zero/negative-width interval %+v", p, iv)
+			}
+		}
+	}
+	ws, err := metrics.Waiting(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Barrier != 0 || ws[1].Barrier != 0 {
+		t.Errorf("zero-width barrier charged wait: %+v", ws)
+	}
+	prof, err := metrics.Parallelism(tr, cal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(prof.Times); i++ {
+		if prof.Times[i] < prof.Times[i-1] {
+			t.Errorf("profile times not monotonic: %v", prof.Times)
+		}
+		if prof.Level[i] == prof.Level[i-1] && i != len(prof.Times)-1 {
+			t.Errorf("profile has redundant step at %d: %v / %v", i, prof.Times, prof.Level)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar panics on duplicate
+// names, and the debug server may be started more than once per process
+// (tests, repeated CLI invocations in one binary).
+var publishOnce sync.Once
+
+// PublishExpvar registers the telemetry snapshot as the "obs" expvar, so
+// it appears (as JSON) under /debug/vars alongside the runtime's memstats.
+// Safe to call repeatedly.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// DebugServer is a running observability HTTP endpoint; Close shuts it
+// down.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Addr returns the server's bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops serving.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts an HTTP server on addr exposing the standard Go
+// debugging surface wired to this telemetry layer:
+//
+//	/debug/vars         expvar JSON, including the "obs" snapshot
+//	/debug/pprof/...    net/http/pprof profiles (CPU, heap, mutex, ...)
+//
+// It serves from a dedicated mux, not http.DefaultServeMux, so importing
+// this package never implicitly exposes profiling on an application's own
+// server. The listener is returned already serving; callers own shutdown.
+func ServeDebug(addr string) (*DebugServer, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}

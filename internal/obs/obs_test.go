@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTelemetry runs f with the layer enabled and metrics reset, restoring
+// the disabled default afterwards.
+func withTelemetry(t *testing.T, f func()) {
+	t.Helper()
+	Reset()
+	SetEnabled(true)
+	defer func() {
+		SetEnabled(false)
+		Reset()
+	}()
+	f()
+}
+
+func TestDisabledRecordsNothing(t *testing.T) {
+	Reset()
+	SetEnabled(false)
+	c := NewCounter("test.disabled.counter")
+	g := NewMaxGauge("test.disabled.max")
+	h := NewHistogram("test.disabled.hist")
+	c.Add(5)
+	g.Observe(7)
+	h.Observe(0, 9)
+	sp := StartSpan("test.disabled.span")
+	sp.End()
+	st := Snapshot()
+	if st.Enabled {
+		t.Error("snapshot reports enabled")
+	}
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Errorf("disabled metrics recorded: counter=%d max=%d", c.Value(), g.Value())
+	}
+	if _, ok := st.Span("test.disabled.span"); ok {
+		t.Error("disabled span recorded")
+	}
+	for _, hs := range st.Hists {
+		if hs.Name == "test.disabled.hist" && hs.Count != 0 {
+			t.Errorf("disabled histogram recorded %d observations", hs.Count)
+		}
+	}
+}
+
+func TestCounterMaxHistogram(t *testing.T) {
+	withTelemetry(t, func() {
+		c := NewCounter("test.counter")
+		g := NewMaxGauge("test.max")
+		h := NewHistogram("test.hist")
+		c.Add(3)
+		c.Add(4)
+		g.Observe(10)
+		g.Observe(2) // must not lower the max
+		for i := int64(0); i < 10; i++ {
+			h.Observe(int(i), i)
+		}
+		st := Snapshot()
+		if got := st.Counter("test.counter"); got != 7 {
+			t.Errorf("counter = %d, want 7", got)
+		}
+		if got := st.Counter("test.max"); got != 10 {
+			t.Errorf("max = %d, want 10", got)
+		}
+		for _, hs := range st.Hists {
+			if hs.Name != "test.hist" {
+				continue
+			}
+			if hs.Count != 10 || hs.Sum != 45 {
+				t.Errorf("hist count/sum = %d/%d, want 10/45", hs.Count, hs.Sum)
+			}
+			var bucketSum int64
+			for _, b := range hs.Buckets {
+				if b.Lo > b.Hi {
+					t.Errorf("bucket bounds inverted: %+v", b)
+				}
+				bucketSum += b.Count
+			}
+			if bucketSum != hs.Count {
+				t.Errorf("bucket counts sum to %d, want %d", bucketSum, hs.Count)
+			}
+			return
+		}
+		t.Error("test.hist missing from snapshot")
+	})
+}
+
+func TestNewReturnsSameHandle(t *testing.T) {
+	if NewCounter("test.same") != NewCounter("test.same") {
+		t.Error("NewCounter returned distinct handles for one name")
+	}
+	if NewMaxGauge("test.same.max") != NewMaxGauge("test.same.max") {
+		t.Error("NewMaxGauge returned distinct handles for one name")
+	}
+	if NewHistogram("test.same.hist") != NewHistogram("test.same.hist") {
+		t.Error("NewHistogram returned distinct handles for one name")
+	}
+}
+
+func TestSpans(t *testing.T) {
+	withTelemetry(t, func() {
+		sp := StartSpan("test.span")
+		time.Sleep(time.Millisecond)
+		sp.End()
+		st := Snapshot()
+		got, ok := st.Span("test.span")
+		if !ok {
+			t.Fatal("span missing from snapshot")
+		}
+		if got.Count != 1 {
+			t.Errorf("span count = %d, want 1", got.Count)
+		}
+		if got.TotalNS < int64(time.Millisecond)/2 {
+			t.Errorf("span total %dns implausibly short", got.TotalNS)
+		}
+		if got.Mean() != got.TotalNS {
+			t.Errorf("mean of a single span = %d, want %d", got.Mean(), got.TotalNS)
+		}
+	})
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	withTelemetry(t, func() {
+		c := NewCounter("test.conc.counter")
+		g := NewMaxGauge("test.conc.max")
+		h := NewHistogram("test.conc.hist")
+		const workers, perWorker = 8, 1000
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					c.Add(1)
+					g.Observe(int64(w*perWorker + i))
+					h.Observe(w, 1)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if c.Value() != workers*perWorker {
+			t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+		}
+		if g.Value() != workers*perWorker-1 {
+			t.Errorf("max = %d, want %d", g.Value(), workers*perWorker-1)
+		}
+		st := Snapshot()
+		for _, hs := range st.Hists {
+			if hs.Name == "test.conc.hist" && hs.Count != workers*perWorker {
+				t.Errorf("hist count = %d, want %d", hs.Count, workers*perWorker)
+			}
+		}
+	})
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	withTelemetry(t, func() {
+		NewCounter("test.json.counter").Add(42)
+		NewMaxGauge("test.json.max").Observe(17)
+		NewHistogram("test.json.hist").Observe(0, 1000)
+		sp := StartSpan("test.json.span")
+		sp.End()
+		st := Snapshot()
+		data, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Stats
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Errorf("JSON round trip changed the snapshot:\n%+v\nvs\n%+v", st, back)
+		}
+	})
+}
+
+func TestWriteText(t *testing.T) {
+	withTelemetry(t, func() {
+		NewCounter("test.text.counter").Add(5)
+		NewMaxGauge("test.text.max").Observe(9)
+		NewHistogram("test.text.hist").Observe(0, 3)
+		sp := StartSpan("test.text.span")
+		sp.End()
+		var buf bytes.Buffer
+		if err := Snapshot().WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+		for _, want := range []string{
+			"enabled=true", "test.text.counter", "test.text.max",
+			"test.text.hist", "test.text.span",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("text output lacks %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+func TestReset(t *testing.T) {
+	withTelemetry(t, func() {
+		c := NewCounter("test.reset.counter")
+		c.Add(3)
+		sp := StartSpan("test.reset.span")
+		sp.End()
+		Reset()
+		if c.Value() != 0 {
+			t.Errorf("counter survived reset: %d", c.Value())
+		}
+		if _, ok := Snapshot().Span("test.reset.span"); ok {
+			t.Error("span survived reset")
+		}
+	})
+}
+
+func TestServeDebug(t *testing.T) {
+	withTelemetry(t, func() {
+		NewCounter("test.debug.counter").Add(11)
+		d, err := ServeDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		get := func(path string) string {
+			resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr(), path))
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+			}
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return string(body)
+		}
+		vars := get("/debug/vars")
+		var decoded map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+			t.Fatalf("/debug/vars is not JSON: %v", err)
+		}
+		raw, ok := decoded["obs"]
+		if !ok {
+			t.Fatal("/debug/vars lacks the obs snapshot")
+		}
+		var st Stats
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("obs expvar is not a Stats: %v", err)
+		}
+		if st.Counter("test.debug.counter") != 11 {
+			t.Errorf("obs expvar counter = %d, want 11", st.Counter("test.debug.counter"))
+		}
+		if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+			t.Error("/debug/pprof/ index lacks profiles")
+		}
+	})
+}

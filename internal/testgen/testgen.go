@@ -110,6 +110,34 @@ func StaticConfig(r *rand.Rand) machine.Config {
 	return cfg
 }
 
+// BackwardWave builds the measured trace of a backward-wave DOACROSS:
+// iteration i runs on processor procs-1-(i mod procs), so the
+// cross-iteration dependency chain snakes against any forward processor
+// scan order. Each iteration contributes four events (awaitB, awaitE,
+// compute, advance), so the trace holds roughly 4*iters events plus the
+// loop marker and closing barrier. The workload is deterministic — the
+// million-event benchmarks and the self-perturbation audit share it.
+func BackwardWave(procs, iters int) *trace.Trace {
+	tr := trace.New(procs)
+	t := trace.Time(0)
+	next := func() trace.Time { t += 10; return t }
+	tr.Append(trace.Event{Time: next(), Proc: 0, Stmt: -1, Kind: trace.KindLoopBegin, Iter: -1, Var: -1})
+	for i := 0; i < iters; i++ {
+		p := procs - 1 - i%procs
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: 1, Kind: trace.KindAwaitB, Iter: i - 1, Var: 0})
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: 1, Kind: trace.KindAwaitE, Iter: i - 1, Var: 0})
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: 2, Kind: trace.KindCompute, Iter: i, Var: -1})
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: 3, Kind: trace.KindAdvance, Iter: i, Var: 0})
+	}
+	for p := 0; p < procs; p++ {
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: -2, Kind: trace.KindBarrierArrive, Iter: 0, Var: 0})
+	}
+	for p := 0; p < procs; p++ {
+		tr.Append(trace.Event{Time: next(), Proc: p, Stmt: -3, Kind: trace.KindBarrierRelease, Iter: 0, Var: 0})
+	}
+	return tr
+}
+
 // Trace returns a random well-formed trace (monotonic per processor) for
 // codec and metric property tests. It is synthetic: it need not correspond
 // to any simulated execution.

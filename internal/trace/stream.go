@@ -6,7 +6,47 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"perturb/internal/obs"
 )
+
+// Codec telemetry. Readers and writers accumulate into plain locals inside
+// each batch and flush once per Read/Write call (4096-event batches on the
+// whole-trace paths), so the per-event cost is zero and the per-batch cost
+// is a handful of gated atomic adds.
+var (
+	obsReadEvents   = obs.NewCounter("trace.read.events")
+	obsReadBytes    = obs.NewCounter("trace.read.bytes")
+	obsReadBatches  = obs.NewCounter("trace.read.batches")
+	obsReadFill     = obs.NewHistogram("trace.read.batch_fill_pct")
+	obsWriteEvents  = obs.NewCounter("trace.write.events")
+	obsWriteBytes   = obs.NewCounter("trace.write.bytes")
+	obsWriteBatches = obs.NewCounter("trace.write.batches")
+)
+
+// noteRead publishes one Read call's decode work: n events decoded into a
+// dst of capacity c, consuming b encoded bytes.
+func noteRead(n, c int, b int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obsReadBatches.Add(1)
+	obsReadEvents.Add(int64(n))
+	obsReadBytes.Add(b)
+	if c > 0 {
+		obsReadFill.Observe(0, int64(100*n/c))
+	}
+}
+
+// noteWrite publishes one Write call's encode work.
+func noteWrite(n int, b int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obsWriteBatches.Add(1)
+	obsWriteEvents.Add(int64(n))
+	obsWriteBytes.Add(b)
+}
 
 // Streaming codecs
 //
@@ -107,10 +147,16 @@ func NewTextReader(r io.Reader) (Reader, error) {
 func (t *textReader) Procs() int { return t.procs }
 
 func (t *textReader) Read(dst []Event) (int, error) {
+	n, bytes, err := t.read(dst)
+	noteRead(n, len(dst), bytes)
+	return n, err
+}
+
+func (t *textReader) read(dst []Event) (int, int64, error) {
 	if t.err != nil {
-		return 0, t.err
+		return 0, 0, t.err
 	}
-	n := 0
+	n, bytes := 0, int64(0)
 	for n < len(dst) {
 		if !t.sc.Scan() {
 			if err := t.sc.Err(); err != nil {
@@ -118,22 +164,24 @@ func (t *textReader) Read(dst []Event) (int, error) {
 			} else {
 				t.err = io.EOF
 			}
-			return n, t.err
+			return n, bytes, t.err
 		}
 		t.line++
-		s := trimSpace(t.sc.Bytes())
+		raw := t.sc.Bytes()
+		bytes += int64(len(raw)) + 1 // + newline
+		s := trimSpace(raw)
 		if len(s) == 0 || s[0] == '#' {
 			continue
 		}
 		e, err := parseEventBytes(s)
 		if err != nil {
 			t.err = fmt.Errorf("trace: line %d: %v", t.line, err)
-			return n, t.err
+			return n, bytes, t.err
 		}
 		dst[n] = e
 		n++
 	}
-	return n, nil
+	return n, bytes, nil
 }
 
 func trimSpace(s []byte) []byte {
@@ -258,12 +306,15 @@ func NewTextWriter(w io.Writer, procs int) (Writer, error) {
 }
 
 func (t *textWriter) Write(batch []Event) error {
+	bytes := int64(0)
 	for i := range batch {
 		t.scratch = appendEventText(t.scratch[:0], &batch[i])
+		bytes += int64(len(t.scratch))
 		if _, err := t.bw.Write(t.scratch); err != nil {
 			return err
 		}
 	}
+	noteWrite(len(batch), bytes)
 	return nil
 }
 
@@ -335,6 +386,12 @@ func (b *binReader) countHint() (uint64, bool) {
 }
 
 func (b *binReader) Read(dst []Event) (int, error) {
+	n, err := b.readBatch(dst)
+	noteRead(n, len(dst), int64(n)*eventSize)
+	return n, err
+}
+
+func (b *binReader) readBatch(dst []Event) (int, error) {
 	if b.err != nil {
 		return 0, b.err
 	}
@@ -382,6 +439,7 @@ func (b *binWriter) Write(batch []Event) error {
 			return err
 		}
 	}
+	noteWrite(len(batch), int64(len(batch))*eventSize)
 	return nil
 }
 

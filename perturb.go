@@ -66,6 +66,7 @@ import (
 	"perturb/internal/loops"
 	"perturb/internal/machine"
 	"perturb/internal/metrics"
+	"perturb/internal/obs"
 	"perturb/internal/order"
 	"perturb/internal/program"
 	"perturb/internal/trace"
@@ -134,7 +135,10 @@ var (
 )
 
 // ReadTrace drains a streaming reader into a fully materialized trace.
-func ReadTrace(r TraceReader) (*Trace, error) { return trace.ReadAll(r) }
+func ReadTrace(r TraceReader) (*Trace, error) {
+	defer obs.StartSpan("perturb.read_trace").End()
+	return trace.ReadAll(r)
+}
 
 // Program model types.
 type (
@@ -200,11 +204,13 @@ func Alliant() MachineConfig { return machine.Alliant() }
 
 // Simulate executes the loop under the instrumentation plan.
 func Simulate(l *Loop, p Plan, cfg MachineConfig) (*RunResult, error) {
+	defer obs.StartSpan("perturb.simulate").End()
 	return machine.Run(l, p, cfg)
 }
 
 // SimulateProgram executes a multi-phase program under the plan.
 func SimulateProgram(prog *Program, p Plan, cfg MachineConfig) (*RunResult, error) {
+	defer obs.StartSpan("perturb.simulate_program").End()
 	return machine.RunProgram(prog, p, cfg)
 }
 
@@ -257,11 +263,13 @@ type (
 
 // AnalyzeTimeBased applies time-based perturbation analysis (paper §3).
 func AnalyzeTimeBased(m *Trace, cal Calibration) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze.time").End()
 	return core.TimeBased(m, cal)
 }
 
 // AnalyzeEventBased applies event-based perturbation analysis (paper §4).
 func AnalyzeEventBased(m *Trace, cal Calibration) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze.event").End()
 	return core.EventBased(m, cal)
 }
 
@@ -273,6 +281,7 @@ func AnalyzeEventBased(m *Trace, cal Calibration) (*Approximation, error) {
 // sharded engine on a single goroutine, which still avoids the
 // sequential fixpoint's re-scan passes.
 func AnalyzeEventBasedParallel(m *Trace, cal Calibration, workers int) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze.event_parallel").End()
 	return core.EventBasedParallel(m, cal, workers)
 }
 
@@ -286,6 +295,7 @@ func AnalyzeTimeBasedTotal(m *Trace, cal Calibration) (Time, error) {
 // AnalyzeLiberal applies the reschedule-aware liberal analysis (paper
 // §4.2.3, work reassignment).
 func AnalyzeLiberal(m *Trace, cal Calibration, opts LiberalOptions) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze.liberal").End()
 	return core.LiberalEventBased(m, cal, opts)
 }
 
@@ -363,3 +373,40 @@ func CheckFeasible(base, candidate *Trace) error {
 func RunPaperExperiments(w io.Writer) error {
 	return experiments.RunAll(w, experiments.PaperEnv())
 }
+
+// Observability.
+//
+// The toolchain instruments itself with the same discipline the paper
+// demands of program instrumentation: near-zero-cost probes, explicitly
+// calibrated overhead (see the self-perturbation audit in EXPERIMENTS.md).
+// Telemetry is off by default; when disabled every probe is a single
+// atomic flag load.
+type (
+	// ObsStats is a telemetry snapshot: pipeline-phase span timings plus
+	// scheduler, simulator and codec counters. It round-trips through
+	// encoding/json and renders itself with WriteText.
+	ObsStats = obs.Stats
+	// ObsSpanStat is one phase's span summary within an ObsStats.
+	ObsSpanStat = obs.SpanStat
+	// DebugServer is a running expvar + pprof HTTP endpoint.
+	DebugServer = obs.DebugServer
+)
+
+// EnableObservability turns the self-instrumentation layer on or off
+// (default off). Accumulated metrics survive transitions; see
+// ResetObservability.
+func EnableObservability(on bool) { obs.SetEnabled(on) }
+
+// ObservabilityEnabled reports whether the telemetry layer is recording.
+func ObservabilityEnabled() bool { return obs.Enabled() }
+
+// ObservabilitySnapshot returns the current telemetry snapshot.
+func ObservabilitySnapshot() ObsStats { return obs.Snapshot() }
+
+// ResetObservability zeroes all telemetry metrics.
+func ResetObservability() { obs.Reset() }
+
+// ServeDebug starts an HTTP server on addr exposing /debug/vars (expvar,
+// including the "obs" telemetry snapshot) and /debug/pprof. The caller
+// owns shutdown via the returned server's Close.
+func ServeDebug(addr string) (*DebugServer, error) { return obs.ServeDebug(addr) }
