@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke selfperturb vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke selfperturb api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -43,6 +43,15 @@ stats-smoke:
 # Dogfooded audit: the obs layer's own perturbation of the analysis.
 selfperturb:
 	$(GO) run ./cmd/experiments -run selfperturb
+
+# Regenerate the pinned facade API surface after a deliberate change.
+api:
+	$(GO) run ./internal/tools/apidump > api.txt
+
+# CI gate: the exported API may only change together with api.txt.
+api-check:
+	$(GO) run ./internal/tools/apidump > /tmp/perturb-api.txt
+	diff -u api.txt /tmp/perturb-api.txt && echo "api surface: OK"
 
 vet:
 	$(GO) vet ./...

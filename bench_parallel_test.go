@@ -54,7 +54,7 @@ func BenchmarkEventBasedMillionSequential(b *testing.B) {
 	tr, cal := bigBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := perturb.AnalyzeEventBased(tr, cal); err != nil {
+		if _, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -66,7 +66,7 @@ func BenchmarkEventBasedMillionParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := perturb.AnalyzeEventBasedParallel(tr, cal, workers); err != nil {
+				if _, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -92,7 +92,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 			defer obs.SetEnabled(false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := perturb.AnalyzeEventBasedParallel(tr, cal, 1); err != nil {
+				if _, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{Workers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -107,11 +107,11 @@ func BenchmarkObsOverhead(b *testing.B) {
 func BenchmarkEventBasedMillionEquivalence(b *testing.B) {
 	tr, cal := bigBench(b)
 	for i := 0; i < b.N; i++ {
-		seq, err := perturb.AnalyzeEventBased(tr, cal)
+		seq, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
-		par, err := perturb.AnalyzeEventBasedParallel(tr, cal, 4)
+		par, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{Workers: 4})
 		if err != nil {
 			b.Fatal(err)
 		}

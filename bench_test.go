@@ -155,7 +155,7 @@ func BenchmarkSimulateLoop3(b *testing.B)  { benchSimulate(b, 3) }
 func BenchmarkSimulateLoop4(b *testing.B)  { benchSimulate(b, 4) }
 func BenchmarkSimulateLoop17(b *testing.B) { benchSimulate(b, 17) }
 
-func benchAnalysis(b *testing.B, n int, f func(*perturb.Trace, perturb.Calibration) (*perturb.Approximation, error)) {
+func benchAnalysis(b *testing.B, n int, opts perturb.AnalyzeOptions) {
 	loop, cfg, ovh, cal := benchLoopSetup(b, n)
 	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
 	if err != nil {
@@ -163,16 +163,18 @@ func benchAnalysis(b *testing.B, n int, f func(*perturb.Trace, perturb.Calibrati
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f(measured.Trace, cal); err != nil {
+		if _, err := perturb.Analyze(measured.Trace, cal, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(measured.Events)/1000, "kevents")
 }
 
-func BenchmarkTimeBasedLoop3(b *testing.B)   { benchAnalysis(b, 3, perturb.AnalyzeTimeBased) }
-func BenchmarkEventBasedLoop3(b *testing.B)  { benchAnalysis(b, 3, perturb.AnalyzeEventBased) }
-func BenchmarkEventBasedLoop17(b *testing.B) { benchAnalysis(b, 17, perturb.AnalyzeEventBased) }
+func BenchmarkTimeBasedLoop3(b *testing.B) {
+	benchAnalysis(b, 3, perturb.AnalyzeOptions{Mode: perturb.TimeBased})
+}
+func BenchmarkEventBasedLoop3(b *testing.B)  { benchAnalysis(b, 3, perturb.AnalyzeOptions{}) }
+func BenchmarkEventBasedLoop17(b *testing.B) { benchAnalysis(b, 17, perturb.AnalyzeOptions{}) }
 
 // Ablation benchmarks: the design-choice sweeps of DESIGN.md (probe cost,
 // statement coverage, calibration error), each running its full sweep per
@@ -238,10 +240,13 @@ func BenchmarkLiberalLoop17(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opts := perturb.LiberalOptions{Procs: cfg.Procs, Distance: loop.Distance, Schedule: perturb.Interleaved}
+	opts := perturb.AnalyzeOptions{
+		Mode:    perturb.Liberal,
+		Liberal: perturb.LiberalOptions{Procs: cfg.Procs, Distance: loop.Distance, Schedule: perturb.Interleaved},
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := perturb.AnalyzeLiberal(measured.Trace, cal, opts); err != nil {
+		if _, err := perturb.Analyze(measured.Trace, cal, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

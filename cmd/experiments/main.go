@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation|selfperturb] [-noise N] [-exact] [-workers N]
+//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation|faults|selfperturb] [-noise N] [-exact] [-workers N]
 //
 // -noise sets the calibration error in per mille (default 8, the
 // paper-scale environment); -exact forces perfect calibration; -workers
@@ -37,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation, selfperturb")
+	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation, faults, selfperturb")
 	noise := flag.Int("noise", 8, "calibration error in per mille")
 	exact := flag.Bool("exact", false, "use exact calibration (overrides -noise)")
 	markdown := flag.Bool("markdown", false, "emit the full evaluation as a Markdown report")
@@ -170,6 +170,8 @@ func run(w io.Writer, which string, env experiments.Env) error {
 			}
 		}
 		return nil
+	case "faults":
+		return one(func(e experiments.Env) (renderer, error) { return experiments.Faults(e) })
 	case "selfperturb":
 		// The audit toggles the telemetry layer itself, so it runs on the
 		// benchmark workload rather than through env; see SelfPerturb.

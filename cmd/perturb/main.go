@@ -11,6 +11,9 @@
 //	-loop N        Livermore kernel number (default 17)
 //	-analysis S    time | event | liberal (default event)
 //	-workers N     run event analysis on N shard workers (0 = sequential)
+//	-inject P      drop each probe record with probability P (fault model)
+//	-seed N        fault-injection seed (default 1)
+//	-repair        sanitize the trace and analyze in degraded mode
 //	-sync          instrument advance/await operations (default true)
 //	-probe D       per-event probe cost, e.g. 5us (default paper costs)
 //	-procs N       processors (default 8)
@@ -52,6 +55,9 @@ type options struct {
 	loop      int
 	analysis  string
 	workers   int
+	inject    float64
+	seed      uint64
+	repair    bool
 	withSync  bool
 	probe     time.Duration
 	procs     int
@@ -77,6 +83,9 @@ func main() {
 	flag.IntVar(&o.loop, "loop", 17, "Livermore kernel number (1-24)")
 	flag.StringVar(&o.analysis, "analysis", "event", "analysis: time, event or liberal")
 	flag.IntVar(&o.workers, "workers", 0, "shard workers for the event analysis (0 = sequential, -1 = GOMAXPROCS)")
+	flag.Float64Var(&o.inject, "inject", 0, "drop each probe record with this probability before analyzing")
+	flag.Uint64Var(&o.seed, "seed", 1, "fault-injection seed")
+	flag.BoolVar(&o.repair, "repair", false, "sanitize the trace and analyze in degraded mode")
 	flag.BoolVar(&o.withSync, "sync", true, "instrument advance/await operations")
 	flag.DurationVar(&o.probe, "probe", 0, "uniform per-event probe cost (0 = paper costs)")
 	flag.IntVar(&o.procs, "procs", 8, "number of processors")
@@ -132,6 +141,9 @@ func validateOptions(o options, args []string) error {
 	if o.loadFile != "" && o.saveFile != "" {
 		return fmt.Errorf("-load and -save are mutually exclusive (use tracecat to convert traces)")
 	}
+	if o.inject < 0 || o.inject >= 1 {
+		return fmt.Errorf("-inject must be a probability in [0, 1), got %v", o.inject)
+	}
 	return nil
 }
 
@@ -182,6 +194,15 @@ func study(w io.Writer, o options) error {
 	measured, actualDur, haveActual, err := loadPhase(o, loop, cfg, ovh)
 	if err != nil {
 		return err
+	}
+
+	if o.inject > 0 {
+		var frep *perturb.FaultReport
+		measured, frep = perturb.InjectFaults(measured, perturb.DropFaults(o.inject, o.seed))
+		if !o.quiet {
+			fmt.Fprintf(w, "fault injection: %d probe records dropped (rate %g, seed %d)\n",
+				frep.Total(), o.inject, o.seed)
+		}
 	}
 
 	approx, err := analyzePhase(o, measured, cal, loop, cfg)
@@ -263,25 +284,26 @@ func loadPhase(o options, loop *perturb.Loop, cfg perturb.MachineConfig, ovh per
 	return measured, actualDur, haveActual, nil
 }
 
-// analyzePhase runs the selected perturbation analysis.
+// analyzePhase runs the selected perturbation analysis through the
+// unified Analyze entry point.
 func analyzePhase(o options, measured *perturb.Trace, cal perturb.Calibration, loop *perturb.Loop, cfg perturb.MachineConfig) (*perturb.Approximation, error) {
 	defer obs.StartSpan("pipeline.analyze").End()
 
+	opts := perturb.AnalyzeOptions{Workers: o.workers, Repair: o.repair}
 	switch strings.ToLower(o.analysis) {
 	case "time":
-		return perturb.AnalyzeTimeBased(measured, cal)
+		opts.Mode = perturb.TimeBased
 	case "event":
-		if o.workers != 0 {
-			return perturb.AnalyzeEventBasedParallel(measured, cal, o.workers)
-		}
-		return perturb.AnalyzeEventBased(measured, cal)
+		opts.Mode = perturb.EventBased
 	case "liberal":
-		return perturb.AnalyzeLiberal(measured, cal, perturb.LiberalOptions{
+		opts.Mode = perturb.Liberal
+		opts.Liberal = perturb.LiberalOptions{
 			Procs: cfg.Procs, Distance: loop.Distance, Schedule: cfg.Schedule,
-		})
+		}
 	default:
 		return nil, fmt.Errorf("unknown analysis %q", o.analysis)
 	}
+	return perturb.Analyze(measured, cal, opts)
 }
 
 // metricsPhase derives every view the report will render: waiting
@@ -345,6 +367,19 @@ func reportPhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.T
 	}
 	fmt.Fprintf(w, "events: %d   waits kept %d, removed %d, introduced %d\n",
 		measured.Len(), approx.WaitsKept, approx.WaitsRemoved, approx.WaitsIntroduced)
+
+	if approx.Repair != nil {
+		fmt.Fprintf(w, "repair: %s\n", approx.Repair.Summary())
+		if len(approx.Confidence) > 0 {
+			worst := approx.Confidence[0]
+			for _, c := range approx.Confidence[1:] {
+				if c.Score < worst.Score {
+					worst = c
+				}
+			}
+			fmt.Fprintf(w, "confidence: worst proc %d at %.3f\n", worst.Proc, worst.Score)
+		}
+	}
 
 	if o.waiting {
 		fmt.Fprintln(w, "\nper-processor waiting (approximated execution):")

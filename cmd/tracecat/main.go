@@ -1,12 +1,15 @@
 // Command tracecat inspects trace files: it prints summaries, converts
-// between the text and binary codecs, filters by processor or kind, and
-// validates structural invariants.
+// between the text and binary codecs, filters by processor or kind,
+// validates structural invariants, and audits or repairs damaged traces.
 //
 // Usage:
 //
-//	tracecat [-summary] [-validate] [-proc N] [-kind K] [-o FILE [-binary]] FILE
+//	tracecat [-summary] [-validate] [-audit] [-repair] [-proc N] [-kind K] [-o FILE [-binary]] FILE
 //
-// The input format (text or binary) is auto-detected.
+// The input format (text or binary) is auto-detected. -audit classifies
+// the trace's defects without modifying it; -repair sanitizes the trace
+// before any other processing, so `-repair -o FILE` round-trips a damaged
+// trace into a clean one.
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 type options struct {
 	summary  bool
 	validate bool
+	audit    bool
+	repair   bool
 	proc     int
 	kind     string
 	out      string
@@ -36,6 +41,8 @@ func main() {
 	var o options
 	flag.BoolVar(&o.summary, "summary", false, "print a summary instead of events")
 	flag.BoolVar(&o.validate, "validate", false, "validate the trace and exit")
+	flag.BoolVar(&o.audit, "audit", false, "classify the trace's defects and exit")
+	flag.BoolVar(&o.repair, "repair", false, "sanitize the trace before other processing")
 	flag.IntVar(&o.proc, "proc", -1, "only events of this processor")
 	flag.StringVar(&o.kind, "kind", "", "only events of this kind (e.g. advance, awaitB)")
 	flag.StringVar(&o.out, "o", "", "write the (filtered) trace to FILE")
@@ -60,6 +67,9 @@ func validateOptions(o options, args []string) error {
 	if o.binary && o.out == "" {
 		return fmt.Errorf("-binary selects the codec for -o output and requires -o FILE")
 	}
+	if o.audit && o.repair {
+		return fmt.Errorf("-audit classifies without modifying; it cannot be combined with -repair")
+	}
 	if o.proc < -1 {
 		return fmt.Errorf("-proc must be a processor number or -1 (no filter), got %d", o.proc)
 	}
@@ -83,6 +93,28 @@ func run(w io.Writer, o options, path string) error {
 	tr, err := readAuto(path)
 	if err != nil {
 		return err
+	}
+
+	if o.audit {
+		defects := perturb.AuditTrace(tr)
+		if len(defects) == 0 {
+			_, err := fmt.Fprintln(w, "clean")
+			return err
+		}
+		for _, d := range defects {
+			if _, err := fmt.Fprintln(w, d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if o.repair {
+		repaired, rep := perturb.RepairTrace(tr)
+		tr = repaired
+		if _, err := fmt.Fprintf(os.Stderr, "tracecat: repair: %s\n", rep.Summary()); err != nil {
+			return err
+		}
 	}
 
 	if o.proc >= 0 || o.kind != "" {

@@ -27,7 +27,8 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	approx, err := perturb.AnalyzeEventBased(measured.Trace, perturb.ExactCalibration(ovh, cfg))
+	approx, err := perturb.Analyze(measured.Trace, perturb.ExactCalibration(ovh, cfg),
+		perturb.AnalyzeOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -41,7 +42,7 @@ func Example() {
 // Time-based analysis cannot restore the waiting that instrumentation hid,
 // so on a dependence-chained loop it underestimates (the paper's Table 1
 // failure mode).
-func ExampleAnalyzeTimeBased() {
+func ExampleAnalyze_timeBased() {
 	loop, err := perturb.LivermoreLoop(3)
 	if err != nil {
 		panic(err)
@@ -56,7 +57,8 @@ func ExampleAnalyzeTimeBased() {
 	if err != nil {
 		panic(err)
 	}
-	tb, err := perturb.AnalyzeTimeBased(measured.Trace, perturb.ExactCalibration(ovh, cfg))
+	tb, err := perturb.Analyze(measured.Trace, perturb.ExactCalibration(ovh, cfg),
+		perturb.AnalyzeOptions{Mode: perturb.TimeBased})
 	if err != nil {
 		panic(err)
 	}
@@ -64,6 +66,49 @@ func ExampleAnalyzeTimeBased() {
 		float64(tb.Duration)/float64(actual.Duration))
 	// Output:
 	// time-based approximation of LL3: 0.39x of actual (paper: 0.37)
+}
+
+// Traces damaged in the field — here, every fault class the injector
+// models at once — still analyze with repair enabled: the sanitizer fixes
+// what it can, the analysis degrades conservatively for the rest, and the
+// result reports what happened.
+func ExampleAnalyze_repair() {
+	loop, err := perturb.LivermoreLoop(3)
+	if err != nil {
+		panic(err)
+	}
+	cfg := perturb.Alliant()
+	ovh := perturb.PaperOverheads()
+	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	damaged, _ := perturb.InjectFaults(measured.Trace, perturb.DropFaults(0.01, 1991))
+	approx, err := perturb.Analyze(damaged, perturb.ExactCalibration(ovh, cfg),
+		perturb.AnalyzeOptions{Repair: true})
+	if err != nil {
+		panic(err)
+	}
+
+	exact, err := perturb.Analyze(measured.Trace, perturb.ExactCalibration(ovh, cfg),
+		perturb.AnalyzeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	worst := 1.0
+	for _, c := range approx.Confidence {
+		if c.Score < worst {
+			worst = c.Score
+		}
+	}
+	fmt.Printf("repaired %v\n", !approx.Repair.Clean())
+	fmt.Printf("reconstruction within 5%%: %v (worst processor confidence %.3f)\n",
+		float64(approx.Duration)/float64(exact.Duration) < 1.05 &&
+			float64(approx.Duration)/float64(exact.Duration) > 0.95, worst)
+	// Output:
+	// repaired true
+	// reconstruction within 5%: true (worst processor confidence 0.989)
 }
 
 // Waiting statistics come from the approximated execution, never the raw
@@ -80,7 +125,7 @@ func ExampleWaiting() {
 	if err != nil {
 		panic(err)
 	}
-	approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	approx, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		panic(err)
 	}

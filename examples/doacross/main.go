@@ -41,7 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	conservative, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	conservative, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,10 +59,13 @@ func main() {
 		{"blocked", perturb.Blocked},
 		{"dynamic", perturb.Dynamic},
 	} {
-		predicted, err := perturb.AnalyzeLiberal(measured.Trace, cal, perturb.LiberalOptions{
-			Procs:    baseCfg.Procs,
-			Distance: loop.Distance,
-			Schedule: sched.s,
+		predicted, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{
+			Mode: perturb.Liberal,
+			Liberal: perturb.LiberalOptions{
+				Procs:    baseCfg.Procs,
+				Distance: loop.Distance,
+				Schedule: sched.s,
+			},
 		})
 		if err != nil {
 			log.Fatal(err)

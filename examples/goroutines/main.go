@@ -84,7 +84,7 @@ func main() {
 	// the real trace.
 	cal := rt.CalibrateSync(5)
 	cal.Overheads = rt.Calibrate(7)
-	approx, err := perturb.AnalyzeEventBased(tr, cal)
+	approx, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -63,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+		approx, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

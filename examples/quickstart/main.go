@@ -45,11 +45,11 @@ func main() {
 
 	// Analysis sees only the measured trace and the calibrated costs.
 	cal := perturb.ExactCalibration(ovh, cfg)
-	timeBased, err := perturb.AnalyzeTimeBased(measured.Trace, cal)
+	timeBased, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{Mode: perturb.TimeBased})
 	if err != nil {
 		log.Fatal(err)
 	}
-	eventBased, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	eventBased, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

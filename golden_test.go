@@ -172,7 +172,7 @@ func TestGoldenUpdate(t *testing.T) {
 		if err := tr.Validate(); err != nil {
 			t.Fatalf("%s: invalid golden trace: %v", name, err)
 		}
-		approx, err := perturb.AnalyzeEventBased(tr, cal)
+		approx, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -232,7 +232,7 @@ func TestGoldenAnalysis(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			want := readGolden(t, name, ".approx.txt")
 
-			seq, err := perturb.AnalyzeEventBased(tr, cal)
+			seq, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -241,7 +241,7 @@ func TestGoldenAnalysis(t *testing.T) {
 			}
 
 			for _, workers := range []int{1, 3} {
-				par, err := perturb.AnalyzeEventBasedParallel(tr, cal, workers)
+				par, err := perturb.Analyze(tr, cal, perturb.AnalyzeOptions{Workers: workers})
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}

@@ -210,11 +210,13 @@ func buildDeps(m *trace.Trace) *syncDeps {
 
 // ebStats accumulates the Figure 2 waiting classification per shard; the
 // per-event determinations are order independent, so per-shard sums added
-// together equal the sequential counts. The pad keeps shards off each
-// other's cache lines.
+// together equal the sequential counts. placeholders counts degraded-mode
+// conservative resolutions (zero in exact mode). The pad keeps shards off
+// each other's cache lines.
 type ebStats struct {
 	kept, removed, introduced int
-	_                         [5]int64
+	placeholders              int
+	_                         [4]int64
 }
 
 // publisher is notified when a watched event resolves; schedulers use it
@@ -235,17 +237,23 @@ type ebEngine struct {
 	done  []uint32
 	pos   []int // per-processor next unresolved position
 	stats []ebStats
+	// degraded enables the conservative-placeholder rule for unpaired
+	// awaits (see eventBased). The engine has no stall-breaking — a
+	// dependency cycle still reports failure, and the caller falls back to
+	// the sequential degraded analysis.
+	degraded bool
 }
 
-func newEngine(m *trace.Trace, cal instr.Calibration) *ebEngine {
+func newEngine(m *trace.Trace, cal instr.Calibration, degraded bool) *ebEngine {
 	return &ebEngine{
-		in:    m,
-		cal:   cal,
-		deps:  buildDeps(m),
-		ta:    make([]trace.Time, m.Len()),
-		done:  make([]uint32, m.Len()),
-		pos:   make([]int, m.Procs),
-		stats: make([]ebStats, m.Procs),
+		in:       m,
+		cal:      cal,
+		deps:     buildDeps(m),
+		ta:       make([]trace.Time, m.Len()),
+		done:     make([]uint32, m.Len()),
+		pos:      make([]int, m.Procs),
+		stats:    make([]ebStats, m.Procs),
+		degraded: degraded,
 	}
 }
 
@@ -284,19 +292,35 @@ func (g *ebEngine) runShard(p int, pub publisher) (blockedOn int, finished bool)
 			if paired {
 				taA = g.ta[adv]
 			}
-			if paired && taA > taAwaitB {
-				g.ta[idx] = taA + cal.SWait
-				st.kept++
-			} else {
-				g.ta[idx] = taAwaitB + cal.SNoWait
-			}
 			measuredGap := e.Time - tmBase
 			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
-			waitedApprox := paired && taA > taAwaitB
-			if waitedMeasured && !waitedApprox {
-				st.removed++
-			} else if !waitedMeasured && waitedApprox {
-				st.introduced++
+			if !paired && g.degraded && e.Iter >= 0 {
+				// Conservative placeholder: the advance was dropped (same
+				// rule as the sequential degraded analysis).
+				wait := placeholderWait(*cal, taAwaitB, tmBase, e.Time)
+				g.ta[idx] = taAwaitB + wait
+				st.placeholders++
+				waitedApprox := wait > cal.SNoWait
+				if waitedMeasured && waitedApprox {
+					st.kept++
+				} else if waitedMeasured {
+					st.removed++
+				} else if waitedApprox {
+					st.introduced++
+				}
+			} else {
+				if paired && taA > taAwaitB {
+					g.ta[idx] = taA + cal.SWait
+					st.kept++
+				} else {
+					g.ta[idx] = taAwaitB + cal.SNoWait
+				}
+				waitedApprox := paired && taA > taAwaitB
+				if waitedMeasured && !waitedApprox {
+					st.removed++
+				} else if !waitedMeasured && waitedApprox {
+					st.introduced++
+				}
 			}
 
 		case trace.KindLockAcq:
@@ -388,6 +412,18 @@ func (g *ebEngine) finish() *Approximation {
 	a.WaitsKept = st.kept
 	a.WaitsRemoved = st.removed
 	a.WaitsIntroduced = st.introduced
+	if g.degraded {
+		conf := make([]ProcConfidence, len(g.deps.perProc))
+		for p := range conf {
+			conf[p] = ProcConfidence{
+				Proc:         p,
+				Events:       len(g.deps.perProc[p]),
+				Placeholders: g.stats[p].placeholders,
+			}
+		}
+		scoreConfidence(conf)
+		a.Confidence = conf
+	}
 
 	if merged := g.mergeRuns(); merged != nil {
 		a.Trace.Events = merged

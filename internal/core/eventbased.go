@@ -38,9 +38,37 @@ import (
 // synchronization event, and terminates when all events are resolved or no
 // progress is possible (ErrUnresolvable).
 func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
+	return eventBased(m, cal, false)
+}
+
+// eventBased is the sequential worklist engine. With degraded set, the
+// analysis tolerates sanitized-but-incomplete traces instead of insisting
+// on exact reconstruction:
+//
+//   - an awaitE whose paired advance is missing from the whole trace (and
+//     whose iteration is non-negative, so it is not a pre-advanced
+//     DOACROSS warm-up await) resolves with a conservative placeholder
+//     that keeps the measured wait: the advance's timing is lost, and
+//     assuming no-wait would silently delete real blocking time;
+//   - when constructive resolution stalls (a dependency cycle a repaired
+//     trace can still contain), the first blocked event in processor
+//     order is force-resolved with the execution-timing rule instead of
+//     returning ErrUnresolvable.
+//
+// Both degradations are tallied per processor in the returned
+// Approximation's Confidence.
+func eventBased(m *trace.Trace, cal instr.Calibration, degraded bool) (*Approximation, error) {
 	r, err := newResolver(m, cal)
 	if err != nil {
 		return nil, err
+	}
+	var conf []ProcConfidence
+	if degraded {
+		conf = make([]ProcConfidence, m.Procs)
+		for p := range conf {
+			conf[p].Proc = p
+			conf[p].Events = len(r.perProc[p])
+		}
 	}
 
 	advIdx := m.PairIndex() // pairing key -> advance event index
@@ -80,6 +108,27 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 			if paired {
 				taA = r.ta[advPos]
 			}
+			// Classify against the measured behaviour (Figure 2): the
+			// await waited in the measurement iff its measured gap
+			// exceeds the no-wait processing plus probe cost.
+			measuredGap := e.Time - tmBase
+			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
+			if !paired && degraded && e.Iter >= 0 {
+				// Conservative placeholder: the advance was dropped.
+				wait := placeholderWait(cal, taAwaitB, tmBase, e.Time)
+				r.ta[idx] = taAwaitB + wait
+				r.done[idx] = true
+				conf[e.Proc].Placeholders++
+				waitedApprox := wait > cal.SNoWait
+				if waitedMeasured && waitedApprox {
+					stats.kept++
+				} else if waitedMeasured {
+					stats.removed++
+				} else if waitedApprox {
+					stats.introduced++
+				}
+				return true
+			}
 			if paired && taA > taAwaitB {
 				r.ta[idx] = taA + cal.SWait
 				stats.kept++
@@ -87,11 +136,6 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 				r.ta[idx] = taAwaitB + cal.SNoWait
 			}
 			r.done[idx] = true
-			// Classify against the measured behaviour (Figure 2): the
-			// await waited in the measurement iff its measured gap
-			// exceeds the no-wait processing plus probe cost.
-			measuredGap := e.Time - tmBase
-			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
 			waitedApprox := paired && taA > taAwaitB
 			if waitedMeasured && !waitedApprox {
 				stats.removed++
@@ -169,8 +213,35 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 			}
 		}
 		if !progress {
-			return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
-				ErrUnresolvable, remaining)
+			if !degraded {
+				return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
+					ErrUnresolvable, remaining)
+			}
+			// Stall-breaking: force-resolve the first blocked event in
+			// processor order with the execution-timing rule, so a
+			// dependency cycle degrades one event instead of failing the
+			// whole analysis. Deterministic: lowest processor id wins.
+			forced := false
+			for p := 0; p < m.Procs && !forced; p++ {
+				if pos[p] >= len(r.perProc[p]) {
+					continue
+				}
+				idx := r.perProc[p][pos[p]]
+				taBase, tmBase, ok := r.basis(p, pos[p])
+				if !ok {
+					// Basis itself unresolved (cross-processor fence in
+					// the cycle): anchor at the measured time.
+					taBase, tmBase = m.Events[idx].Time, m.Events[idx].Time
+				}
+				r.resolveDefault(idx, taBase, tmBase)
+				conf[p].Forced++
+				pos[p]++
+				remaining--
+				forced = true
+			}
+			if !forced {
+				return nil, fmt.Errorf("%w: %d events unresolved", ErrUnresolvable, remaining)
+			}
 		}
 	}
 
@@ -178,5 +249,9 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 	a.WaitsKept = stats.kept
 	a.WaitsRemoved = stats.removed
 	a.WaitsIntroduced = stats.introduced
+	if degraded {
+		scoreConfidence(conf)
+		a.Confidence = conf
+	}
 	return a, nil
 }

@@ -52,7 +52,7 @@ type iterWork struct {
 // required for DOACROSS inputs.
 func LiberalEventBased(m *trace.Trace, cal instr.Calibration, opts LiberalOptions) (*Approximation, error) {
 	if opts.Procs < 1 {
-		return nil, fmt.Errorf("core: liberal analysis requires Procs >= 1, got %d", opts.Procs)
+		return nil, fmt.Errorf("%w: liberal analysis requires Procs >= 1, got %d", ErrUnsupported, opts.Procs)
 	}
 	if opts.Distance < 1 {
 		opts.Distance = 1
@@ -67,7 +67,7 @@ func LiberalEventBased(m *trace.Trace, cal instr.Calibration, opts LiberalOption
 			// Re-simulating lock acquisition order under a different
 			// schedule would require modeling arbitration outcomes the
 			// trace does not determine; refuse rather than guess.
-			return nil, fmt.Errorf("core: liberal analysis does not support lock-based critical sections (event %v)", e)
+			return nil, fmt.Errorf("%w: liberal analysis does not support lock-based critical sections (event %v)", ErrUnsupported, e)
 		case trace.KindLoopBegin:
 			if forkIdx < 0 {
 				forkIdx = i
@@ -75,7 +75,7 @@ func LiberalEventBased(m *trace.Trace, cal instr.Calibration, opts LiberalOption
 		}
 	}
 	if forkIdx < 0 {
-		return nil, fmt.Errorf("core: liberal analysis requires a loop-begin marker in the trace")
+		return nil, fmt.Errorf("%w: liberal analysis requires a loop-begin marker in the trace", ErrUnsupported)
 	}
 
 	ex, err := extractWork(m, cal, forkIdx, opts.Distance)
@@ -83,7 +83,7 @@ func LiberalEventBased(m *trace.Trace, cal instr.Calibration, opts LiberalOption
 		return nil, err
 	}
 	if !ex.barrierSeen {
-		return nil, fmt.Errorf("core: liberal analysis requires barrier events in the trace")
+		return nil, fmt.Errorf("%w: liberal analysis requires barrier events in the trace", ErrUnsupported)
 	}
 
 	// Re-simulate. The head executes on processor 0; every processor
@@ -387,10 +387,10 @@ func extractWork(m *trace.Trace, cal instr.Calibration, forkIdx, distance int) (
 	sort.Slice(ex.work, func(i, j int) bool { return ex.work[i].iter < ex.work[j].iter })
 	for n, w := range ex.work {
 		if n != w.iter {
-			return nil, fmt.Errorf("core: liberal analysis: iteration %d missing from trace (found %d at position %d)", n, w.iter, n)
+			return nil, fmt.Errorf("%w: liberal analysis: iteration %d missing from trace (found %d at position %d)", ErrUnsupported, n, w.iter, n)
 		}
 		if w.hasSync && (w.awaitB.Kind != trace.KindAwaitB || w.awaitE.Kind != trace.KindAwaitE || w.advance.Kind != trace.KindAdvance) {
-			return nil, fmt.Errorf("core: liberal analysis: iteration %d has incomplete synchronization events", w.iter)
+			return nil, fmt.Errorf("%w: liberal analysis: iteration %d has incomplete synchronization events", ErrUnsupported, w.iter)
 		}
 	}
 	return ex, nil

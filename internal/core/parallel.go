@@ -76,13 +76,22 @@ func (g *ebEngine) flushTelemetry(st *schedStats) {
 // the scheduler performs O(events + dependencies) work regardless of how
 // dependency chains snake across processors.
 func EventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int) (*Approximation, error) {
+	return eventBasedParallel(m, cal, workers, false)
+}
+
+// eventBasedParallel is the sharded engine entry point. With degraded set,
+// unpaired awaits resolve with the conservative placeholder rule (see
+// eventBased); the engine performs no stall-breaking, so a dependency
+// cycle still returns ErrUnresolvable and the caller (Analyze) falls back
+// to the sequential degraded analysis.
+func eventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int, degraded bool) (*Approximation, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid input trace: %w", err)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	g := newEngine(m, cal)
+	g := newEngine(m, cal, degraded)
 
 	shards := 0
 	for _, list := range g.deps.perProc {

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"perturb/internal/core"
+	"perturb/internal/faults"
+	"perturb/internal/instr"
+	"perturb/internal/loops"
+	"perturb/internal/machine"
+	"perturb/internal/trace"
+)
+
+// FaultRates are the drop rates the robustness experiment sweeps: the
+// probability that any one probe record (computation or synchronization
+// side) is lost from the measured trace.
+var FaultRates = []float64{0.001, 0.005, 0.01, 0.02, 0.05}
+
+// FaultsRow reports one (kernel, drop rate) cell of the robustness sweep.
+type FaultsRow struct {
+	Loop     int
+	Rate     float64 // per-event drop probability
+	Injected int     // faults actually placed
+	Repaired int     // defects the sanitizer repaired or flagged
+
+	// NaiveErrPct is the total-time reconstruction error (percent,
+	// |approx/actual - 1|) of the event-based analysis applied to the
+	// damaged trace as-is; NaN when the analysis rejects the trace.
+	NaiveErrPct float64
+	// RepairedErrPct is the same error with repair-mode analysis
+	// (sanitize first, degrade conservatively).
+	RepairedErrPct float64
+	// MinConfidence is the worst per-processor confidence score of the
+	// repaired analysis.
+	MinConfidence float64
+}
+
+// FaultsResult is the fault-injection robustness sweep over the DOACROSS
+// kernels.
+type FaultsResult struct {
+	Rows []FaultsRow
+}
+
+// Faults sweeps seeded drop-fault rates over the DOACROSS kernels (LL3, 4
+// and 17): each measured trace is damaged by the injector, then analyzed
+// both naively and with repair-mode analysis, and the total-time
+// reconstruction error of each path is reported against the simulator's
+// ground truth. This quantifies what the sanitizer buys: the naive
+// analysis silently mistakes every await whose advance was dropped for a
+// no-wait, while the degraded analysis substitutes conservative
+// placeholder timings and reports its confidence.
+func Faults(env Env) (*FaultsResult, error) {
+	ns := loops.DoacrossNumbers()
+	res := &FaultsResult{Rows: make([]FaultsRow, len(ns)*len(FaultRates))}
+	err := env.sweep(len(res.Rows), func(i int) error {
+		n := ns[i/len(FaultRates)]
+		rate := FaultRates[i%len(FaultRates)]
+		def, err := env.Kernel(n)
+		if err != nil {
+			return err
+		}
+		actual, err := env.Actual(def.Loop, env.Cfg)
+		if err != nil {
+			return err
+		}
+		measured, err := machine.Run(def.Loop, instr.FullPlan(env.Ovh, true), env.Cfg)
+		if err != nil {
+			return err
+		}
+		cal := env.Calibration(n)
+
+		seed := uint64(n)*1000 + uint64(i%len(FaultRates))
+		damaged, frep := faults.Inject(measured.Trace, faults.DropsOnly(rate, seed))
+
+		row := FaultsRow{Loop: n, Rate: rate, Injected: frep.Total()}
+
+		row.NaiveErrPct = math.NaN()
+		if naive, err := core.Analyze(damaged, cal, core.Options{}); err == nil {
+			row.NaiveErrPct = errPct(naive.Duration, actual.Duration)
+		}
+
+		repaired, err := core.Analyze(damaged, cal, core.Options{Repair: true})
+		if err != nil {
+			return fmt.Errorf("experiments: LL%d rate %g: repair-mode analysis: %w", n, rate, err)
+		}
+		row.RepairedErrPct = errPct(repaired.Duration, actual.Duration)
+		row.Repaired = len(repaired.Repair.Defects)
+		row.MinConfidence = 1
+		for _, c := range repaired.Confidence {
+			if c.Score < row.MinConfidence {
+				row.MinConfidence = c.Score
+			}
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// errPct is the absolute total-time reconstruction error in percent.
+func errPct(approx, actual trace.Time) float64 {
+	return 100 * math.Abs(float64(approx)/float64(actual)-1)
+}
+
+// Render writes the robustness table.
+func (r *FaultsResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Fault-injection robustness: drop faults vs reconstruction error"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-6s %8s %8s %9s %12s %14s %10s\n",
+		"loop", "rate", "faults", "defects", "naive err", "repaired err", "min conf"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		naive := "rejected"
+		if !math.IsNaN(row.NaiveErrPct) {
+			naive = fmt.Sprintf("%.1f%%", row.NaiveErrPct)
+		}
+		if _, err := fmt.Fprintf(w, "LL%-4d %7.1f%% %8d %9d %12s %13.1f%% %10.3f\n",
+			row.Loop, 100*row.Rate, row.Injected, row.Repaired,
+			naive, row.RepairedErrPct, row.MinConfidence); err != nil {
+			return err
+		}
+	}
+	return nil
+}

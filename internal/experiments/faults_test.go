@@ -1,0 +1,94 @@
+package experiments_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"perturb/internal/experiments"
+)
+
+// TestFaultsRobustness enforces the subsystem's acceptance criterion:
+// with single-event drop faults at rates up to 1%, the repaired
+// event-based analysis reconstructs the total execution time of every
+// DOACROSS kernel (LL3, 4, 17) to within 10% of the simulator's ground
+// truth.
+func TestFaultsRobustness(t *testing.T) {
+	res, err := experiments.Faults(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(experiments.FaultRates); len(res.Rows) != want {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), want)
+	}
+	sawFaults := false
+	for _, row := range res.Rows {
+		// A tiny rate on a short trace can legitimately draw zero drops;
+		// such cells are trivially exact and prove nothing either way.
+		if row.Injected > 0 {
+			sawFaults = true
+			if row.Repaired == 0 {
+				t.Errorf("LL%d rate %g: %d faults injected but sanitizer found no defects",
+					row.Loop, row.Rate, row.Injected)
+			}
+		}
+		if row.MinConfidence < 0 || row.MinConfidence > 1 {
+			t.Errorf("LL%d rate %g: confidence %v out of range", row.Loop, row.Rate, row.MinConfidence)
+		}
+		if math.IsNaN(row.RepairedErrPct) || math.IsInf(row.RepairedErrPct, 0) {
+			t.Errorf("LL%d rate %g: repaired error %v not finite", row.Loop, row.Rate, row.RepairedErrPct)
+			continue
+		}
+		if row.Rate <= 0.01 && row.RepairedErrPct > 10 {
+			t.Errorf("LL%d rate %g: repaired reconstruction error %.1f%% exceeds 10%%",
+				row.Loop, row.Rate, row.RepairedErrPct)
+		}
+	}
+	if !sawFaults {
+		t.Error("no sweep cell injected any faults")
+	}
+}
+
+// TestFaultsRepairBeatsNaive checks the sweep demonstrates what repair
+// buys: aggregated over the sweep, the repaired analysis is strictly more
+// accurate than analyzing the damaged trace as-is (cells the naive
+// analysis rejects outright count as failures for it).
+func TestFaultsRepairBeatsNaive(t *testing.T) {
+	res, err := experiments.Faults(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, repaired := 0.0, 0.0
+	rejected := 0
+	for _, row := range res.Rows {
+		if math.IsNaN(row.NaiveErrPct) {
+			rejected++
+			continue
+		}
+		naive += row.NaiveErrPct
+		repaired += row.RepairedErrPct
+	}
+	if rejected == len(res.Rows) {
+		return // naive path always rejects: repair wins by default
+	}
+	if repaired >= naive {
+		t.Errorf("repaired analysis no better than naive: %.1f%% vs %.1f%% summed error", repaired, naive)
+	}
+}
+
+func TestFaultsRender(t *testing.T) {
+	res, err := experiments.Faults(experiments.PaperEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"LL3", "LL4", "LL17", "repaired err", "min conf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

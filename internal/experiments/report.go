@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 )
 
 // WriteMarkdownReport renders the complete evaluation — the paper's tables
@@ -30,6 +31,7 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 		et         *EventTimingResult
 		sv         *ScalarVectorResult
 		lk         *LocksResult
+		fl         *FaultsResult
 		scalings   = make([]*ScalingResult, len(scalingLoops))
 		ablRes     = make([]*AblationResult, len(ablations))
 	)
@@ -42,6 +44,7 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 		func() (err error) { et, err = EventTiming(env); return },
 		func() (err error) { sv, err = ScalarVector(env); return },
 		func() (err error) { lk, err = Locks(env); return },
+		func() (err error) { fl, err = Faults(env); return },
 	}
 	for i := range scalingLoops {
 		i := i
@@ -175,6 +178,20 @@ func WriteMarkdownReport(w io.Writer, env Env) error {
 				pt.X, pt.Events, pt.Slowdown, 100*pt.TimeBasedErr, 100*pt.EventBasedErr); err != nil {
 				return err
 			}
+		}
+	}
+
+	if err := p("\n## Extension — fault-injection robustness (drop faults)\n\n| loop | rate | faults | naive err | repaired err | min confidence |\n|---|---|---|---|---|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range fl.Rows {
+		naive := "rejected"
+		if !math.IsNaN(row.NaiveErrPct) {
+			naive = fmt.Sprintf("%.1f%%", row.NaiveErrPct)
+		}
+		if err := p("| %d | %.1f%% | %d | %s | %.1f%% | %.3f |\n",
+			row.Loop, 100*row.Rate, row.Injected, naive, row.RepairedErrPct, row.MinConfidence); err != nil {
+			return err
 		}
 	}
 	return nil

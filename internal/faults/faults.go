@@ -1,0 +1,257 @@
+// Package faults corrupts event traces the way production tracers do
+// under buffer pressure: probes are dropped, one side of a
+// synchronization pair goes missing, a processor's trace buffer wraps and
+// loses its tail, records are duplicated or reordered in flight, and
+// unsynchronized clocks skew a processor's timestamps.
+//
+// Injection is deterministic and seedable: the same trace, Spec and seed
+// always produce the same corrupted trace, so experiments that sweep
+// fault rates are reproducible run to run. The injector never invents
+// information — every fault removes, copies, or retimes events the input
+// already has — and never touches loop-begin/loop-end markers, which the
+// runtime emits outside the probe buffer path.
+package faults
+
+import (
+	"fmt"
+	"strings"
+
+	"perturb/internal/trace"
+)
+
+// Spec configures one injection pass. Zero value: no faults.
+//
+// The per-event fields are probabilities in [0, 1] applied independently
+// to each eligible event. The per-processor fields select whole-processor
+// faults: each processor is afflicted independently with the given
+// probability.
+type Spec struct {
+	// Seed selects the deterministic random stream. Two runs with equal
+	// traces, Specs and Seeds corrupt identically.
+	Seed uint64
+
+	// DropProbe drops an ordinary computation event: a probe record lost
+	// to a full buffer.
+	DropProbe float64
+	// DropSync drops one side of a synchronization construct: an advance,
+	// one half of an awaitB/awaitE or lock-req/lock-acq bracket, or a
+	// barrier arrive/release record.
+	DropSync float64
+	// Duplicate emits an event twice, as retried buffer flushes do.
+	Duplicate float64
+	// Reorder swaps an event's timestamp with its successor on the same
+	// processor: two records that left the buffer in the wrong order.
+	Reorder float64
+
+	// SkewProc is the probability a processor's clock is skewed; SkewMag
+	// is the offset magnitude (sign is seeded per processor). SkewMag
+	// defaults to 2µs when SkewProc > 0.
+	SkewProc float64
+	SkewMag  trace.Dur
+	// TruncateProc is the probability a processor loses its tail;
+	// TruncateFrac is the fraction of the processor's events cut
+	// (default 0.05).
+	TruncateProc float64
+	TruncateFrac float64
+}
+
+// Uniform returns a Spec injecting every per-event fault class at the
+// given rate. Whole-processor faults (skew, truncation) stay off; enable
+// them explicitly.
+func Uniform(rate float64, seed uint64) Spec {
+	return Spec{Seed: seed, DropProbe: rate, DropSync: rate, Duplicate: rate, Reorder: rate}
+}
+
+// DropsOnly returns a Spec injecting only drop faults (probe and sync
+// sides) at the given rate — the failure mode the robustness experiment
+// sweeps.
+func DropsOnly(rate float64, seed uint64) Spec {
+	return Spec{Seed: seed, DropProbe: rate, DropSync: rate}
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.DropProbe > 0 || s.DropSync > 0 || s.Duplicate > 0 || s.Reorder > 0 ||
+		s.SkewProc > 0 || s.TruncateProc > 0
+}
+
+// Report counts the faults one injection pass actually placed.
+type Report struct {
+	DroppedProbes  int
+	DroppedSync    int
+	Duplicated     int
+	Reordered      int
+	SkewedProcs    []int
+	TruncatedProcs []int
+	// TruncatedEvents counts events removed by tail truncation.
+	TruncatedEvents int
+}
+
+// Total returns the number of injected faults (whole-processor faults
+// count once per afflicted processor).
+func (r *Report) Total() int {
+	return r.DroppedProbes + r.DroppedSync + r.Duplicated + r.Reordered +
+		len(r.SkewedProcs) + len(r.TruncatedProcs)
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	if r.Total() == 0 {
+		return "no faults"
+	}
+	var parts []string
+	add := func(n int, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(r.DroppedProbes, "probes dropped")
+	add(r.DroppedSync, "sync sides dropped")
+	add(r.Duplicated, "duplicated")
+	add(r.Reordered, "reordered")
+	add(len(r.SkewedProcs), "procs skewed")
+	add(len(r.TruncatedProcs), "procs truncated")
+	return strings.Join(parts, ", ")
+}
+
+// Salts separating the random streams of the fault classes, so enabling
+// one class never changes another's choices.
+const (
+	saltDropProbe = 0xFA17 + iota
+	saltDropSync
+	saltDuplicate
+	saltReorder
+	saltSkew
+	saltSkewSign
+	saltTruncate
+	saltTruncateFrac
+)
+
+// mix is a splitmix64-style hash over (seed, index, salt); the same
+// scheme instr.Perturbed uses for deterministic calibration noise.
+func mix(seed, n, salt uint64) uint64 {
+	x := seed*0x9E3779B97F4A7C15 + n*0xBF58476D1CE4E5B9 + salt*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// hit decides one Bernoulli trial on the class stream for item n.
+func (s Spec) hit(n uint64, salt uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return unit(mix(s.Seed, n, salt)) < p
+}
+
+// Inject returns a corrupted copy of the trace along with a report of the
+// faults placed. The input is never modified. The output is sorted into
+// canonical order — corruption mimics what a consumer would read back
+// from damaged buffers, not the buffers' internal layout.
+func Inject(t *trace.Trace, spec Spec) (*trace.Trace, *Report) {
+	rep := &Report{}
+	out := trace.NewWithCap(t.Procs, t.Len()+t.Len()/8)
+	if !spec.Enabled() {
+		out.Events = append(out.Events, t.Events...)
+		return out, rep
+	}
+
+	// Whole-processor afflictions, decided up front on per-proc streams.
+	skew := make(map[int]trace.Dur)
+	truncAt := make(map[int]int) // proc -> number of tail events to cut
+	perProc := make(map[int]int) // proc -> event count
+	for _, e := range t.Events {
+		perProc[e.Proc]++
+	}
+	skewMag := spec.SkewMag
+	if skewMag == 0 {
+		skewMag = 2 * trace.Microsecond
+	}
+	truncFrac := spec.TruncateFrac
+	if truncFrac == 0 {
+		truncFrac = 0.05
+	}
+	for p := 0; p < t.Procs; p++ {
+		if spec.hit(uint64(p), saltSkew, spec.SkewProc) {
+			d := skewMag
+			if mix(spec.Seed, uint64(p), saltSkewSign)&1 == 1 {
+				d = -d
+			}
+			skew[p] = d
+			rep.SkewedProcs = append(rep.SkewedProcs, p)
+		}
+		if spec.hit(uint64(p), saltTruncate, spec.TruncateProc) && perProc[p] > 0 {
+			n := int(float64(perProc[p]) * truncFrac * unit(mix(spec.Seed, uint64(p), saltTruncateFrac)))
+			if n < 1 {
+				n = 1
+			}
+			truncAt[p] = perProc[p] - n
+			rep.TruncatedProcs = append(rep.TruncatedProcs, p)
+		}
+	}
+
+	seenPerProc := make(map[int]int)
+	for i, e := range t.Events {
+		n := uint64(i)
+		pos := seenPerProc[e.Proc]
+		seenPerProc[e.Proc]++
+
+		// Tail truncation: everything at or past the cut is lost.
+		if cut, ok := truncAt[e.Proc]; ok && pos >= cut {
+			rep.TruncatedEvents++
+			continue
+		}
+
+		switch e.Kind {
+		case trace.KindLoopBegin, trace.KindLoopEnd:
+			// Runtime-emitted markers, outside the probe buffer path.
+		case trace.KindCompute:
+			if spec.hit(n, saltDropProbe, spec.DropProbe) {
+				rep.DroppedProbes++
+				continue
+			}
+		default:
+			if e.Kind.IsSync() && spec.hit(n, saltDropSync, spec.DropSync) {
+				rep.DroppedSync++
+				continue
+			}
+		}
+
+		if d, ok := skew[e.Proc]; ok {
+			e.Time += d
+		}
+		out.Append(e)
+		if spec.hit(n, saltDuplicate, spec.Duplicate) {
+			out.Append(e)
+			rep.Duplicated++
+		}
+	}
+
+	// Reorder: swap timestamps of adjacent same-processor events in the
+	// corrupted trace, at most once per event.
+	if spec.Reorder > 0 {
+		out.Sort()
+		prev := make(map[int]int) // proc -> index of its previous event in out
+		lastSwap := make(map[int]int)
+		for i := range out.Events {
+			p := out.Events[i].Proc
+			if j, ok := prev[p]; ok && lastSwap[p] != j+1 &&
+				spec.hit(uint64(i), saltReorder, spec.Reorder) &&
+				out.Events[j].Time != out.Events[i].Time {
+				out.Events[j].Time, out.Events[i].Time = out.Events[i].Time, out.Events[j].Time
+				lastSwap[p] = i + 1
+				rep.Reordered++
+			}
+			prev[p] = i
+		}
+	}
+
+	out.Sort()
+	return out, rep
+}

@@ -1,0 +1,245 @@
+package faults_test
+
+import (
+	"testing"
+
+	"perturb/internal/faults"
+	"perturb/internal/trace"
+)
+
+// syntheticTrace builds a two-processor trace with computes, an
+// advance/await pair per iteration, loop markers, and a closing barrier.
+func syntheticTrace(iters int) *trace.Trace {
+	tr := trace.New(2)
+	base := trace.Time(0)
+	tr.Append(trace.Event{Time: base, Stmt: -1, Proc: 0, Kind: trace.KindLoopBegin, Iter: trace.NoIter, Var: trace.NoVar})
+	for i := 0; i < iters; i++ {
+		b := base + trace.Time(i)*100
+		tr.Append(trace.Event{Time: b + 10, Stmt: 1, Proc: 0, Kind: trace.KindCompute, Iter: i, Var: trace.NoVar})
+		tr.Append(trace.Event{Time: b + 20, Stmt: 2, Proc: 0, Kind: trace.KindAdvance, Iter: i, Var: 5})
+		tr.Append(trace.Event{Time: b + 12, Stmt: 3, Proc: 1, Kind: trace.KindAwaitB, Iter: i, Var: 5})
+		tr.Append(trace.Event{Time: b + 25, Stmt: 3, Proc: 1, Kind: trace.KindAwaitE, Iter: i, Var: 5})
+		tr.Append(trace.Event{Time: b + 40, Stmt: 4, Proc: 1, Kind: trace.KindCompute, Iter: i, Var: trace.NoVar})
+	}
+	end := base + trace.Time(iters)*100
+	for p := 0; p < 2; p++ {
+		tr.Append(trace.Event{Time: end + trace.Time(p), Stmt: -2, Proc: p, Kind: trace.KindBarrierArrive, Iter: 0, Var: 0})
+		tr.Append(trace.Event{Time: end + 10, Stmt: -2, Proc: p, Kind: trace.KindBarrierRelease, Iter: 0, Var: 0})
+	}
+	tr.Append(trace.Event{Time: end + 20, Stmt: -1, Proc: 0, Kind: trace.KindLoopEnd, Iter: trace.NoIter, Var: trace.NoVar})
+	tr.Normalize()
+	return tr
+}
+
+func sameEvents(a, b *trace.Trace) bool {
+	if a.Procs != b.Procs || len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInjectZeroSpecIsIdentity(t *testing.T) {
+	tr := syntheticTrace(50)
+	out, rep := faults.Inject(tr, faults.Spec{})
+	if rep.Total() != 0 {
+		t.Fatalf("zero spec injected faults: %v", rep)
+	}
+	if !sameEvents(tr, out) {
+		t.Fatal("zero spec changed the trace")
+	}
+	if rep.String() != "no faults" {
+		t.Fatalf("empty report string = %q", rep.String())
+	}
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	tr := syntheticTrace(200)
+	spec := faults.Uniform(0.05, 42)
+	spec.SkewProc, spec.TruncateProc = 0.5, 0.5
+	a, repA := faults.Inject(tr, spec)
+	b, repB := faults.Inject(tr, spec)
+	if !sameEvents(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if repA.Total() != repB.Total() {
+		t.Fatalf("report totals differ: %d vs %d", repA.Total(), repB.Total())
+	}
+	spec.Seed = 43
+	c, _ := faults.Inject(tr, spec)
+	if sameEvents(a, c) {
+		t.Fatal("different seeds produced identical corruption")
+	}
+}
+
+func TestInjectInputNeverModified(t *testing.T) {
+	tr := syntheticTrace(100)
+	before := append([]trace.Event(nil), tr.Events...)
+	spec := faults.Uniform(0.2, 7)
+	spec.SkewProc, spec.TruncateProc = 1, 1
+	faults.Inject(tr, spec)
+	for i := range before {
+		if tr.Events[i] != before[i] {
+			t.Fatalf("input modified at %d", i)
+		}
+	}
+}
+
+func TestInjectDropProbe(t *testing.T) {
+	tr := syntheticTrace(200)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 1, DropProbe: 0.1})
+	if rep.DroppedProbes == 0 {
+		t.Fatal("no probes dropped at 10%")
+	}
+	if got := tr.CountKind(trace.KindCompute) - out.CountKind(trace.KindCompute); got != rep.DroppedProbes {
+		t.Fatalf("compute delta %d != reported %d", got, rep.DroppedProbes)
+	}
+	// Only computes are eligible: sync population must be intact.
+	for _, k := range []trace.Kind{trace.KindAdvance, trace.KindAwaitB, trace.KindAwaitE} {
+		if out.CountKind(k) != tr.CountKind(k) {
+			t.Fatalf("%v count changed under DropProbe", k)
+		}
+	}
+}
+
+func TestInjectDropSync(t *testing.T) {
+	tr := syntheticTrace(200)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 1, DropSync: 0.1})
+	if rep.DroppedSync == 0 {
+		t.Fatal("no sync sides dropped at 10%")
+	}
+	if out.CountKind(trace.KindCompute) != tr.CountKind(trace.KindCompute) {
+		t.Fatal("compute count changed under DropSync")
+	}
+	lost := 0
+	for _, k := range []trace.Kind{trace.KindAdvance, trace.KindAwaitB, trace.KindAwaitE,
+		trace.KindBarrierArrive, trace.KindBarrierRelease} {
+		lost += tr.CountKind(k) - out.CountKind(k)
+	}
+	if lost != rep.DroppedSync {
+		t.Fatalf("sync delta %d != reported %d", lost, rep.DroppedSync)
+	}
+}
+
+func TestInjectNeverTouchesLoopMarkers(t *testing.T) {
+	tr := syntheticTrace(100)
+	spec := faults.Uniform(0.9, 3)
+	out, _ := faults.Inject(tr, spec)
+	for _, k := range []trace.Kind{trace.KindLoopBegin, trace.KindLoopEnd} {
+		if out.CountKind(k) < tr.CountKind(k) {
+			t.Fatalf("%v dropped; loop markers are exempt", k)
+		}
+	}
+}
+
+func TestInjectDuplicate(t *testing.T) {
+	tr := syntheticTrace(200)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 9, Duplicate: 0.1})
+	if rep.Duplicated == 0 {
+		t.Fatal("nothing duplicated at 10%")
+	}
+	if len(out.Events) != len(tr.Events)+rep.Duplicated {
+		t.Fatalf("event count %d, want %d", len(out.Events), len(tr.Events)+rep.Duplicated)
+	}
+}
+
+func TestInjectClockSkew(t *testing.T) {
+	tr := syntheticTrace(50)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 4, SkewProc: 1, SkewMag: 500})
+	if len(rep.SkewedProcs) != tr.Procs {
+		t.Fatalf("skewed %d procs, want all %d", len(rep.SkewedProcs), tr.Procs)
+	}
+	// Every event moved by exactly ±500.
+	shift := map[int]trace.Dur{}
+	for _, e := range tr.Events {
+		shift[e.Proc] = 0
+	}
+	perIn, perOut := tr.ByProc(), out.ByProc()
+	for p := range perIn {
+		if len(perIn[p]) == 0 {
+			continue
+		}
+		d := perOut[p][0].Time - perIn[p][0].Time
+		if d != 500 && d != -500 {
+			t.Fatalf("proc %d shifted by %d, want ±500", p, d)
+		}
+		for i := range perIn[p] {
+			if perOut[p][i].Time-perIn[p][i].Time != d {
+				t.Fatalf("proc %d skew not uniform", p)
+			}
+		}
+	}
+}
+
+func TestInjectTruncateTail(t *testing.T) {
+	tr := syntheticTrace(100)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 5, TruncateProc: 1, TruncateFrac: 0.2})
+	if len(rep.TruncatedProcs) != tr.Procs {
+		t.Fatalf("truncated %d procs, want all %d", len(rep.TruncatedProcs), tr.Procs)
+	}
+	if rep.TruncatedEvents == 0 {
+		t.Fatal("no events truncated")
+	}
+	perIn, perOut := tr.ByProc(), out.ByProc()
+	for p := range perIn {
+		if len(perOut[p]) >= len(perIn[p]) {
+			t.Fatalf("proc %d not truncated: %d -> %d", p, len(perIn[p]), len(perOut[p]))
+		}
+		// The surviving prefix is untouched.
+		for i := range perOut[p] {
+			if perOut[p][i] != perIn[p][i] {
+				t.Fatalf("proc %d event %d changed under truncation", p, i)
+			}
+		}
+	}
+}
+
+func TestInjectReorder(t *testing.T) {
+	tr := syntheticTrace(200)
+	out, rep := faults.Inject(tr, faults.Spec{Seed: 6, Reorder: 0.1})
+	if rep.Reordered == 0 {
+		t.Fatal("nothing reordered at 10%")
+	}
+	if len(out.Events) != len(tr.Events) {
+		t.Fatal("reorder changed event count")
+	}
+	// Multiset of (proc, kind, stmt) unchanged; only times moved.
+	type id struct {
+		p, s int
+		k    trace.Kind
+	}
+	count := map[id]int{}
+	for _, e := range tr.Events {
+		count[id{e.Proc, e.Stmt, e.Kind}]++
+	}
+	for _, e := range out.Events {
+		count[id{e.Proc, e.Stmt, e.Kind}]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("event population changed: %+v x%d", k, v)
+		}
+	}
+}
+
+func TestInjectedTraceRepairs(t *testing.T) {
+	// Every fault class, all at once, must leave a trace the sanitizer
+	// can bring back to a Validate-clean state.
+	tr := syntheticTrace(100)
+	spec := faults.Uniform(0.05, 11)
+	spec.SkewProc, spec.SkewMag = 0.5, 300
+	spec.TruncateProc, spec.TruncateFrac = 0.5, 0.1
+	corrupted, rep := faults.Inject(tr, spec)
+	if rep.Total() == 0 {
+		t.Fatal("no faults injected")
+	}
+	repaired, rrep := trace.Repair(corrupted)
+	if err := repaired.Validate(); err != nil {
+		t.Fatalf("repaired trace fails Validate: %v\nfaults: %v\nrepair: %v",
+			err, rep, rrep.Summary())
+	}
+}

@@ -1,0 +1,101 @@
+package faults_test
+
+import (
+	"testing"
+
+	"perturb/internal/core"
+	"perturb/internal/faults"
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// TestFaultClassRoundTrip: for every fault class alone (and all combined),
+// an injected trace makes the full Validate -> Repair -> Analyze round
+// trip: the sanitizer restores a Validate-clean trace, repair is
+// idempotent, and the degraded analysis produces a finite approximation
+// with a confidence summary.
+func TestFaultClassRoundTrip(t *testing.T) {
+	cal := instr.Exact(instr.Uniform(2), 3, 5, 2, 4)
+	cases := []struct {
+		name string
+		spec faults.Spec
+	}{
+		{"drop-probe", faults.Spec{Seed: 21, DropProbe: 0.1}},
+		{"drop-sync", faults.Spec{Seed: 22, DropSync: 0.1}},
+		{"duplicate", faults.Spec{Seed: 23, Duplicate: 0.1}},
+		{"reorder", faults.Spec{Seed: 24, Reorder: 0.1}},
+		{"clock-skew", faults.Spec{Seed: 25, SkewProc: 1, SkewMag: 30}},
+		{"truncate", faults.Spec{Seed: 26, TruncateProc: 1, TruncateFrac: 0.1}},
+		{"all", func() faults.Spec {
+			s := faults.Uniform(0.05, 27)
+			s.SkewProc, s.SkewMag = 0.5, 30
+			s.TruncateProc, s.TruncateFrac = 0.5, 0.05
+			return s
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := syntheticTrace(120)
+			corrupted, rep := faults.Inject(tr, tc.spec)
+			if rep.Total() == 0 {
+				t.Fatalf("%s injected nothing", tc.name)
+			}
+
+			repaired, rrep := trace.Repair(corrupted)
+			if err := repaired.Validate(); err != nil {
+				t.Fatalf("repaired trace fails Validate: %v\nrepair: %s", err, rrep.Summary())
+			}
+			again, rrep2 := trace.Repair(repaired)
+			if rrep2.Modified() {
+				t.Fatalf("repair not idempotent: %s", rrep2.Summary())
+			}
+			if again.Len() != repaired.Len() {
+				t.Fatalf("second repair changed event count: %d -> %d", repaired.Len(), again.Len())
+			}
+
+			a, err := core.Analyze(corrupted, cal, core.Options{Repair: true})
+			if err != nil {
+				t.Fatalf("degraded analysis failed: %v\nfaults: %v\nrepair: %s", err, rep, rrep.Summary())
+			}
+			if a.Duration <= 0 {
+				t.Fatalf("degraded analysis produced duration %d", a.Duration)
+			}
+			if a.Repair == nil || a.Confidence == nil {
+				t.Fatal("degraded analysis missing repair report or confidence")
+			}
+			for _, c := range a.Confidence {
+				if c.Score < 0 || c.Score > 1 {
+					t.Fatalf("proc %d confidence %v out of range", c.Proc, c.Score)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultFreeAnalyzeByteIdentical: with injection disabled, the whole
+// pipeline — inject (no-op), analyze with and without repair — produces
+// results byte-identical to analyzing the pristine trace.
+func TestFaultFreeAnalyzeByteIdentical(t *testing.T) {
+	cal := instr.Exact(instr.Uniform(2), 3, 5, 2, 4)
+	tr := syntheticTrace(120)
+	out, rep := faults.Inject(tr, faults.Spec{})
+	if rep.Total() != 0 || !sameEvents(tr, out) {
+		t.Fatal("disabled injection altered the trace")
+	}
+	want, err := core.EventBased(tr, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Analyze(out, cal, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != want.Duration || got.Trace.Len() != want.Trace.Len() {
+		t.Fatalf("fault-free analysis differs: duration %d vs %d", got.Duration, want.Duration)
+	}
+	for i := range want.Trace.Events {
+		if got.Trace.Events[i] != want.Trace.Events[i] {
+			t.Fatalf("fault-free analysis differs at event %d", i)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command apidump prints the exported API surface of the perturb facade
+// package as deterministic, sorted declaration text. CI diffs its output
+// against the checked-in api.txt so the public surface only changes when
+// a commit updates the file deliberately (`make api`).
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apidump: ")
+
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := f.Name.Name; n == "main" || isTestPackage(n) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		log.Fatalf("no library package found in %s", dir)
+	}
+
+	d, err := doc.NewFromFiles(fset, files, files[0].Name.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var decls []string
+	add := func(n ast.Node) {
+		var b bytes.Buffer
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			log.Fatal(err)
+		}
+		decls = append(decls, b.String())
+	}
+	addFunc := func(f *doc.Func) {
+		f.Decl.Body = nil
+		add(f.Decl)
+	}
+	addValues := func(vs []*doc.Value) {
+		for _, v := range vs {
+			add(v.Decl)
+		}
+	}
+
+	addValues(d.Consts)
+	addValues(d.Vars)
+	for _, f := range d.Funcs {
+		addFunc(f)
+	}
+	for _, t := range d.Types {
+		add(t.Decl)
+		addValues(t.Consts)
+		addValues(t.Vars)
+		for _, f := range t.Funcs {
+			addFunc(f)
+		}
+		for _, m := range t.Methods {
+			addFunc(m)
+		}
+	}
+
+	sort.Strings(decls)
+	for _, s := range decls {
+		fmt.Println(s)
+	}
+}
+
+func isTestPackage(name string) bool {
+	return len(name) > 5 && name[len(name)-5:] == "_test"
+}

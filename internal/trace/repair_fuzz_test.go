@@ -1,0 +1,46 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"perturb/internal/trace"
+)
+
+// FuzzRepair holds the sanitizer's contract over arbitrary decodable
+// input: Repair never panics, its output always passes Validate, and
+// repairing its own output performs no further modifications (repair is
+// idempotent). The corpus reuses the text-codec seeds so the fuzzer
+// explores realistic traces, not just headers.
+func FuzzRepair(f *testing.F) {
+	seedGolden(f, ".txt")
+	f.Add([]byte("ptrace1 procs=2\n10 p0 s1 compute i0 v-1\n20 p0 s2 advance i0 v7\n12 p1 s3 awaitB i0 v7\n25 p1 s3 awaitE i0 v7\n"))
+	// Broken brackets, a duplicate, and a causality violation.
+	f.Add([]byte("ptrace1 procs=2\n25 p1 s3 awaitE i0 v7\n25 p1 s3 awaitE i0 v7\n40 p0 s2 advance i0 v7\n"))
+	// Barrier with a missing side and a truncated processor.
+	f.Add([]byte("ptrace1 procs=3\n10 p0 s1 compute i0 v-1\n20 p0 s-2 barrier-arrive i0 v0\n30 p0 s-2 barrier-release i0 v0\n21 p1 s-2 barrier-arrive i0 v0\n11 p2 s1 compute i0 v-1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		once, rep1 := trace.Repair(tr)
+		if err := once.Validate(); err != nil {
+			t.Fatalf("repair output fails Validate: %v\nreport: %v", err, rep1.Summary())
+		}
+		twice, rep2 := trace.Repair(once)
+		if rep2.Modified() {
+			t.Fatalf("repair not idempotent: second pass removed=%d synthesized=%d retimed=%d\nfirst: %v\nsecond: %v",
+				rep2.Removed, rep2.Synthesized, rep2.Retimed, rep1.Summary(), rep2.Summary())
+		}
+		if len(twice.Events) != len(once.Events) {
+			t.Fatalf("repair not idempotent: %d -> %d events", len(once.Events), len(twice.Events))
+		}
+		for i := range once.Events {
+			if twice.Events[i] != once.Events[i] {
+				t.Fatalf("repair not idempotent: event %d drifted %v -> %v",
+					i, once.Events[i], twice.Events[i])
+			}
+		}
+	})
+}

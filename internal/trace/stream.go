@@ -131,15 +131,18 @@ func NewTextReader(r io.Reader) (Reader, error) {
 		if err := sc.Err(); err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("trace: empty input")
+		return nil, fmt.Errorf("%w: empty input", ErrMalformedTrace)
 	}
 	header := sc.Text()
 	if len(header) < len(textMagic) || header[:len(textMagic)] != textMagic {
-		return nil, fmt.Errorf("trace: bad header %q", header)
+		return nil, fmt.Errorf("%w: bad header %q", ErrMalformedTrace, header)
 	}
 	var procs int
 	if _, err := fmt.Sscanf(header[len(textMagic):], " procs=%d", &procs); err != nil {
-		return nil, fmt.Errorf("trace: bad header %q: %v", header, err)
+		return nil, fmt.Errorf("%w: bad header %q: %v", ErrMalformedTrace, header, err)
+	}
+	if procs < 0 || procs > maxProcs {
+		return nil, fmt.Errorf("%w: implausible processor count %d", ErrMalformedTrace, procs)
 	}
 	return &textReader{sc: sc, procs: procs, line: 1}, nil
 }
@@ -175,7 +178,7 @@ func (t *textReader) read(dst []Event) (int, int64, error) {
 		}
 		e, err := parseEventBytes(s)
 		if err != nil {
-			t.err = fmt.Errorf("trace: line %d: %v", t.line, err)
+			t.err = fmt.Errorf("trace: line %d: %w", t.line, err)
 			return n, bytes, t.err
 		}
 		dst[n] = e
@@ -200,7 +203,7 @@ func trimSpace(s []byte) []byte {
 // fmt.Sscanf-based parser.
 func parseEventBytes(s []byte) (Event, error) {
 	bad := func() (Event, error) {
-		return Event{}, fmt.Errorf("malformed event %q", s)
+		return Event{}, fmt.Errorf("%w: malformed event %q", ErrMalformedTrace, s)
 	}
 	tok, rest := nextField(s)
 	tm, ok := parseInt(tok)
@@ -220,7 +223,7 @@ func parseEventBytes(s []byte) (Event, error) {
 	tok, rest = nextField(rest)
 	kind, ok := kindByName[string(tok)]
 	if !ok {
-		return Event{}, fmt.Errorf("unknown event kind %q", tok)
+		return Event{}, fmt.Errorf("%w: unknown event kind %q", ErrMalformedTrace, tok)
 	}
 	tok, rest = nextField(rest)
 	iter, ok := parseTagged(tok, 'i')
@@ -345,6 +348,11 @@ func appendEventText(buf []byte, e *Event) []byte {
 // NewBinaryWriter, which cannot know the count up front.
 const streamCount = ^uint64(0)
 
+// maxProcs caps the processor count either codec will accept: a corrupt
+// header must not be able to make downstream per-processor allocations
+// (Validate, analysis state) explode.
+const maxProcs = 1 << 20
+
 type binReader struct {
 	br    *bufio.Reader
 	procs int
@@ -362,7 +370,7 @@ func NewBinaryReader(r io.Reader) (Reader, error) {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if !bytes.Equal(header[:8], binMagic[:]) {
-		return nil, fmt.Errorf("trace: bad magic %q", header[:8])
+		return nil, fmt.Errorf("%w: bad magic %q", ErrMalformedTrace, header[:8])
 	}
 	if _, err := io.ReadFull(br, header[8:]); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
@@ -371,7 +379,10 @@ func NewBinaryReader(r io.Reader) (Reader, error) {
 	count := le64(header[12:])
 	const maxEvents = 1 << 30
 	if count > maxEvents && count != streamCount {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrMalformedTrace, count)
+	}
+	if procs > maxProcs {
+		return nil, fmt.Errorf("%w: implausible processor count %d", ErrMalformedTrace, procs)
 	}
 	return &binReader{br: br, procs: int(procs), count: count}, nil
 }

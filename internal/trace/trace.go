@@ -175,12 +175,32 @@ func Merge(traces ...*Trace) *Trace {
 	return out
 }
 
-// Validation errors returned by Validate.
+// Typed trace errors. ErrMalformedTrace is the umbrella sentinel: every
+// structural defect reported by Validate, the codecs and the sanitizer
+// wraps it, so callers can gate on errors.Is(err, ErrMalformedTrace)
+// without enumerating the specific defect classes.
 var (
-	ErrNonMonotonic = errors.New("trace: per-processor event times are not non-decreasing")
-	ErrBadProc      = errors.New("trace: event names a processor outside [0, Procs)")
-	ErrBadKind      = errors.New("trace: event has an undefined kind")
-	ErrSyncNoVar    = errors.New("trace: advance/await event lacks a synchronization variable")
+	// ErrMalformedTrace reports that a trace violates a structural
+	// invariant (bad processor, bad kind, unordered times, missing sync
+	// metadata) or that an encoding could not be decoded.
+	ErrMalformedTrace = errors.New("trace: malformed trace")
+	// ErrUnmatchedSync reports a synchronization event whose partner is
+	// absent: an await with no paired advance, a bracket event (awaitB/
+	// awaitE, lock-req/lock-acq) missing its other half, or a barrier
+	// side missing for a participating processor.
+	ErrUnmatchedSync = errors.New("trace: unmatched synchronization event")
+	// ErrTruncatedTrace reports that a processor's event stream ends
+	// before the execution it participates in does — the buffer-overrun
+	// failure mode of production tracers.
+	ErrTruncatedTrace = errors.New("trace: truncated processor event stream")
+)
+
+// Validation errors returned by Validate. Each wraps ErrMalformedTrace.
+var (
+	ErrNonMonotonic = fmt.Errorf("%w: per-processor event times are not non-decreasing", ErrMalformedTrace)
+	ErrBadProc      = fmt.Errorf("%w: event names a processor outside [0, Procs)", ErrMalformedTrace)
+	ErrBadKind      = fmt.Errorf("%w: event has an undefined kind", ErrMalformedTrace)
+	ErrSyncNoVar    = fmt.Errorf("%w: advance/await event lacks a synchronization variable", ErrMalformedTrace)
 )
 
 // Validate checks structural trace invariants:

@@ -17,14 +17,18 @@
 //     the style of the Alliant FX/80, with advance/await synchronization
 //     (Simulate) — running without instrumentation yields the actual
 //     execution, running with a Plan yields the measured one;
-//   - time-based perturbation analysis (AnalyzeTimeBased), which removes
-//     per-event probe overhead thread by thread;
-//   - event-based perturbation analysis (AnalyzeEventBased), which
-//     additionally models advance/await pairs and barriers and
-//     reconstructs synchronization waiting;
-//   - a liberal, reschedule-aware variant (AnalyzeLiberal), which can also
-//     predict behaviour under scheduling disciplines other than the
-//     measured one;
+//   - a unified analysis entry point (Analyze) selecting between
+//     time-based analysis (paper §3: per-event probe overhead removal),
+//     event-based analysis (paper §4: synchronization modeling, sequential
+//     or sharded-parallel execution), and the liberal reschedule-aware
+//     variant — see AnalyzeOptions;
+//   - a trace sanitizer (ValidateTrace via Trace.Validate, RepairTrace,
+//     AuditTrace) that classifies and repairs real-world trace defects —
+//     dropped probes, unmatched synchronization, clock skew, truncated
+//     processors — and a degraded analysis mode (AnalyzeOptions.Repair)
+//     that tolerates repaired traces, reporting per-processor confidence;
+//   - a deterministic fault injector (InjectFaults) reproducing those
+//     defect classes at seeded rates, for robustness experiments;
 //   - lock-based (semaphore-style) critical sections alongside
 //     advance/await, in both the simulator and the analyses;
 //   - multi-phase programs: sequences of loops with per-phase fork/join
@@ -52,9 +56,16 @@
 //	ovh := perturb.UniformOverheads(5 * perturb.Microsecond)
 //	measured, _ := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
 //	cal := perturb.ExactCalibration(ovh, cfg)
-//	approx, _ := perturb.AnalyzeEventBased(measured.Trace, cal)
+//	approx, _ := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 //	// approx.Duration ~ actual.Duration even though measured.Duration is
 //	// several times larger.
+//
+// Traces that lost events in the field (dropped probes, truncated
+// buffers) still analyze with repair enabled:
+//
+//	approx, _ := perturb.Analyze(damaged, cal, perturb.AnalyzeOptions{Repair: true})
+//	// approx.Repair details what was fixed; approx.Confidence scores each
+//	// processor's share of conservative placeholders.
 package perturb
 
 import (
@@ -62,6 +73,7 @@ import (
 
 	"perturb/internal/core"
 	"perturb/internal/experiments"
+	"perturb/internal/faults"
 	"perturb/internal/instr"
 	"perturb/internal/loops"
 	"perturb/internal/machine"
@@ -257,32 +269,73 @@ type (
 	// Approximation is a perturbation-analysis result: the measured
 	// trace re-timed to approximate the actual execution.
 	Approximation = core.Approximation
-	// LiberalOptions parameterizes AnalyzeLiberal.
+	// ProcConfidence is one processor's degraded-mode quality summary on
+	// an Approximation (see AnalyzeOptions.Repair).
+	ProcConfidence = core.ProcConfidence
+	// AnalyzeOptions configures Analyze. The zero value runs the classic
+	// sequential event-based analysis of a well-formed trace.
+	AnalyzeOptions = core.Options
+	// AnalyzeMode selects the analysis family in AnalyzeOptions.
+	AnalyzeMode = core.Mode
+	// LiberalOptions parameterizes the liberal analysis mode.
 	LiberalOptions = core.LiberalOptions
 )
 
+// Analysis modes for AnalyzeOptions.Mode.
+const (
+	// EventBased (the default) models synchronization operations and
+	// reconstructs waiting (paper §4).
+	EventBased = core.ModeEventBased
+	// TimeBased removes per-event probe overhead thread by thread,
+	// without interpreting synchronization (paper §3).
+	TimeBased = core.ModeTimeBased
+	// Liberal re-derives DOACROSS dependencies from the loop's dependence
+	// distance, predicting behaviour under other schedules (paper §4.2.3).
+	Liberal = core.ModeLiberal
+)
+
+// Analyze recovers an approximation of the actual execution from the
+// measured trace under the calibration, applying the analysis selected by
+// opts (see AnalyzeOptions):
+//
+//   - opts.Mode picks the analysis family (EventBased, TimeBased,
+//     Liberal);
+//   - opts.Workers picks the event-based engine: 0 the sequential
+//     fixpoint, n >= 1 the sharded concurrent engine with n workers
+//     (byte-identical output), negative the sharded engine with
+//     GOMAXPROCS workers;
+//   - opts.Repair sanitizes defective traces first (see RepairTrace) and
+//     tolerates the repairs, attaching the repair report and per-processor
+//     confidence scores to the result.
+func Analyze(m *Trace, cal Calibration, opts AnalyzeOptions) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze").End()
+	return core.Analyze(m, cal, opts)
+}
+
 // AnalyzeTimeBased applies time-based perturbation analysis (paper §3).
+//
+// Deprecated: use Analyze with AnalyzeOptions{Mode: TimeBased}.
 func AnalyzeTimeBased(m *Trace, cal Calibration) (*Approximation, error) {
-	defer obs.StartSpan("perturb.analyze.time").End()
-	return core.TimeBased(m, cal)
+	return Analyze(m, cal, AnalyzeOptions{Mode: TimeBased})
 }
 
 // AnalyzeEventBased applies event-based perturbation analysis (paper §4).
+//
+// Deprecated: use Analyze with the zero AnalyzeOptions.
 func AnalyzeEventBased(m *Trace, cal Calibration) (*Approximation, error) {
-	defer obs.StartSpan("perturb.analyze.event").End()
-	return core.EventBased(m, cal)
+	return Analyze(m, cal, AnalyzeOptions{})
 }
 
 // AnalyzeEventBasedParallel is AnalyzeEventBased computed by the sharded
-// concurrent engine: per-processor timelines advance independently and
-// synchronize only at cross-processor dependencies (advance/await pairs,
-// lock hand-offs, barriers). Output is byte-identical to
-// AnalyzeEventBased. workers <= 0 uses GOMAXPROCS; workers == 1 runs the
-// sharded engine on a single goroutine, which still avoids the
-// sequential fixpoint's re-scan passes.
+// concurrent engine; output is byte-identical. workers <= 0 uses
+// GOMAXPROCS.
+//
+// Deprecated: use Analyze with AnalyzeOptions{Workers: workers}.
 func AnalyzeEventBasedParallel(m *Trace, cal Calibration, workers int) (*Approximation, error) {
-	defer obs.StartSpan("perturb.analyze.event_parallel").End()
-	return core.EventBasedParallel(m, cal, workers)
+	if workers <= 0 {
+		workers = -1 // Analyze maps negative Workers to GOMAXPROCS
+	}
+	return Analyze(m, cal, AnalyzeOptions{Workers: workers})
 }
 
 // AnalyzeTimeBasedTotal estimates only the total execution time with the
@@ -294,10 +347,85 @@ func AnalyzeTimeBasedTotal(m *Trace, cal Calibration) (Time, error) {
 
 // AnalyzeLiberal applies the reschedule-aware liberal analysis (paper
 // §4.2.3, work reassignment).
+//
+// Deprecated: use Analyze with AnalyzeOptions{Mode: Liberal, Liberal: opts}.
 func AnalyzeLiberal(m *Trace, cal Calibration, opts LiberalOptions) (*Approximation, error) {
-	defer obs.StartSpan("perturb.analyze.liberal").End()
-	return core.LiberalEventBased(m, cal, opts)
+	return Analyze(m, cal, AnalyzeOptions{Mode: Liberal, Liberal: opts})
 }
+
+// Imperfect traces: validation, repair, and fault injection.
+//
+// Real tracers drop probes under buffer pressure, lose processor tails,
+// duplicate flushes, and skew clocks. Trace.Validate classifies such
+// defects (returning errors matching the Err* sentinels below);
+// RepairTrace fixes what can be fixed and flags the rest; Analyze with
+// AnalyzeOptions.Repair runs the whole pipeline and degrades gracefully.
+type (
+	// RepairReport itemizes the defects one repair pass found and what it
+	// did about each.
+	RepairReport = trace.RepairReport
+	// TraceDefect is one classified defect within a RepairReport.
+	TraceDefect = trace.Defect
+	// DefectClass enumerates the defect taxonomy.
+	DefectClass = trace.DefectClass
+	// FaultSpec configures deterministic fault injection; see InjectFaults.
+	FaultSpec = faults.Spec
+	// FaultReport counts the faults one injection pass placed.
+	FaultReport = faults.Report
+)
+
+// Sentinel errors. Analysis and codec errors wrap these; test with
+// errors.Is.
+var (
+	// ErrMalformedTrace is the umbrella for structurally invalid traces:
+	// non-monotonic per-processor times, invalid processor ids or event
+	// kinds, undecodable input.
+	ErrMalformedTrace = trace.ErrMalformedTrace
+	// ErrUnmatchedSync marks synchronization constructs missing one side
+	// (an await without its advance, a lock acquisition without release).
+	ErrUnmatchedSync = trace.ErrUnmatchedSync
+	// ErrTruncatedTrace marks processors whose event stream ends early
+	// (missing barrier participation at the end of a phase).
+	ErrTruncatedTrace = trace.ErrTruncatedTrace
+	// ErrUnresolvable is returned by event-based analysis when
+	// constructive resolution cannot complete (without Repair).
+	ErrUnresolvable = core.ErrUnresolvable
+	// ErrUnsupported is returned when a trace's shape is outside what the
+	// requested analysis can model.
+	ErrUnsupported = core.ErrUnsupported
+)
+
+// RepairTrace sanitizes a defective trace: exact duplicates are dropped,
+// inverted and half-missing synchronization brackets are re-timed or
+// completed with placeholder events (stmt = SynthStmt), estimated clock
+// skew is removed, truncated processors get their missing barrier
+// participation synthesized, and unrepairable defects are flagged. The
+// input is never modified; the report's Clean reports whether the trace
+// was defect-free.
+func RepairTrace(t *Trace) (*Trace, *RepairReport) { return trace.Repair(t) }
+
+// AuditTrace classifies a trace's defects without repairing anything: the
+// defect list RepairTrace would report, with the input untouched.
+func AuditTrace(t *Trace) []TraceDefect { return trace.Audit(t) }
+
+// SynthStmt is the statement id of sanitizer-synthesized placeholder
+// events; real statements never use it.
+const SynthStmt = trace.SynthStmt
+
+// InjectFaults returns a corrupted copy of the trace, deterministically
+// seeded by the spec — dropped probes and sync sides, duplicates,
+// reorderings, clock skew, truncated processor tails — plus a report of
+// the faults placed. The input is never modified; the zero FaultSpec is
+// the identity.
+func InjectFaults(t *Trace, spec FaultSpec) (*Trace, *FaultReport) { return faults.Inject(t, spec) }
+
+// UniformFaults returns a FaultSpec injecting every per-event fault class
+// at the given rate; DropFaults injects only drop faults (the robustness
+// experiment's failure mode).
+func UniformFaults(rate float64, seed uint64) FaultSpec { return faults.Uniform(rate, seed) }
+
+// DropFaults returns a FaultSpec injecting only probe and sync-side drops.
+func DropFaults(rate float64, seed uint64) FaultSpec { return faults.DropsOnly(rate, seed) }
 
 // Metrics.
 type (

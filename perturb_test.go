@@ -33,7 +33,7 @@ func TestFacadePipeline(t *testing.T) {
 	}
 
 	cal := perturb.ExactCalibration(ovh, cfg)
-	approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	approx, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestFacadePipeline(t *testing.T) {
 		t.Errorf("event-based recovery %d != actual %d", approx.Duration, actual.Duration)
 	}
 
-	tb, err := perturb.AnalyzeTimeBased(measured.Trace, cal)
+	tb, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{Mode: perturb.TimeBased})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +49,11 @@ func TestFacadePipeline(t *testing.T) {
 		t.Error("time-based analysis should not be exact on a DOACROSS loop")
 	}
 
-	lib, err := perturb.AnalyzeLiberal(measured.Trace, cal, perturb.LiberalOptions{
-		Procs: cfg.Procs, Distance: loop.Distance, Schedule: perturb.Interleaved,
+	lib, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{
+		Mode: perturb.Liberal,
+		Liberal: perturb.LiberalOptions{
+			Procs: cfg.Procs, Distance: loop.Distance, Schedule: perturb.Interleaved,
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +165,7 @@ func TestFacadeProgramAndTools(t *testing.T) {
 		t.Fatal(err)
 	}
 	cal := perturb.ExactCalibration(ovh, cfg)
-	approx, err := perturb.AnalyzeEventBased(measured.Trace, cal)
+	approx, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
