@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke selfperturb api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke service-smoke selfperturb api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -39,6 +39,13 @@ stats-smoke:
 	$(GO) run ./cmd/perturb -load testdata/golden/doacross.txt -stats -quiet \
 		2> /tmp/perturb-stats.txt > /dev/null
 	grep -m1 '^{' /tmp/perturb-stats.txt > /dev/null && echo "stats JSON: OK"
+
+# End-to-end daemon check: serve, analyze the golden trace and diff the
+# JSON against the committed service golden, then drain cleanly on
+# SIGTERM (scripts/service_smoke.sh, also CI's service-smoke job).
+service-smoke:
+	$(GO) build -o /tmp/perturbd ./cmd/perturbd
+	sh scripts/service_smoke.sh /tmp/perturbd
 
 # Dogfooded audit: the obs layer's own perturbation of the analysis.
 selfperturb:

@@ -26,6 +26,11 @@
 //	-critpath      print the critical path summary
 //	-profile       print the per-statement time profile
 //	-svg FILE      write the approximated timeline as SVG to FILE
+//	-remote URL    send the trace to a perturbd service at URL (e.g.
+//	               http://localhost:7077) instead of analyzing locally;
+//	               shed requests are retried with backoff. Detail views
+//	               (-waiting, -timeline, ...) need the approximated trace
+//	               and stay local-only.
 //	-quiet         print only the summary line
 //	-stats         print pipeline span timings and engine telemetry to
 //	               stderr: a human-readable summary followed by one JSON
@@ -35,6 +40,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +52,7 @@ import (
 
 	"perturb"
 	"perturb/internal/obs"
+	"perturb/internal/server"
 	"perturb/internal/textplot"
 )
 
@@ -69,6 +76,7 @@ type options struct {
 	critpath  bool
 	profile   bool
 	svgFile   string
+	remote    string
 	quiet     bool
 	stats     bool
 	debugAddr string
@@ -97,6 +105,7 @@ func main() {
 	flag.BoolVar(&o.critpath, "critpath", false, "print the critical path summary")
 	flag.BoolVar(&o.profile, "profile", false, "print the per-statement time profile")
 	flag.StringVar(&o.svgFile, "svg", "", "write the approximated timeline as SVG to this file")
+	flag.StringVar(&o.remote, "remote", "", "analyze on a perturbd service at this base URL instead of locally")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
 	flag.BoolVar(&o.stats, "stats", false, "print pipeline/telemetry statistics (human summary + one JSON line) to stderr")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -143,6 +152,26 @@ func validateOptions(o options, args []string) error {
 	}
 	if o.inject < 0 || o.inject >= 1 {
 		return fmt.Errorf("-inject must be a probability in [0, 1), got %v", o.inject)
+	}
+	if o.remote != "" {
+		if !strings.HasPrefix(o.remote, "http://") && !strings.HasPrefix(o.remote, "https://") {
+			return fmt.Errorf("-remote must be an http(s) base URL, got %q", o.remote)
+		}
+		if strings.ToLower(o.analysis) == "liberal" {
+			return fmt.Errorf("-remote cannot run the liberal analysis (it needs loop structure the service does not have)")
+		}
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.waiting, "-waiting"}, {o.timeline, "-timeline"},
+			{o.critpath, "-critpath"}, {o.profile, "-profile"},
+			{o.svgFile != "", "-svg"},
+		} {
+			if bad.set {
+				return fmt.Errorf("%s needs the approximated trace and cannot be combined with -remote", bad.flag)
+			}
+		}
 	}
 	return nil
 }
@@ -203,6 +232,10 @@ func study(w io.Writer, o options) error {
 			fmt.Fprintf(w, "fault injection: %d probe records dropped (rate %g, seed %d)\n",
 				frep.Total(), o.inject, o.seed)
 		}
+	}
+
+	if o.remote != "" {
+		return remotePhase(w, o, loop, measured, cal, actualDur, haveActual)
 	}
 
 	approx, err := analyzePhase(o, measured, cal, loop, cfg)
@@ -304,6 +337,56 @@ func analyzePhase(o options, measured *perturb.Trace, cal perturb.Calibration, l
 		return nil, fmt.Errorf("unknown analysis %q", o.analysis)
 	}
 	return perturb.Analyze(measured, cal, opts)
+}
+
+// remotePhase ships the measured trace to a perturbd service and renders
+// the summary from the service's response. The client retries shed
+// requests (429/503) with capped exponential backoff, honoring the
+// server's Retry-After hints.
+func remotePhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.Trace, cal perturb.Calibration, actualDur perturb.Time, haveActual bool) error {
+	defer obs.StartSpan("pipeline.remote").End()
+
+	c := &server.Client{BaseURL: o.remote}
+	req := server.Request{Workers: o.workers, Repair: o.repair, Cal: &cal}
+	if strings.ToLower(o.analysis) == "time" {
+		req.Mode = perturb.TimeBased
+	}
+	resp, err := c.Analyze(context.Background(), measured, req)
+	if err != nil {
+		return err
+	}
+
+	mdur := time.Duration(measured.End()) * time.Nanosecond
+	adur := time.Duration(resp.Duration) * time.Nanosecond
+	if haveActual {
+		act := time.Duration(actualDur) * time.Nanosecond
+		fmt.Fprintf(w, "LL%d (%s) via %s: actual %v  measured %v (%.2fx)  approximated %v (%.3fx of actual)\n",
+			o.loop, loop.Name, o.remote, act, mdur,
+			float64(measured.End())/float64(actualDur),
+			adur, float64(resp.Duration)/float64(actualDur))
+	} else {
+		fmt.Fprintf(w, "LL%d (%s) via %s: measured %v  approximated %v (%.3fx of measured)\n",
+			o.loop, loop.Name, o.remote, mdur, adur, float64(resp.Duration)/float64(measured.End()))
+	}
+	if o.quiet {
+		return nil
+	}
+	fmt.Fprintf(w, "events: %d   waits kept %d, removed %d, introduced %d\n",
+		measured.Len(), resp.WaitsKept, resp.WaitsRemoved, resp.WaitsIntroduced)
+	if resp.Repair != nil {
+		fmt.Fprintf(w, "repair: %s\n", resp.Repair.Summary)
+		if len(resp.Confidence) > 0 {
+			worst := resp.Confidence[0]
+			for _, c := range resp.Confidence[1:] {
+				if c.Score < worst.Score {
+					worst = c
+				}
+			}
+			fmt.Fprintf(w, "confidence: worst proc %d at %.3f\n", worst.Proc, worst.Score)
+		}
+	}
+	fmt.Fprintf(w, "approximation sha256: %s\n", resp.TraceSHA256)
+	return nil
 }
 
 // metricsPhase derives every view the report will render: waiting

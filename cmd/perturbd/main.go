@@ -1,0 +1,157 @@
+// Command perturbd serves the perturbation analysis over HTTP.
+//
+// Usage:
+//
+//	perturbd [-addr A] [-max-concurrency N] [-queue N] [-timeout D]
+//	         [-drain-timeout D] [-max-body N] [-debug-addr A]
+//
+// POST a trace (either codec, auto-detected) to /analyze and the response
+// is the approximation as JSON; query parameters select the analysis (see
+// the README's "Running as a service"). /healthz reports liveness,
+// /readyz readiness. -debug-addr serves expvar and pprof on a second
+// listener, including the server.* admission counters.
+//
+// Load beyond -max-concurrency running plus -queue waiting requests is
+// shed with 429 and a Retry-After hint. SIGTERM or SIGINT drains: the
+// listener closes, in-flight analyses get -drain-timeout to finish and
+// are then cancelled cooperatively; the process exits 0 on a clean or
+// forced drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"perturb"
+	"perturb/internal/server"
+)
+
+type options struct {
+	addr         string
+	maxConc      int
+	queue        int
+	timeout      time.Duration
+	drainTimeout time.Duration
+	maxBody      int64
+	debugAddr    string
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("perturbd: ")
+
+	var o options
+	flag.StringVar(&o.addr, "addr", "localhost:7077", "listen address for the analysis service")
+	flag.IntVar(&o.maxConc, "max-concurrency", 0, "analyses running at once (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "admitted requests that may wait for a slot (0 = 2×max-concurrency)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline, body read included")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Int64Var(&o.maxBody, "max-body", 64<<20, "largest accepted trace body in bytes")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	if err := validateOptions(o, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "perturbd: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(o); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// validateOptions rejects unusable flag combinations before any socket is
+// opened; main reports the error with usage and exits non-zero.
+func validateOptions(o options, args []string) error {
+	if len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %s", strings.Join(args, " "))
+	}
+	if o.addr == "" {
+		return fmt.Errorf("-addr must name a listen address")
+	}
+	if _, _, err := net.SplitHostPort(o.addr); err != nil {
+		return fmt.Errorf("-addr %q is not host:port: %v", o.addr, err)
+	}
+	if o.maxConc < 0 {
+		return fmt.Errorf("-max-concurrency must be >= 0 (0 = GOMAXPROCS), got %d", o.maxConc)
+	}
+	if o.queue < 0 {
+		return fmt.Errorf("-queue must be >= 0 (0 = 2×max-concurrency), got %d", o.queue)
+	}
+	if o.timeout <= 0 {
+		return fmt.Errorf("-timeout must be positive, got %v", o.timeout)
+	}
+	if o.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", o.drainTimeout)
+	}
+	if o.maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", o.maxBody)
+	}
+	if o.debugAddr != "" {
+		if _, _, err := net.SplitHostPort(o.debugAddr); err != nil {
+			return fmt.Errorf("-debug-addr %q is not host:port: %v", o.debugAddr, err)
+		}
+	}
+	return nil
+}
+
+func run(o options) error {
+	if o.debugAddr != "" {
+		perturb.EnableObservability(true)
+		d, err := perturb.ServeDebug(o.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		log.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)", d.Addr())
+	}
+
+	srv := server.New(server.Config{
+		MaxConcurrency: o.maxConc,
+		QueueDepth:     o.queue,
+		RequestTimeout: o.timeout,
+		MaxBodyBytes:   o.maxBody,
+		Logger:         log.Default(),
+	})
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving analysis on http://%s/analyze", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining (grace %v)", s, o.drainTimeout)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	forced, err := srv.Shutdown(ctx)
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-serveErr
+	if forced {
+		log.Print("drain deadline passed, in-flight requests cancelled")
+	} else {
+		log.Print("drained cleanly")
+	}
+	return nil
+}

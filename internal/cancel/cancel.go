@@ -1,0 +1,46 @@
+// Package cancel defines the toolchain's cooperative-cancellation
+// vocabulary: the sentinel errors every long-running stage (analysis
+// engines, the machine simulator, the streaming codecs) returns when its
+// context is canceled or its deadline expires, and the shared policy for
+// how often hot loops poll the context.
+//
+// The sentinels wrap the underlying context error, so both spellings
+// match with errors.Is:
+//
+//	errors.Is(err, cancel.ErrCanceled)         // toolchain sentinel
+//	errors.Is(err, context.Canceled)           // stdlib cause
+package cancel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is returned when work was abandoned because its context was
+// canceled before completion.
+var ErrCanceled = errors.New("perturb: canceled")
+
+// ErrDeadlineExceeded is returned when work was abandoned because its
+// context's deadline expired before completion.
+var ErrDeadlineExceeded = errors.New("perturb: deadline exceeded")
+
+// CheckEvery is how many hot-loop units (events resolved, simulation
+// steps, decode batches) pass between context polls. Cooperative
+// cancellation costs one context check per CheckEvery units, keeping the
+// no-cancellation overhead unmeasurable while bounding cancellation
+// latency to microseconds of work.
+const CheckEvery = 4096
+
+// Err maps ctx's state to the package sentinels: nil while the context is
+// live, otherwise ErrCanceled or ErrDeadlineExceeded wrapping ctx.Err().
+func Err(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}

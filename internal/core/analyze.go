@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 
+	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/trace"
 )
@@ -74,9 +76,26 @@ type Options struct {
 // placeholders via Approximation.Confidence. The input trace is never
 // modified — repair works on a copy.
 func Analyze(m *trace.Trace, cal instr.Calibration, opts Options) (*Approximation, error) {
+	return AnalyzeContext(context.Background(), m, cal, opts)
+}
+
+// AnalyzeContext is Analyze under a context: the analysis polls ctx
+// cooperatively (between fixpoint passes, at scheduler park/wake
+// transitions, and every few thousand events inside the hot resolution
+// loops) and abandons the run with ErrCanceled or ErrDeadlineExceeded —
+// matching both the package sentinels and the context causes under
+// errors.Is — without returning a partial Approximation. A background
+// context reproduces Analyze exactly.
+func AnalyzeContext(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts Options) (*Approximation, error) {
+	if err := cancel.Err(ctx); err != nil {
+		return nil, err
+	}
 	var rep *trace.RepairReport
 	if opts.Repair {
 		m, rep = trace.Repair(m)
+		if err := cancel.Err(ctx); err != nil {
+			return nil, err
+		}
 	}
 
 	var a *Approximation
@@ -87,7 +106,7 @@ func Analyze(m *trace.Trace, cal instr.Calibration, opts Options) (*Approximatio
 	case ModeLiberal:
 		a, err = LiberalEventBased(m, cal, opts.Liberal)
 	case ModeEventBased:
-		a, err = analyzeEventBased(m, cal, opts)
+		a, err = analyzeEventBased(ctx, m, cal, opts)
 	default:
 		return nil, errors.New("core: unknown analysis mode")
 	}
@@ -106,15 +125,15 @@ func Analyze(m *trace.Trace, cal instr.Calibration, opts Options) (*Approximatio
 // sharded engine, honoring Options.Workers, and falls back to the
 // sequential degraded analysis when the engine cannot resolve a repaired
 // trace (the engine has no stall-breaking).
-func analyzeEventBased(m *trace.Trace, cal instr.Calibration, opts Options) (*Approximation, error) {
+func analyzeEventBased(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts Options) (*Approximation, error) {
 	degraded := opts.Repair
 	if opts.Workers == 0 {
-		return eventBased(m, cal, degraded)
+		return eventBased(ctx, m, cal, degraded)
 	}
-	a, err := eventBasedParallel(m, cal, opts.Workers, degraded)
+	a, err := eventBasedParallel(ctx, m, cal, opts.Workers, degraded)
 	if degraded && errors.Is(err, ErrUnresolvable) {
 		// Only the sequential analysis can break resolution stalls.
-		return eventBased(m, cal, degraded)
+		return eventBased(ctx, m, cal, degraded)
 	}
 	return a, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -30,11 +31,11 @@ func TestDegradedStallBreaking(t *testing.T) {
 	cal := instr.Calibration{Overheads: instr.Uniform(1), SNoWait: 1, SWait: 2}
 	tr := cycleTrace()
 
-	if _, err := eventBased(tr, cal, false); !errors.Is(err, ErrUnresolvable) {
+	if _, err := eventBased(context.Background(), tr, cal, false); !errors.Is(err, ErrUnresolvable) {
 		t.Fatalf("exact mode: got %v, want ErrUnresolvable", err)
 	}
 
-	a, err := eventBased(tr, cal, true)
+	a, err := eventBased(context.Background(), tr, cal, true)
 	if err != nil {
 		t.Fatalf("degraded mode failed on cycle: %v", err)
 	}
@@ -57,15 +58,15 @@ func TestDegradedParallelFallsBackToSequential(t *testing.T) {
 	cal := instr.Calibration{Overheads: instr.Uniform(1), SNoWait: 1, SWait: 2}
 	tr := cycleTrace()
 
-	if _, err := eventBasedParallel(tr, cal, 2, true); !errors.Is(err, ErrUnresolvable) {
+	if _, err := eventBasedParallel(context.Background(), tr, cal, 2, true); !errors.Is(err, ErrUnresolvable) {
 		t.Fatalf("engine should not stall-break: got %v", err)
 	}
 
-	want, err := eventBased(tr, cal, true)
+	want, err := eventBased(context.Background(), tr, cal, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := analyzeEventBased(tr, cal, Options{Repair: true, Workers: 2})
+	got, err := analyzeEventBased(context.Background(), tr, cal, Options{Repair: true, Workers: 2})
 	if err != nil {
 		t.Fatalf("fallback failed: %v", err)
 	}

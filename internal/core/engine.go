@@ -3,9 +3,14 @@ package core
 import (
 	"sync/atomic"
 
+	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/trace"
 )
+
+// cancelCheckStride is how many events a shard resolves between polls of
+// the engine's stop flag (an atomic load amortized to nothing).
+const cancelCheckStride = cancel.CheckEvery
 
 // This file implements the sharded event-based analysis engine behind
 // EventBasedParallel. Where the classic EventBased fixpoint repeatedly
@@ -237,12 +242,24 @@ type ebEngine struct {
 	done  []uint32
 	pos   []int // per-processor next unresolved position
 	stats []ebStats
+	// stop is the cooperative-cancellation flag: a context watcher sets it
+	// atomically and shards poll it every cancel.CheckEvery events, so a
+	// canceled analysis abandons its shards within microseconds of work.
+	// Always zero for background contexts.
+	stop uint32
 	// degraded enables the conservative-placeholder rule for unpaired
 	// awaits (see eventBased). The engine has no stall-breaking — a
 	// dependency cycle still reports failure, and the caller falls back to
 	// the sequential degraded analysis.
 	degraded bool
 }
+
+// shardCanceled is runShard's blockedOn value when the shard stopped
+// because the engine's stop flag was raised rather than on a dependency.
+const shardCanceled = -1
+
+// canceled reports whether the engine's stop flag has been raised.
+func (g *ebEngine) canceled() bool { return atomic.LoadUint32(&g.stop) != 0 }
 
 func newEngine(m *trace.Trace, cal instr.Calibration, degraded bool) *ebEngine {
 	return &ebEngine{
@@ -262,15 +279,23 @@ func (g *ebEngine) isDone(idx int) bool {
 }
 
 // runShard advances processor p's timeline until it blocks on an
-// unresolved dependency or runs out of events. It returns the event index
-// the shard is parked on and whether the shard finished. Resolved watched
-// events are published to pub.
+// unresolved dependency, the engine is canceled, or it runs out of events.
+// It returns the event index the shard is parked on (shardCanceled when
+// the stop flag interrupted it) and whether the shard finished. Resolved
+// watched events are published to pub.
 func (g *ebEngine) runShard(p int, pub publisher) (blockedOn int, finished bool) {
 	list := g.deps.perProc[p]
 	events := g.in.Events
 	cal := &g.cal
 	st := &g.stats[p]
+	sinceCheck := 0
 	for g.pos[p] < len(list) {
+		if sinceCheck++; sinceCheck >= cancelCheckStride {
+			sinceCheck = 0
+			if g.canceled() {
+				return shardCanceled, false
+			}
+		}
 		idx := list[g.pos[p]]
 		var taBase, tmBase trace.Time
 		if b := g.deps.basis[idx]; b >= 0 {

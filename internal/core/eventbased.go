@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/trace"
 )
@@ -38,7 +40,7 @@ import (
 // synchronization event, and terminates when all events are resolved or no
 // progress is possible (ErrUnresolvable).
 func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
-	return eventBased(m, cal, false)
+	return eventBased(context.Background(), m, cal, false)
 }
 
 // eventBased is the sequential worklist engine. With degraded set, the
@@ -57,7 +59,11 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 //
 // Both degradations are tallied per processor in the returned
 // Approximation's Confidence.
-func eventBased(m *trace.Trace, cal instr.Calibration, degraded bool) (*Approximation, error) {
+//
+// The fixpoint loop polls ctx between passes and every cancel.CheckEvery
+// resolved events within a pass, abandoning the run with the mapped
+// cancellation sentinel.
+func eventBased(ctx context.Context, m *trace.Trace, cal instr.Calibration, degraded bool) (*Approximation, error) {
 	r, err := newResolver(m, cal)
 	if err != nil {
 		return nil, err
@@ -195,7 +201,11 @@ func eventBased(m *trace.Trace, cal instr.Calibration, degraded bool) (*Approxim
 
 	pos := make([]int, m.Procs) // next unresolved position per processor
 	remaining := m.Len()
+	sinceCheck := 0
 	for remaining > 0 {
+		if err := cancel.Err(ctx); err != nil {
+			return nil, err
+		}
 		progress := false
 		for p := 0; p < m.Procs; p++ {
 			for pos[p] < len(r.perProc[p]) {
@@ -210,6 +220,12 @@ func eventBased(m *trace.Trace, cal instr.Calibration, degraded bool) (*Approxim
 				pos[p]++
 				remaining--
 				progress = true
+				if sinceCheck++; sinceCheck >= cancel.CheckEvery {
+					sinceCheck = 0
+					if err := cancel.Err(ctx); err != nil {
+						return nil, err
+					}
+				}
 			}
 		}
 		if !progress {

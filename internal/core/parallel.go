@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/obs"
 	"perturb/internal/trace"
@@ -76,7 +79,7 @@ func (g *ebEngine) flushTelemetry(st *schedStats) {
 // the scheduler performs O(events + dependencies) work regardless of how
 // dependency chains snake across processors.
 func EventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int) (*Approximation, error) {
-	return eventBasedParallel(m, cal, workers, false)
+	return eventBasedParallel(context.Background(), m, cal, workers, false)
 }
 
 // eventBasedParallel is the sharded engine entry point. With degraded set,
@@ -84,9 +87,18 @@ func EventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int) (*Ap
 // eventBased); the engine performs no stall-breaking, so a dependency
 // cycle still returns ErrUnresolvable and the caller (Analyze) falls back
 // to the sequential degraded analysis.
-func eventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int, degraded bool) (*Approximation, error) {
+//
+// Cancellation is cooperative: when ctx carries a cancel signal, a watcher
+// raises the engine's stop flag (polled by shards every few thousand
+// events) and wakes any workers parked on the scheduler condition
+// variable; the run then returns the mapped sentinel with every scheduler
+// goroutine joined and no partial Approximation.
+func eventBasedParallel(ctx context.Context, m *trace.Trace, cal instr.Calibration, workers int, degraded bool) (*Approximation, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid input trace: %w", err)
+	}
+	if err := cancel.Err(ctx); err != nil {
+		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -103,15 +115,37 @@ func eventBasedParallel(m *trace.Trace, cal instr.Calibration, workers int, degr
 		workers = shards
 	}
 
+	var s *parSched
+	if workers > 1 {
+		s = newParSched(g)
+	}
+	if done := ctx.Done(); done != nil {
+		quit := make(chan struct{})
+		defer close(quit)
+		go func() {
+			select {
+			case <-done:
+				atomic.StoreUint32(&g.stop, 1)
+				if s != nil {
+					s.cancelWorkers()
+				}
+			case <-quit:
+			}
+		}()
+	}
+
 	var ok bool
 	var st schedStats
-	if workers <= 1 {
+	if s == nil {
 		st, ok = runSerial(g)
 	} else {
-		st, ok = runParallel(g, workers)
+		st, ok = s.run(workers)
 	}
 	g.flushTelemetry(&st)
 	if !ok {
+		if err := cancel.Err(ctx); err != nil && g.canceled() {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
 			ErrUnresolvable, g.remaining())
 	}
@@ -187,6 +221,9 @@ func runSerial(g *ebEngine) (schedStats, bool) {
 		p := s.runnable[0]
 		s.runnable = s.runnable[1:]
 		if blockedOn, finished := g.runShard(p, s); !finished {
+			if blockedOn == shardCanceled {
+				return s.stats, false
+			}
 			// Within one goroutine a dependency reported as blocking
 			// cannot have resolved in the meantime; park directly.
 			s.parks.park(p, blockedOn)
@@ -210,7 +247,24 @@ type parSched struct {
 	running    int // shards currently held by workers
 	unfinished int // shards with events left to resolve
 	dead       bool
+	canceled   bool       // context canceled: workers drain and exit
 	stats      schedStats // guarded by mu
+}
+
+func newParSched(g *ebEngine) *parSched {
+	s := &parSched{g: g, parks: newParkList(g.in.Procs)}
+	s.cond.L = &s.mu
+	return s
+}
+
+// cancelWorkers is called by the context watcher: it marks the run
+// canceled and wakes every worker parked on the condition variable so the
+// scheduler winds down promptly even when no shard is runnable.
+func (s *parSched) cancelWorkers() {
+	s.mu.Lock()
+	s.canceled = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
 }
 
 func (s *parSched) publish(idx int) {
@@ -230,10 +284,10 @@ func (s *parSched) publish(idx int) {
 func (s *parSched) worker() {
 	s.mu.Lock()
 	for {
-		for len(s.runnable) == 0 && s.unfinished > 0 && !s.dead {
+		for len(s.runnable) == 0 && s.unfinished > 0 && !s.dead && !s.canceled {
 			s.cond.Wait()
 		}
-		if s.dead || s.unfinished == 0 {
+		if s.dead || s.canceled || s.unfinished == 0 {
 			s.mu.Unlock()
 			return
 		}
@@ -247,6 +301,12 @@ func (s *parSched) worker() {
 		s.mu.Lock()
 		s.running--
 		switch {
+		case !finished && blockedOn == shardCanceled:
+			// The stop flag interrupted the shard mid-run; the watcher
+			// has set (or is about to set) canceled — mirror it here so
+			// this worker and its peers exit without re-queuing the shard.
+			s.canceled = true
+			s.cond.Broadcast()
 		case finished:
 			s.unfinished--
 			if s.unfinished == 0 {
@@ -271,9 +331,8 @@ func (s *parSched) worker() {
 	}
 }
 
-func runParallel(g *ebEngine, workers int) (schedStats, bool) {
-	s := &parSched{g: g, parks: newParkList(g.in.Procs)}
-	s.cond.L = &s.mu
+func (s *parSched) run(workers int) (schedStats, bool) {
+	g := s.g
 	for p, list := range g.deps.perProc {
 		if len(list) > 0 {
 			s.runnable = append(s.runnable, p)
@@ -290,5 +349,10 @@ func runParallel(g *ebEngine, workers int) (schedStats, bool) {
 		}()
 	}
 	wg.Wait()
-	return s.stats, !s.dead
+	// The context watcher may still be about to call cancelWorkers;
+	// snapshot the outcome under the lock it uses.
+	s.mu.Lock()
+	st, ok := s.stats, !s.dead && !s.canceled
+	s.mu.Unlock()
+	return st, ok
 }

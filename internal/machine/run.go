@@ -1,9 +1,11 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/obs"
 	"perturb/internal/program"
@@ -45,6 +47,15 @@ var (
 // are already time ordered when the simulation ends, so the canonical trace
 // is produced by a k-way merge rather than a global sort.
 func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), l, p, cfg)
+}
+
+// RunContext is Run under a context: the discrete-event loop polls ctx
+// every few thousand steps and abandons the simulation with the
+// cancellation sentinels (cancel.ErrCanceled / cancel.ErrDeadlineExceeded
+// via errors.Is), returning no partial Result. A background context
+// reproduces Run exactly.
+func RunContext(ctx context.Context, l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,10 +65,15 @@ func Run(l *program.Loop, p instr.Plan, cfg Config) (*Result, error) {
 	if err := p.Overheads.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{loop: l, plan: p, cfg: cfg, perProc: make([][]trace.Event, cfg.Procs)}
+	if err := cancel.Err(ctx); err != nil {
+		return nil, err
+	}
+	r := &run{ctx: ctx, loop: l, plan: p, cfg: cfg, perProc: make([][]trace.Event, cfg.Procs)}
 	switch l.Mode {
 	case program.Sequential, program.Vector:
-		r.runSerial()
+		if err := r.runSerial(); err != nil {
+			return nil, err
+		}
 	case program.DOALL, program.DOACROSS:
 		if err := r.runConcurrent(); err != nil {
 			return nil, err
@@ -86,6 +102,7 @@ func (r *run) flushTelemetry() {
 }
 
 type run struct {
+	ctx  context.Context
 	loop *program.Loop
 	plan instr.Plan
 	cfg  Config
@@ -184,7 +201,7 @@ func (r *run) execCompute(clock *trace.Time, proc int, s program.Stmt, iter int)
 }
 
 // runSerial executes Sequential and Vector loops on processor 0.
-func (r *run) runSerial() {
+func (r *run) runSerial() error {
 	r.perProc[0] = make([]trace.Event, 0, r.plan.EventCount(r.loop))
 	var clock trace.Time
 	for _, s := range r.loop.Head {
@@ -195,6 +212,11 @@ func (r *run) runSerial() {
 	}
 	r.res.LoopStart = clock
 	for i := 0; i < r.loop.Iters; i++ {
+		if i%cancel.CheckEvery == cancel.CheckEvery-1 {
+			if err := cancel.Err(r.ctx); err != nil {
+				return err
+			}
+		}
 		for _, s := range r.loop.Body {
 			r.execCompute(&clock, 0, s, i)
 		}
@@ -211,6 +233,7 @@ func (r *run) runSerial() {
 	r.res.AwaitWaiting = make([]trace.Time, r.cfg.Procs)
 	r.res.Busy = make([]trace.Time, r.cfg.Procs)
 	r.res.Busy[0] = r.res.LoopEnd - r.res.LoopStart
+	return nil
 }
 
 // Discrete-event simulation of the concurrent modes.
@@ -417,8 +440,16 @@ func (r *run) runConcurrent() error {
 	}
 
 	// Main DES loop: pop the earliest resume point and run that
-	// processor's next step.
+	// processor's next step, polling the context every few thousand steps
+	// so runaway simulations stay cancellable.
+	steps := 0
 	for len(c.queue) > 0 {
+		if steps++; steps >= cancel.CheckEvery {
+			steps = 0
+			if err := cancel.Err(r.ctx); err != nil {
+				return err
+			}
+		}
 		rp := c.queue.pop()
 		c.step(&c.procs[rp.proc], assign)
 	}

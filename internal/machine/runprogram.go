@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"context"
+
 	"perturb/internal/instr"
 	"perturb/internal/program"
 	"perturb/internal/trace"
@@ -24,6 +26,13 @@ const (
 // Per-processor waiting/busy statistics are summed across phases;
 // Assignment is nil for programs (it is per phase).
 func RunProgram(prog *program.Program, p instr.Plan, cfg Config) (*Result, error) {
+	return RunProgramContext(context.Background(), prog, p, cfg)
+}
+
+// RunProgramContext is RunProgram under a context: each phase runs with
+// RunContext's cooperative cancellation, and the merge stops between
+// phases when ctx is done.
+func RunProgramContext(ctx context.Context, prog *program.Program, p instr.Plan, cfg Config) (*Result, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,7 +46,7 @@ func RunProgram(prog *program.Program, p instr.Plan, cfg Config) (*Result, error
 
 	var offset trace.Time
 	for k, l := range prog.Phases {
-		res, err := Run(l, p, cfg)
+		res, err := RunContext(ctx, l, p, cfg)
 		if err != nil {
 			return nil, err
 		}

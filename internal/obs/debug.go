@@ -6,6 +6,19 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
+)
+
+// Connection timeouts for the debug server. A debug endpoint is usually
+// bound to localhost but may be exposed wider in a pinch, so it must not
+// let a client hold a connection open for free (slowloris): headers must
+// arrive promptly and idle keep-alives are reaped. There is deliberately
+// no WriteTimeout — CPU profiles (/debug/pprof/profile?seconds=N) stream
+// for as long as the client asks.
+var (
+	debugReadHeaderTimeout = 5 * time.Second
+	debugReadTimeout       = 10 * time.Second
+	debugIdleTimeout       = 60 * time.Second
 )
 
 // publishOnce guards the expvar registration: expvar panics on duplicate
@@ -57,7 +70,12 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DebugServer{srv: &http.Server{Handler: mux}, ln: ln}
+	d := &DebugServer{srv: &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: debugReadHeaderTimeout,
+		ReadTimeout:       debugReadTimeout,
+		IdleTimeout:       debugIdleTimeout,
+	}, ln: ln}
 	go func() { _ = d.srv.Serve(ln) }()
 	return d, nil
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestServeDebugSetsTimeouts pins the connection hygiene of the debug
+// server: a process exposing pprof must not accept connections it will
+// hold forever.
+func TestServeDebugSetsTimeouts(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.srv.ReadHeaderTimeout <= 0 {
+		t.Error("debug server has no ReadHeaderTimeout: slowloris headers hold connections forever")
+	}
+	if d.srv.ReadTimeout <= 0 {
+		t.Error("debug server has no ReadTimeout: slow request bodies hold connections forever")
+	}
+	if d.srv.IdleTimeout <= 0 {
+		t.Error("debug server has no IdleTimeout: idle keep-alives are never reaped")
+	}
+	if d.srv.WriteTimeout != 0 {
+		t.Error("debug server must not set WriteTimeout: it would truncate long CPU profiles")
+	}
+}
+
+// TestServeDebugDropsSlowloris holds a connection open sending headers one
+// byte at a time and expects the server to hang up once the (shortened)
+// header timeout passes.
+func TestServeDebugDropsSlowloris(t *testing.T) {
+	origHeader, origRead := debugReadHeaderTimeout, debugReadTimeout
+	debugReadHeaderTimeout, debugReadTimeout = 150*time.Millisecond, 300*time.Millisecond
+	defer func() { debugReadHeaderTimeout, debugReadTimeout = origHeader, origRead }()
+
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, err := net.Dial("tcp", d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /debug/vars HTT")); err != nil {
+		t.Fatalf("writing partial request line: %v", err)
+	}
+
+	// The server should close the connection shortly after the header
+	// timeout; give it a generous margin before declaring it vulnerable.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Read(buf); err != nil {
+			return // server hung up: timeout enforced
+		}
+	}
+	t.Fatal("server kept the half-sent request open past the header timeout")
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// Client talks to a perturbd service, retrying shed and transient failures
+// with capped exponential backoff plus jitter. Retry-After headers from the
+// server override the computed backoff. The zero value with a BaseURL is
+// usable.
+type Client struct {
+	// BaseURL locates the service, e.g. "http://localhost:7077".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries caps retry attempts after the first try. Default: 4.
+	MaxRetries int
+	// BaseDelay seeds the backoff (doubled per attempt). Default: 200ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Default: 5s.
+	MaxDelay time.Duration
+}
+
+// Request selects the analysis the service should run; zero values mean
+// the service defaults (event-based, sequential, paper calibration).
+type Request struct {
+	Mode    core.Mode
+	Workers int
+	Repair  bool
+	// Cal overrides the service's default calibration when non-nil; every
+	// field travels as a query parameter.
+	Cal *instr.Calibration
+}
+
+// StatusError is a non-2xx terminal response from the service.
+type StatusError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("perturbd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
+}
+
+// Analyze posts t to the service and returns the decoded response. Shed
+// responses (429, 503) and transport errors are retried; other statuses
+// return a *StatusError immediately. ctx bounds the whole exchange,
+// sleeps included.
+func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Response, error) {
+	var body bytes.Buffer
+	if err := t.WriteBinary(&body); err != nil {
+		return nil, fmt.Errorf("encoding trace: %w", err)
+	}
+	u, err := c.analyzeURL(req)
+	if err != nil {
+		return nil, err
+	}
+
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 4
+	}
+	baseDelay := c.BaseDelay
+	if baseDelay <= 0 {
+		baseDelay = 200 * time.Millisecond
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/octet-stream")
+
+		resp, retryAfter, err := c.do(httpc, hreq)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if se, ok := err.(*StatusError); ok &&
+			se.StatusCode != http.StatusTooManyRequests &&
+			se.StatusCode != http.StatusServiceUnavailable {
+			return nil, err
+		}
+		if attempt >= maxRetries {
+			return nil, fmt.Errorf("perturbd: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+
+		delay := baseDelay << uint(attempt)
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+		// Full jitter spreads synchronized retries across the window.
+		delay = time.Duration(rand.Int63n(int64(delay))) + delay/2
+		if retryAfter > delay {
+			delay = retryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("perturbd: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// do runs one attempt, returning the decoded response or an error plus any
+// Retry-After hint from the server.
+func (c *Client) do(httpc *http.Client, hreq *http.Request) (*Response, time.Duration, error) {
+	hresp, err := httpc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
+		hresp.Body.Close()
+	}()
+
+	var retryAfter time.Duration
+	if v := hresp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg := "no detail"
+		var eb errorBody
+		if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, retryAfter, &StatusError{StatusCode: hresp.StatusCode, Message: msg}
+	}
+	var resp Response
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, retryAfter, fmt.Errorf("decoding response: %w", err)
+	}
+	return &resp, 0, nil
+}
+
+// analyzeURL renders req as the /analyze query string.
+func (c *Client) analyzeURL(req Request) (string, error) {
+	base := strings.TrimSuffix(c.BaseURL, "/")
+	if base == "" {
+		return "", fmt.Errorf("perturbd client: BaseURL is empty")
+	}
+	q := url.Values{}
+	switch req.Mode {
+	case core.ModeEventBased:
+	case core.ModeTimeBased:
+		q.Set("mode", "time")
+	default:
+		return "", fmt.Errorf("perturbd client: mode %v is not servable", req.Mode)
+	}
+	if req.Workers != 0 {
+		q.Set("workers", strconv.Itoa(req.Workers))
+	}
+	if req.Repair {
+		q.Set("repair", "1")
+	}
+	if req.Cal != nil {
+		for _, p := range []struct {
+			name string
+			v    trace.Time
+		}{
+			{"event", req.Cal.Overheads.Event},
+			{"advance", req.Cal.Overheads.Advance},
+			{"awaitb", req.Cal.Overheads.AwaitB},
+			{"awaite", req.Cal.Overheads.AwaitE},
+			{"snowait", req.Cal.SNoWait},
+			{"swait", req.Cal.SWait},
+			{"advanceop", req.Cal.AdvanceOp},
+			{"barrier", req.Cal.Barrier},
+		} {
+			q.Set(p.name, strconv.FormatInt(int64(p.v), 10))
+		}
+	}
+	u := base + "/analyze"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	return u, nil
+}

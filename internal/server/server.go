@@ -1,0 +1,342 @@
+// Package server implements perturbd, an HTTP analysis service over the
+// perturbation pipeline. A request POSTs a trace in either codec to
+// /analyze and gets the approximation back as JSON.
+//
+// The service is built to degrade rather than fall over: a fixed number of
+// analyses run concurrently, a short queue absorbs bursts, and anything
+// beyond that is shed immediately with 429 + Retry-After instead of piling
+// up goroutines. Each request runs under a deadline and is cancelled
+// cooperatively through the analysis stack when the client disconnects. A
+// panic in one analysis is confined to that request. Shutdown drains:
+// the listener closes, /readyz flips to 503, in-flight requests get a
+// grace period and are then force-cancelled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"perturb/internal/cancel"
+	"perturb/internal/core"
+	"perturb/internal/instr"
+	"perturb/internal/obs"
+	"perturb/internal/trace"
+)
+
+// Service telemetry, visible on the obs debug mux alongside the analysis
+// pipeline's own stats.
+var (
+	cRequests = obs.NewCounter("server.requests")
+	cShed     = obs.NewCounter("server.shed")
+	cOK       = obs.NewCounter("server.ok")
+	cDeadline = obs.NewCounter("server.deadline")
+	cCanceled = obs.NewCounter("server.canceled")
+	cPanics   = obs.NewCounter("server.panics")
+)
+
+// Config sizes the service. The zero value is usable: Normalize fills in
+// defaults.
+type Config struct {
+	// MaxConcurrency caps analyses running simultaneously. Default:
+	// GOMAXPROCS.
+	MaxConcurrency int
+	// QueueDepth is how many admitted requests may wait for a slot beyond
+	// those running. Requests past running+queued are shed with 429.
+	// Default: 2×MaxConcurrency.
+	QueueDepth int
+	// RequestTimeout bounds a single request end to end, body read
+	// included. Default: 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body; larger uploads get 413.
+	// Default: 64 MiB.
+	MaxBodyBytes int64
+	// Logger receives request errors and panic stacks. Default: the
+	// standard logger.
+	Logger *log.Logger
+}
+
+// Normalize fills zero fields with defaults and returns the result.
+func (c Config) Normalize() Config {
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MaxConcurrency
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = log.Default()
+	}
+	return c
+}
+
+// Server is the perturbd HTTP service. Create with New, serve with Serve,
+// stop with Shutdown.
+type Server struct {
+	cfg Config
+
+	// slots admits requests into the service: capacity is
+	// MaxConcurrency+QueueDepth, so a failed non-blocking acquire means
+	// both the running set and the queue are full and the request is shed.
+	// running is the inner concurrency gate admitted requests block on.
+	slots   chan struct{}
+	running chan struct{}
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	// forceCtx is cancelled when Shutdown's grace period expires; every
+	// request context is parented on it via context.AfterFunc so drain can
+	// cut the long tail loose.
+	forceCtx    context.Context
+	forceCancel context.CancelFunc
+
+	httpSrv *http.Server
+
+	// hookAnalyze, when set, replaces core.AnalyzeContext. Tests use it to
+	// park requests mid-analysis or panic on demand.
+	hookAnalyze func(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts core.Options) (*core.Approximation, error)
+}
+
+// New builds a Server from cfg (normalized first).
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxConcurrency+cfg.QueueDepth),
+		running: make(chan struct{}, cfg.MaxConcurrency),
+	}
+	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	s.httpSrv = &http.Server{
+		Handler: mux,
+		// The request deadline covers the body read, so the connection
+		// read timeout only needs headroom past it; the header timeout
+		// alone closes slowloris connections.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.RequestTimeout + 5*time.Second,
+		IdleTimeout:       60 * time.Second,
+		ErrorLog:          cfg.Logger,
+	}
+	return s
+}
+
+// Handler exposes the service mux, for in-process tests via httptest.
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Serve accepts connections on ln until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the service: the listener closes, readiness flips to
+// not-ready, and in-flight requests get until ctx's deadline to finish.
+// When the deadline passes, their contexts are force-cancelled and the
+// cooperative cancellation in the analysis stack unwinds them; forced
+// reports whether that was necessary.
+func (s *Server) Shutdown(ctx context.Context) (forced bool, err error) {
+	s.draining.Store(true)
+	err = s.httpSrv.Shutdown(ctx)
+	if err == nil {
+		return false, nil
+	}
+	// Grace period expired with requests still in flight: cut them loose
+	// and give the handlers a moment to unwind and write their errors.
+	s.forceCancel()
+	final, cancelFinal := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelFinal()
+	if err2 := s.httpSrv.Shutdown(final); err2 != nil {
+		s.httpSrv.Close()
+		return true, err2
+	}
+	return true, nil
+}
+
+// Inflight reports requests currently admitted (queued or running).
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: the process is up and serving. Stays 200 while draining.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// retryAfter estimates how long a shed client should back off: roughly one
+// request timeout's worth of queue turnover, floored at one second.
+func (s *Server) retryAfter() string {
+	d := s.cfg.RequestTimeout / 4
+	if d < time.Second {
+		d = time.Second
+	}
+	return strconv.Itoa(int(d / time.Second))
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	cRequests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST a trace to /analyze")
+		return
+	}
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		cShed.Add(1)
+		return
+	}
+
+	// Admission: if running+queue are both full, shed now — a client retry
+	// later beats a goroutine pileup here.
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+		cShed.Add(1)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx, cancelReq := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancelReq()
+	stop := context.AfterFunc(s.forceCtx, cancelReq)
+	defer stop()
+
+	// Queued: wait for a running slot, bounded by the request deadline.
+	select {
+	case s.running <- struct{}{}:
+		defer func() { <-s.running }()
+	case <-ctx.Done():
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeError(w, http.StatusServiceUnavailable, "timed out waiting for an analysis slot")
+		cShed.Add(1)
+		return
+	}
+
+	status, body := s.analyze(ctx, w, r)
+	if status != http.StatusOK {
+		writeError(w, status, body.(string))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// analyze runs one admitted request and returns the status plus either a
+// *Response (200) or an error message (anything else). Panics from the
+// analysis stack are confined here.
+func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Request) (status int, body any) {
+	defer func() {
+		if p := recover(); p != nil {
+			cPanics.Add(1)
+			s.cfg.Logger.Printf("perturbd: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+			status, body = http.StatusInternalServerError, "internal error during analysis"
+		}
+	}()
+
+	opts, cal, err := parseQuery(r.URL.Query())
+	if err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	tr, err := s.readTrace(ctx, r)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("trace body exceeds %d bytes", tooBig.Limit)
+		case errors.Is(err, cancel.ErrDeadlineExceeded):
+			return http.StatusGatewayTimeout, "deadline exceeded reading trace"
+		case errors.Is(err, cancel.ErrCanceled):
+			return http.StatusServiceUnavailable, "request canceled reading trace"
+		default:
+			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
+		}
+	}
+
+	analyzeFn := core.AnalyzeContext
+	if s.hookAnalyze != nil {
+		analyzeFn = s.hookAnalyze
+	}
+	approx, err := analyzeFn(ctx, tr, cal, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, cancel.ErrDeadlineExceeded):
+			cDeadline.Add(1)
+			return http.StatusGatewayTimeout, "analysis deadline exceeded"
+		case errors.Is(err, cancel.ErrCanceled):
+			cCanceled.Add(1)
+			return http.StatusServiceUnavailable, "analysis canceled"
+		default:
+			return http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err)
+		}
+	}
+	resp, err := BuildResponse(approx)
+	if err != nil {
+		return http.StatusInternalServerError, err.Error()
+	}
+	cOK.Add(1)
+	return http.StatusOK, resp
+}
+
+// readTrace decodes the request body in either trace codec.
+func (s *Server) readTrace(ctx context.Context, r *http.Request) (*trace.Trace, error) {
+	tr, err := trace.NewReader(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAllContext(ctx, tr)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // past WriteHeader, nothing useful to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

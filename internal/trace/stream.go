@@ -3,10 +3,12 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 
+	"perturb/internal/cancel"
 	"perturb/internal/obs"
 )
 
@@ -87,6 +89,15 @@ func NewReader(r io.Reader) (Reader, error) {
 
 // ReadAll drains a streaming reader into a fully materialized trace.
 func ReadAll(r Reader) (*Trace, error) {
+	return ReadAllContext(context.Background(), r)
+}
+
+// ReadAllContext is ReadAll under a context: the drain polls ctx between
+// 4096-event batches and abandons the decode with the cancellation
+// sentinels (cancel.ErrCanceled / cancel.ErrDeadlineExceeded via
+// errors.Is), so a streamed megatrace stops consuming memory the moment
+// its request is canceled.
+func ReadAllContext(ctx context.Context, r Reader) (*Trace, error) {
 	t := New(r.Procs())
 	if h, ok := r.(interface{ countHint() (uint64, bool) }); ok {
 		if c, known := h.countHint(); known {
@@ -101,7 +112,13 @@ func ReadAll(r Reader) (*Trace, error) {
 		}
 	}
 	batch := make([]Event, 4096)
+	check := ctx.Done() != nil
 	for {
+		if check {
+			if err := cancel.Err(ctx); err != nil {
+				return nil, err
+			}
+		}
 		n, err := r.Read(batch)
 		t.Events = append(t.Events, batch[:n]...)
 		if err == io.EOF {

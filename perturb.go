@@ -69,8 +69,10 @@
 package perturb
 
 import (
+	"context"
 	"io"
 
+	"perturb/internal/cancel"
 	"perturb/internal/core"
 	"perturb/internal/experiments"
 	"perturb/internal/faults"
@@ -152,6 +154,15 @@ func ReadTrace(r TraceReader) (*Trace, error) {
 	return trace.ReadAll(r)
 }
 
+// ReadTraceContext is ReadTrace under a context: the drain polls ctx
+// between decode batches and abandons the read with ErrCanceled or
+// ErrDeadlineExceeded, so decoding an unbounded stream stops promptly
+// when its request is canceled.
+func ReadTraceContext(ctx context.Context, r TraceReader) (*Trace, error) {
+	defer obs.StartSpan("perturb.read_trace").End()
+	return trace.ReadAllContext(ctx, r)
+}
+
 // Program model types.
 type (
 	// Loop is a statement-level loop model.
@@ -220,10 +231,25 @@ func Simulate(l *Loop, p Plan, cfg MachineConfig) (*RunResult, error) {
 	return machine.Run(l, p, cfg)
 }
 
+// SimulateContext is Simulate under a context: the discrete-event loop
+// polls ctx every few thousand steps and abandons the simulation with
+// ErrCanceled or ErrDeadlineExceeded, returning no partial result.
+func SimulateContext(ctx context.Context, l *Loop, p Plan, cfg MachineConfig) (*RunResult, error) {
+	defer obs.StartSpan("perturb.simulate").End()
+	return machine.RunContext(ctx, l, p, cfg)
+}
+
 // SimulateProgram executes a multi-phase program under the plan.
 func SimulateProgram(prog *Program, p Plan, cfg MachineConfig) (*RunResult, error) {
 	defer obs.StartSpan("perturb.simulate_program").End()
 	return machine.RunProgram(prog, p, cfg)
+}
+
+// SimulateProgramContext is SimulateProgram under a context; each phase
+// runs with SimulateContext's cooperative cancellation.
+func SimulateProgramContext(ctx context.Context, prog *Program, p Plan, cfg MachineConfig) (*RunResult, error) {
+	defer obs.StartSpan("perturb.simulate_program").End()
+	return machine.RunProgramContext(ctx, prog, p, cfg)
 }
 
 // Instrumentation.
@@ -312,6 +338,20 @@ func Analyze(m *Trace, cal Calibration, opts AnalyzeOptions) (*Approximation, er
 	return core.Analyze(m, cal, opts)
 }
 
+// AnalyzeContext is Analyze under a context: the analysis polls ctx
+// cooperatively — between fixpoint passes, at scheduler park/wake
+// transitions, and every few thousand events inside the hot resolution
+// loops — and abandons the run with ErrCanceled or ErrDeadlineExceeded
+// (matching context.Canceled / context.DeadlineExceeded too under
+// errors.Is) without returning a partial Approximation. Both the
+// sequential and the sharded-parallel engines cancel this way, with every
+// scheduler goroutine joined before the error returns. A background
+// context reproduces Analyze exactly.
+func AnalyzeContext(ctx context.Context, m *Trace, cal Calibration, opts AnalyzeOptions) (*Approximation, error) {
+	defer obs.StartSpan("perturb.analyze").End()
+	return core.AnalyzeContext(ctx, m, cal, opts)
+}
+
 // AnalyzeTimeBased applies time-based perturbation analysis (paper §3).
 //
 // Deprecated: use Analyze with AnalyzeOptions{Mode: TimeBased}.
@@ -393,6 +433,15 @@ var (
 	// ErrUnsupported is returned when a trace's shape is outside what the
 	// requested analysis can model.
 	ErrUnsupported = core.ErrUnsupported
+	// ErrCanceled is returned by the *Context entry points
+	// (AnalyzeContext, SimulateContext, ReadTraceContext, ...) when their
+	// context was canceled before the work completed; it wraps the
+	// underlying context error, so errors.Is matches both this sentinel
+	// and context.Canceled.
+	ErrCanceled = cancel.ErrCanceled
+	// ErrDeadlineExceeded is the deadline counterpart of ErrCanceled,
+	// matching context.DeadlineExceeded as well.
+	ErrDeadlineExceeded = cancel.ErrDeadlineExceeded
 )
 
 // RepairTrace sanitizes a defective trace: exact duplicates are dropped,
