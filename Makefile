@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs workers-check stats-smoke service-smoke selfperturb api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs bench-codec codec-check workers-check stats-smoke service-smoke selfperturb api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -28,6 +28,18 @@ workers-check:
 	$(GO) run ./cmd/experiments -exact -run all -workers 1 > /tmp/perturb-w1.txt
 	$(GO) run ./cmd/experiments -exact -run all -workers 8 > /tmp/perturb-w8.txt
 	diff /tmp/perturb-w1.txt /tmp/perturb-w8.txt && echo "workers-invariant: OK"
+
+# Columnar codec benchmarks: encode, whole decode, streaming decode and
+# index-skipping windowed decode on a million-event trace — the numbers
+# EXPERIMENTS.md's "Columnar trace codec" section quotes.
+bench-codec:
+	$(GO) test -run '^$$' -bench 'Columnar|DecodeBinary' -benchmem ./internal/trace/
+
+# The columnar acceptance floors (block-skip fraction, 10x compression,
+# 2x full-decode and 4x windowed-query decode) plus the slicing
+# metamorphic suite, in isolation.
+codec-check:
+	$(GO) test -run 'TestColumnar|TestSlice' -count=1 -v .
 
 # Telemetry on/off cost of the million-event analysis (EXPERIMENTS.md,
 # "Self-perturbation audit").

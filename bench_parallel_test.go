@@ -34,6 +34,12 @@ var (
 
 func bigBench(b *testing.B) (*perturb.Trace, perturb.Calibration) {
 	b.Helper()
+	return bigWorkload()
+}
+
+// bigWorkload builds (once) the million-event backward-wave trace shared
+// by the engine benchmarks and the columnar codec's effectiveness tests.
+func bigWorkload() (*perturb.Trace, perturb.Calibration) {
 	bigOnce.Do(func() {
 		bigTrace = testgen.BackwardWave(benchProcs, benchIters)
 		if err := bigTrace.Validate(); err != nil {

@@ -20,7 +20,13 @@
 //	-schedule S    interleaved | blocked | dynamic (default interleaved)
 //	-save FILE     write the measured trace (text format) to FILE
 //	-load FILE     skip simulation, analyze the trace in FILE
-//	               (text or binary, auto-detected, decoded as a stream)
+//	               (text, binary or columnar, auto-detected, decoded as
+//	               a stream)
+//	-slice SPEC    analyze only the causally sufficient slice for SPEC,
+//	               e.g. 'procs=3 kinds=awaitE window=1000:2500'
+//	               (constraints: procs=, stmts=, kinds=, window=from:to);
+//	               columnar -load input skips blocks past the window
+//	               without decoding them
 //	-waiting       print per-processor waiting statistics
 //	-timeline      print the busy/waiting timeline
 //	-critpath      print the critical path summary
@@ -71,6 +77,7 @@ type options struct {
 	schedule  string
 	saveFile  string
 	loadFile  string
+	sliceSpec string
 	waiting   bool
 	timeline  bool
 	critpath  bool
@@ -100,6 +107,7 @@ func main() {
 	flag.StringVar(&o.schedule, "schedule", "interleaved", "iteration schedule: interleaved, blocked or dynamic")
 	flag.StringVar(&o.saveFile, "save", "", "write the measured trace (text) to this file")
 	flag.StringVar(&o.loadFile, "load", "", "analyze a previously saved trace instead of simulating")
+	flag.StringVar(&o.sliceSpec, "slice", "", "analyze only the causally sufficient slice for this query (e.g. 'procs=3 window=1000:2500')")
 	flag.BoolVar(&o.waiting, "waiting", false, "print per-processor waiting statistics")
 	flag.BoolVar(&o.timeline, "timeline", false, "print the busy/waiting timeline")
 	flag.BoolVar(&o.critpath, "critpath", false, "print the critical path summary")
@@ -152,6 +160,14 @@ func validateOptions(o options, args []string) error {
 	}
 	if o.inject < 0 || o.inject >= 1 {
 		return fmt.Errorf("-inject must be a probability in [0, 1), got %v", o.inject)
+	}
+	if o.sliceSpec != "" {
+		if _, err := perturb.ParseSliceQuery(o.sliceSpec); err != nil {
+			return fmt.Errorf("-slice: %w", err)
+		}
+		if o.inject > 0 {
+			return fmt.Errorf("-slice needs a structurally valid trace and cannot follow -inject")
+		}
 	}
 	if o.remote != "" {
 		if !strings.HasPrefix(o.remote, "http://") && !strings.HasPrefix(o.remote, "https://") {
@@ -220,9 +236,16 @@ func study(w io.Writer, o options) error {
 		return err
 	}
 
-	measured, actualDur, haveActual, err := loadPhase(o, loop, cfg, ovh)
+	measured, actualDur, haveActual, srep, err := loadPhase(o, loop, cfg, ovh)
 	if err != nil {
 		return err
+	}
+	if srep != nil && !o.quiet {
+		fmt.Fprintf(w, "slice: %d of %d events kept (%d selected)", srep.Kept, srep.Total, srep.Selected)
+		if srep.BlocksRead+srep.BlocksSkipped > 0 {
+			fmt.Fprintf(w, ", %d blocks decoded, %d skipped", srep.BlocksRead, srep.BlocksSkipped)
+		}
+		fmt.Fprintln(w)
 	}
 
 	if o.inject > 0 {
@@ -270,51 +293,74 @@ func study(w io.Writer, o options) error {
 
 // loadPhase produces the measured trace, either by simulating the kernel
 // (plus an uninstrumented run for the actual duration) or by streaming a
-// saved trace from disk; -save persists the result.
-func loadPhase(o options, loop *perturb.Loop, cfg perturb.MachineConfig, ovh perturb.Overheads) (measured *perturb.Trace, actualDur perturb.Time, haveActual bool, err error) {
+// saved trace from disk; -save persists the result (always the full
+// trace, never a slice). With -slice the returned trace is the causally
+// sufficient sub-trace for the query — on columnar -load input the
+// decoder skips blocks the query's window rules out.
+func loadPhase(o options, loop *perturb.Loop, cfg perturb.MachineConfig, ovh perturb.Overheads) (measured *perturb.Trace, actualDur perturb.Time, haveActual bool, srep *perturb.SliceReport, err error) {
 	defer obs.StartSpan("pipeline.load").End()
+
+	var query perturb.SliceQuery
+	if o.sliceSpec != "" {
+		query, err = perturb.ParseSliceQuery(o.sliceSpec)
+		if err != nil {
+			return nil, 0, false, nil, err
+		}
+	}
 
 	if o.loadFile != "" {
 		f, err := os.Open(o.loadFile)
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
-		r, rerr := perturb.NewTraceReader(f)
-		if rerr == nil {
-			measured, rerr = perturb.ReadTrace(r)
+		var rerr error
+		if o.sliceSpec != "" {
+			measured, srep, rerr = perturb.SliceTrace(f, query)
+		} else {
+			var r perturb.TraceReader
+			if r, rerr = perturb.NewTraceReader(f); rerr == nil {
+				measured, rerr = perturb.ReadTrace(r)
+			}
 		}
 		f.Close()
 		if rerr != nil {
-			return nil, 0, false, rerr
+			return nil, 0, false, nil, rerr
 		}
-	} else {
-		actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		actualDur = actual.Duration
-		haveActual = true
-		res, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, o.withSync), cfg)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		measured = res.Trace
+		return measured, 0, false, srep, nil
 	}
+
+	actual, err := perturb.Simulate(loop, perturb.NoInstrumentation(), cfg)
+	if err != nil {
+		return nil, 0, false, nil, err
+	}
+	actualDur = actual.Duration
+	haveActual = true
+	res, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, o.withSync), cfg)
+	if err != nil {
+		return nil, 0, false, nil, err
+	}
+	measured = res.Trace
 
 	if o.saveFile != "" {
 		f, err := os.Create(o.saveFile)
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
 		err = measured.WriteText(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, false, nil, err
 		}
 	}
-	return measured, actualDur, haveActual, nil
+	if o.sliceSpec != "" {
+		measured, srep, err = perturb.Slice(measured, query)
+		if err != nil {
+			return nil, 0, false, nil, err
+		}
+	}
+	return measured, actualDur, haveActual, srep, nil
 }
 
 // analyzePhase runs the selected perturbation analysis through the

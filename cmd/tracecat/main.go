@@ -1,12 +1,16 @@
 // Command tracecat inspects trace files: it prints summaries, converts
-// between the text and binary codecs, filters by processor or kind,
-// validates structural invariants, and audits or repairs damaged traces.
+// between the text, binary and columnar codecs, filters by processor or
+// kind, validates structural invariants, and audits or repairs damaged
+// traces.
 //
 // Usage:
 //
-//	tracecat [-summary] [-validate] [-audit] [-repair] [-proc N] [-kind K] [-o FILE [-binary]] FILE
+//	tracecat [-summary] [-validate] [-audit] [-repair] [-proc N] [-kind K] [-o FILE [-format text|binary|columnar]] FILE
 //
-// The input format (text or binary) is auto-detected. -audit classifies
+// The input format (text, binary or columnar) is auto-detected; -format
+// picks the -o output codec (-binary remains as a deprecated synonym for
+// -format binary). Columnar input with -proc/-kind filters decodes only
+// the blocks whose index can match, skipping the rest. -audit classifies
 // the trace's defects without modifying it; -repair sanitizes the trace
 // before any other processing, so `-repair -o FILE` round-trips a damaged
 // trace into a clean one.
@@ -32,6 +36,7 @@ type options struct {
 	kind     string
 	out      string
 	binary   bool
+	format   string
 }
 
 func main() {
@@ -46,7 +51,8 @@ func main() {
 	flag.IntVar(&o.proc, "proc", -1, "only events of this processor")
 	flag.StringVar(&o.kind, "kind", "", "only events of this kind (e.g. advance, awaitB)")
 	flag.StringVar(&o.out, "o", "", "write the (filtered) trace to FILE")
-	flag.BoolVar(&o.binary, "binary", false, "write -o output in the binary codec")
+	flag.BoolVar(&o.binary, "binary", false, "write -o output in the binary codec (deprecated: use -format binary)")
+	flag.StringVar(&o.format, "format", "", "codec for -o output: text, binary or columnar (default text)")
 	flag.Parse()
 	if err := validateOptions(o, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "tracecat: %v\n\n", err)
@@ -64,8 +70,16 @@ func validateOptions(o options, args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("expected exactly one trace FILE argument, got %d", len(args))
 	}
-	if o.binary && o.out == "" {
-		return fmt.Errorf("-binary selects the codec for -o output and requires -o FILE")
+	if (o.binary || o.format != "") && o.out == "" {
+		return fmt.Errorf("-format/-binary select the codec for -o output and require -o FILE")
+	}
+	switch o.format {
+	case "", "text", "binary", "columnar":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, binary or columnar)", o.format)
+	}
+	if o.binary && o.format != "" && o.format != "binary" {
+		return fmt.Errorf("-binary conflicts with -format %s", o.format)
 	}
 	if o.audit && o.repair {
 		return fmt.Errorf("-audit classifies without modifying; it cannot be combined with -repair")
@@ -90,7 +104,7 @@ func knownKind(name string) bool {
 }
 
 func run(w io.Writer, o options, path string) error {
-	tr, err := readAuto(path)
+	tr, err := readAuto(path, pushdown(o))
 	if err != nil {
 		return err
 	}
@@ -142,9 +156,12 @@ func run(w io.Writer, o options, path string) error {
 		if err != nil {
 			return err
 		}
-		if o.binary {
+		switch {
+		case o.binary || o.format == "binary":
 			err = tr.WriteBinary(f)
-		} else {
+		case o.format == "columnar":
+			err = tr.WriteColumnar(f)
+		default:
 			err = tr.WriteText(f)
 		}
 		if cerr := f.Close(); err == nil {
@@ -159,16 +176,48 @@ func run(w io.Writer, o options, path string) error {
 	return tr.WriteText(w)
 }
 
+// pushdown derives the block filter the -proc/-kind row filters imply.
+// It only applies when the row filter is the next processing step:
+// -repair and -audit must see the whole trace, so they disable it. The
+// filter is block-granular; run's row filter still drops the non-matching
+// events of surviving blocks.
+func pushdown(o options) perturb.TraceBlockFilter {
+	var f perturb.TraceBlockFilter
+	if o.repair || o.audit {
+		return f
+	}
+	if o.proc >= 0 {
+		f.Procs = []int{o.proc}
+	}
+	if o.kind != "" {
+		if k, ok := kindNamed(o.kind); ok {
+			f.Kinds = []perturb.Kind{k}
+		}
+	}
+	return f
+}
+
+// kindNamed resolves a kind name, mirroring knownKind.
+func kindNamed(name string) (perturb.Kind, bool) {
+	for k := perturb.Kind(0); k.Valid(); k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // readAuto decodes the file as a stream (codec auto-detected from the
 // first bytes), never holding the raw encoding in memory alongside the
-// decoded events.
-func readAuto(path string) (*perturb.Trace, error) {
-	f, err := os.Open(path)
+// decoded events. On columnar input the block filter skips blocks whose
+// index proves they hold nothing the row filters keep.
+func readAuto(path string, f perturb.TraceBlockFilter) (*perturb.Trace, error) {
+	in, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r, err := perturb.NewTraceReader(f)
+	defer in.Close()
+	r, err := perturb.NewFilteredTraceReader(in, f)
 	if err != nil {
 		return nil, err
 	}

@@ -146,6 +146,15 @@ func encodeBinary(t *testing.T, tr *perturb.Trace) []byte {
 	return buf.Bytes()
 }
 
+func encodeColumnar(t *testing.T, tr *perturb.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteColumnar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func goldenPath(name, ext string) string {
 	return filepath.Join(goldenDir, name+ext)
 }
@@ -179,6 +188,7 @@ func TestGoldenUpdate(t *testing.T) {
 		for ext, data := range map[string][]byte{
 			".txt":        encodeText(t, tr),
 			".bin":        encodeBinary(t, tr),
+			".col":        encodeColumnar(t, tr),
 			".approx.txt": renderApprox(approx),
 		} {
 			if err := os.WriteFile(goldenPath(name, ext), data, 0o644); err != nil {
@@ -188,19 +198,23 @@ func TestGoldenUpdate(t *testing.T) {
 	}
 }
 
-// TestGoldenEncodings pins both codecs byte for byte and checks the
-// text -> binary -> text conversion cycle is lossless.
+// TestGoldenEncodings pins all three codecs byte for byte and checks
+// every pairwise conversion cycle is lossless.
 func TestGoldenEncodings(t *testing.T) {
 	for name, tr := range goldenTraces() {
 		t.Run(name, func(t *testing.T) {
 			wantText := readGolden(t, name, ".txt")
 			wantBin := readGolden(t, name, ".bin")
+			wantCol := readGolden(t, name, ".col")
 
 			if got := encodeText(t, tr); !bytes.Equal(got, wantText) {
 				t.Errorf("text encoding drifted from %s:\n%s\nwant:\n%s", goldenPath(name, ".txt"), got, wantText)
 			}
 			if got := encodeBinary(t, tr); !bytes.Equal(got, wantBin) {
 				t.Errorf("binary encoding drifted from %s", goldenPath(name, ".bin"))
+			}
+			if got := encodeColumnar(t, tr); !bytes.Equal(got, wantCol) {
+				t.Errorf("columnar encoding drifted from %s", goldenPath(name, ".col"))
 			}
 
 			fromText, err := perturb.ReadTraceText(bytes.NewReader(wantText))
@@ -211,14 +225,25 @@ func TestGoldenEncodings(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			fromCol, err := perturb.ReadTraceColumnar(bytes.NewReader(wantCol))
+			if err != nil {
+				t.Fatal(err)
+			}
 			assertSameTrace(t, "text vs binary decode", fromText, fromBin)
+			assertSameTrace(t, "binary vs columnar decode", fromBin, fromCol)
 
-			// text -> binary -> text, byte-lossless.
+			// Every pairwise conversion cycle, byte-lossless.
 			if got := encodeText(t, fromBin); !bytes.Equal(got, wantText) {
 				t.Error("text -> binary -> text round trip is not lossless")
 			}
 			if got := encodeBinary(t, fromText); !bytes.Equal(got, wantBin) {
 				t.Error("binary -> text -> binary round trip is not lossless")
+			}
+			if got := encodeText(t, fromCol); !bytes.Equal(got, wantText) {
+				t.Error("text -> columnar -> text round trip is not lossless")
+			}
+			if got := encodeColumnar(t, fromBin); !bytes.Equal(got, wantCol) {
+				t.Error("columnar -> binary -> columnar round trip is not lossless")
 			}
 		})
 	}

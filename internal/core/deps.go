@@ -1,0 +1,15 @@
+package core
+
+import "perturb/internal/trace"
+
+// Edges exposes the dependency graph the event-based engine resolves
+// over, for consumers (trace slicing) that must follow exactly the edges
+// the analysis will: per-event basis (same-processor predecessor or fork
+// fence), the extra dependency index (paired advance for awaitE, previous
+// holder's release for lock-acq, -1 when absent), and the barrier
+// participation sets keyed by release event index. The slices are aligned
+// with m.Events; m is not modified.
+func Edges(m *trace.Trace) (basis, dep []int, parts map[int][]int) {
+	d := buildDeps(m)
+	return d.basis, d.dep, d.parts
+}

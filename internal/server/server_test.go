@@ -115,6 +115,38 @@ func TestAnalyzeEndpoint(t *testing.T) {
 	}
 }
 
+// TestAnalyzeCodecParity uploads the same trace in all three codecs; the
+// auto-detecting reader must yield byte-identical analysis responses, so
+// clients can switch to the columnar encoding with no server change.
+func TestAnalyzeCodecParity(t *testing.T) {
+	tr := testTrace(t, 3)
+	_, base := startServer(t, Config{MaxConcurrency: 2})
+
+	encode := map[string]func(*trace.Trace, io.Writer) error{
+		"binary":   func(tr *trace.Trace, w io.Writer) error { return tr.WriteBinary(w) },
+		"text":     func(tr *trace.Trace, w io.Writer) error { return tr.WriteText(w) },
+		"columnar": func(tr *trace.Trace, w io.Writer) error { return tr.WriteColumnar(w) },
+	}
+	responses := map[string][]byte{}
+	for name, enc := range encode {
+		var buf bytes.Buffer
+		if err := enc(tr, &buf); err != nil {
+			t.Fatal(err)
+		}
+		resp, body := post(t, base+"/analyze", buf.Bytes())
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s upload: status = %d, body %s", name, resp.StatusCode, body)
+		}
+		responses[name] = body
+	}
+	for _, name := range []string{"text", "columnar"} {
+		if !bytes.Equal(responses[name], responses["binary"]) {
+			t.Errorf("%s upload response differs from binary upload:\n%s\nvs\n%s",
+				name, responses[name], responses["binary"])
+		}
+	}
+}
+
 func TestAnalyzeQueryErrors(t *testing.T) {
 	tr := testTrace(t, 3)
 	_, base := startServer(t, Config{MaxConcurrency: 2})

@@ -160,6 +160,89 @@ func BenchmarkDecodeTextStream(b *testing.B) {
 	})
 }
 
+// Columnar codec benchmarks on the same million-event trace the row
+// codec benchmarks use, so the ns/op columns compare directly. The
+// EXPERIMENTS.md "Columnar trace codec" tables quote these numbers.
+
+func benchColumnar(b *testing.B, n int) []byte {
+	b.Helper()
+	t := benchTrace(n)
+	var buf bytes.Buffer
+	if err := t.WriteColumnar(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkColumnarCompress(b *testing.B) {
+	t := benchTrace(1_000_000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := t.WriteColumnar(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportMetric(float64(buf.Len())/float64(t.Len()), "bytes/event")
+}
+
+func BenchmarkColumnarDecode(b *testing.B) {
+	data := benchColumnar(b, 1_000_000)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadColumnar(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnarDecodeStream(b *testing.B) {
+	data := benchColumnar(b, 1_000_000)
+	benchStreamDecode(b, data, func(data []byte) (trace.Reader, error) {
+		return trace.NewColumnarReader(bytes.NewReader(data))
+	})
+}
+
+// BenchmarkColumnarDecodeWindowed decodes only the blocks intersecting a
+// narrow time window via the per-block min/max index — the query path the
+// format exists for. Compare against BenchmarkColumnarDecode: the gap is
+// the value of block skipping.
+func BenchmarkColumnarDecodeWindowed(b *testing.B) {
+	t := benchTrace(1_000_000)
+	var buf bytes.Buffer
+	if err := t.WriteColumnar(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	dur := t.End() - t.Start()
+	filter := trace.BlockFilter{
+		HasWindow: true,
+		From:      t.Start() + dur/20,
+		To:        t.Start() + dur/10,
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := trace.NewColumnarFilterReader(bytes.NewReader(data), filter)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := trace.ReadAll(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Len() == 0 {
+			b.Fatal("window selected nothing")
+		}
+	}
+}
+
 func BenchmarkWriteText(b *testing.B) {
 	t := benchTrace(20000)
 	var buf bytes.Buffer

@@ -100,6 +100,102 @@ func FuzzReadText(f *testing.F) {
 	})
 }
 
+// fitsBinary reports whether every event survives the row binary codec's
+// int32 field truncation unchanged, i.e. whether cross-codec equality
+// with the columnar codec (which keeps full int64 width) must hold.
+func fitsBinary(tr *trace.Trace) bool {
+	const lo, hi = -1 << 31, 1<<31 - 1
+	in32 := func(v int) bool { return v >= lo && v <= hi }
+	for _, e := range tr.Events {
+		if !in32(e.Stmt) || !in32(e.Proc) || !in32(e.Iter) || !in32(e.Var) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzColumnar(f *testing.F) {
+	seedGolden(f, ".col")
+	// Well-formed seeds: multi-block, single partial block, flate payloads.
+	{
+		tr := trace.New(3)
+		for i := 0; i < 20; i++ {
+			tr.Append(trace.Event{Time: trace.Time(i * 100), Proc: i % 3, Stmt: i % 5,
+				Kind: trace.Kind(i % 8), Iter: i, Var: i % 2})
+		}
+		for _, opts := range []trace.ColumnarOptions{
+			{BlockSize: 7},
+			{},
+			{BlockSize: 4, Flate: true},
+		} {
+			var buf bytes.Buffer
+			w, err := trace.NewColumnarWriterOpts(&buf, tr.Procs, opts)
+			if err != nil {
+				f.Fatal(err)
+			}
+			if err := w.Write(tr.Events); err != nil {
+				f.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+			// Truncations: mid-header, mid-block, missing terminator.
+			f.Add(buf.Bytes()[:10])
+			f.Add(buf.Bytes()[:buf.Len()/2])
+			f.Add(buf.Bytes()[:buf.Len()-1])
+			// A count bomb / payload bomb: max out the block header's
+			// count and payload-length fields of a valid encoding.
+			bomb := append([]byte(nil), buf.Bytes()...)
+			for i := 13; i < 17 && i < len(bomb); i++ {
+				bomb[i] = 0xff
+			}
+			f.Add(bomb)
+		}
+	}
+	f.Add([]byte("PTRCOL1\x00"))
+	f.Add([]byte("PTRCOL1\x00\x03\x00\x00\x00"))
+	f.Add([]byte("PTRCOL1\x00\x03\x00\x00\x00E"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.ReadColumnar(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		reDecodeStable(t, tr,
+			func(tr *trace.Trace) ([]byte, error) {
+				var buf bytes.Buffer
+				err := tr.WriteColumnar(&buf)
+				return buf.Bytes(), err
+			},
+			func(enc []byte) (trace.Reader, error) {
+				return trace.NewColumnarReader(bytes.NewReader(enc))
+			})
+		// Cross-codec equivalence: any trace the columnar codec decodes
+		// must round-trip through the row binary codec to the same events,
+		// as long as its values fit the binary codec's narrower fields.
+		if fitsBinary(tr) {
+			var buf bytes.Buffer
+			if err := tr.WriteBinary(&buf); err != nil {
+				t.Fatalf("binary re-encode of columnar-decoded trace failed: %v", err)
+			}
+			tr2, err := trace.ReadBinary(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("binary re-decode failed: %v", err)
+			}
+			if tr2.Procs != tr.Procs || tr2.Len() != tr.Len() {
+				t.Fatalf("cross-codec shape drifted: procs %d->%d events %d->%d",
+					tr.Procs, tr2.Procs, tr.Len(), tr2.Len())
+			}
+			for i := range tr2.Events {
+				if tr2.Events[i] != tr.Events[i] {
+					t.Fatalf("cross-codec event %d drifted: %v -> %v", i, tr.Events[i], tr2.Events[i])
+				}
+			}
+		}
+	})
+}
+
 func FuzzReadBinary(f *testing.F) {
 	seedGolden(f, ".bin")
 	// A syntactically perfect two-event trace.

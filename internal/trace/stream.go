@@ -76,13 +76,16 @@ type Writer interface {
 	Flush() error
 }
 
-// NewReader auto-detects the codec (text or binary) from the stream's
-// first bytes and returns the matching streaming reader.
+// NewReader auto-detects the codec (text, binary or columnar) from the
+// stream's first bytes and returns the matching streaming reader.
 func NewReader(r io.Reader) (Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic, err := br.Peek(len(binMagic))
 	if err == nil && bytes.Equal(magic, binMagic[:]) {
 		return NewBinaryReader(br)
+	}
+	if err == nil && bytes.Equal(magic, colMagic[:]) {
+		return NewColumnarReader(br)
 	}
 	return NewTextReader(br)
 }
@@ -98,6 +101,18 @@ func ReadAll(r Reader) (*Trace, error) {
 // errors.Is), so a streamed megatrace stops consuming memory the moment
 // its request is canceled.
 func ReadAllContext(ctx context.Context, r Reader) (*Trace, error) {
+	// Readers with a bulk path (the columnar codec) decode every event
+	// into one exactly-sized allocation instead of draining batches into
+	// a growing slice; cancellation is still polled between blocks.
+	if b, ok := r.(interface {
+		readAllEvents(check func() error) (*Trace, error)
+	}); ok {
+		check := func() error { return nil }
+		if ctx.Done() != nil {
+			check = func() error { return cancel.Err(ctx) }
+		}
+		return b.readAllEvents(check)
+	}
 	t := New(r.Procs())
 	if h, ok := r.(interface{ countHint() (uint64, bool) }); ok {
 		if c, known := h.countHint(); known {
@@ -310,6 +325,13 @@ var kindByName = func() map[string]Kind {
 	}
 	return m
 }()
+
+// KindByName maps a text-codec kind name ("awaitE", "barrier-arrive", …)
+// back to its Kind.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
 
 type textWriter struct {
 	bw      *bufio.Writer

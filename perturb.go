@@ -83,6 +83,7 @@ import (
 	"perturb/internal/obs"
 	"perturb/internal/order"
 	"perturb/internal/program"
+	"perturb/internal/slice"
 	"perturb/internal/trace"
 )
 
@@ -119,11 +120,12 @@ const Microsecond = trace.Microsecond
 // NewTrace returns an empty trace for the given processor count.
 func NewTrace(procs int) *Trace { return trace.New(procs) }
 
-// ReadTraceText and ReadTraceBinary parse traces written with
-// Trace.WriteText / Trace.WriteBinary.
+// ReadTraceText, ReadTraceBinary and ReadTraceColumnar parse traces
+// written with Trace.WriteText / Trace.WriteBinary / Trace.WriteColumnar.
 var (
-	ReadTraceText   = trace.ReadText
-	ReadTraceBinary = trace.ReadBinary
+	ReadTraceText     = trace.ReadText
+	ReadTraceBinary   = trace.ReadBinary
+	ReadTraceColumnar = trace.ReadColumnar
 )
 
 // Streaming trace I/O.
@@ -136,8 +138,9 @@ type (
 	TraceWriter = trace.Writer
 )
 
-// NewTraceReader auto-detects the codec (text or binary) and returns a
-// streaming reader; use ReadTrace to drain it into a whole Trace.
+// NewTraceReader auto-detects the codec (text, binary or columnar) and
+// returns a streaming reader; use ReadTrace to drain it into a whole
+// Trace.
 func NewTraceReader(r io.Reader) (TraceReader, error) { return trace.NewReader(r) }
 
 // NewTraceTextWriter and NewTraceBinaryWriter return streaming encoders.
@@ -147,6 +150,39 @@ var (
 	NewTraceTextWriter   = trace.NewTextWriter
 	NewTraceBinaryWriter = trace.NewBinaryWriter
 )
+
+// Columnar trace format: block-compressed per-column streams with a
+// min/max index per block over time, processor and event kind, so
+// windowed readers skip blocks without decoding them. See the README's
+// "Trace formats" section for how the three codecs compare.
+type (
+	// ColumnarOptions configures NewTraceColumnarWriterOpts (block size,
+	// optional per-block DEFLATE).
+	ColumnarOptions = trace.ColumnarOptions
+	// TraceBlockFilter selects which columnar blocks a filtered reader
+	// decodes; the zero value decodes everything.
+	TraceBlockFilter = trace.BlockFilter
+)
+
+// NewTraceColumnarWriter returns a streaming encoder for the columnar
+// block format with default options.
+func NewTraceColumnarWriter(w io.Writer, procs int) (TraceWriter, error) {
+	return trace.NewColumnarWriter(w, procs)
+}
+
+// NewTraceColumnarWriterOpts is NewTraceColumnarWriter with explicit
+// block size and compression options.
+func NewTraceColumnarWriterOpts(w io.Writer, procs int, opts ColumnarOptions) (TraceWriter, error) {
+	return trace.NewColumnarWriterOpts(w, procs, opts)
+}
+
+// NewFilteredTraceReader is NewTraceReader with columnar scan pushdown:
+// when the stream is columnar, blocks the filter rules out are skipped
+// undecoded. The filter is block-granular — callers still row-filter the
+// events they receive.
+func NewFilteredTraceReader(r io.Reader, f TraceBlockFilter) (TraceReader, error) {
+	return trace.NewFilteredReader(r, f)
+}
 
 // ReadTrace drains a streaming reader into a fully materialized trace.
 func ReadTrace(r TraceReader) (*Trace, error) {
@@ -544,6 +580,42 @@ func CheckFeasible(base, candidate *Trace) error {
 	}
 	return rel.Check(candidate)
 }
+
+// Trace slicing (Smith & Korel): extracting the causally sufficient
+// sub-trace for a query, so analysis of "processor 3's waits in phase 2"
+// runs on the events that determine it instead of the whole trace.
+type (
+	// SliceQuery selects the events of interest (processor set, statement
+	// set, kind set, time window); the zero value matches everything.
+	SliceQuery = slice.Query
+	// SliceReport summarizes a slicing pass: selection and closure sizes,
+	// plus columnar block-skipping effectiveness for SliceTrace on
+	// encoded input.
+	SliceReport = slice.Report
+)
+
+// Slice extracts the causally sufficient sub-trace for the query: the
+// selected events closed backwards over the dependency edges event-based
+// analysis resolves over (program order, fork fences, advance/await
+// pairs, lock serialization, barrier participation). Analyzing the slice
+// yields the same approximated times for its events as analyzing t whole.
+func Slice(t *Trace, q SliceQuery) (*Trace, *SliceReport, error) {
+	defer obs.StartSpan("perturb.slice").End()
+	return slice.Slice(t, q)
+}
+
+// SliceTrace decodes a trace from r (any codec, auto-detected) and slices
+// it. Columnar input with a windowed query skips blocks past the window
+// without decoding them; see package internal/slice for the exactness
+// conditions.
+func SliceTrace(r io.Reader, q SliceQuery) (*Trace, *SliceReport, error) {
+	defer obs.StartSpan("perturb.slice").End()
+	return slice.Read(r, q)
+}
+
+// ParseSliceQuery parses the CLI query syntax, e.g.
+// "procs=1,3 kinds=awaitE window=1000:2500"; see SliceQuery.
+func ParseSliceQuery(spec string) (SliceQuery, error) { return slice.ParseQuery(spec) }
 
 // RunPaperExperiments regenerates the paper's complete evaluation (Figure
 // 1, Tables 1-3, Figures 4-5) and renders it to w.

@@ -1,0 +1,8 @@
+//go:build !race
+
+package perturb_test
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// threshold tests skip themselves under -race, where instrumentation
+// skews the two codecs by different factors.
+const raceEnabled = false

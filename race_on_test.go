@@ -1,0 +1,5 @@
+//go:build race
+
+package perturb_test
+
+const raceEnabled = true
