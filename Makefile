@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs bench-codec codec-check workers-check stats-smoke service-smoke selfperturb api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke selfperturb api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -58,6 +58,19 @@ stats-smoke:
 service-smoke:
 	$(GO) build -o /tmp/perturbd ./cmd/perturbd
 	sh scripts/service_smoke.sh /tmp/perturbd
+
+# Result-cache check against a live daemon: a duplicate-heavy storm must
+# serve every repeat from memory ("cached": true, byte-identical body)
+# and land a hit ratio of at least 0.85 on the debug expvar
+# (scripts/cache_smoke.sh, also CI's cache-smoke job).
+cache-smoke:
+	$(GO) build -o /tmp/perturbd ./cmd/perturbd
+	sh scripts/cache_smoke.sh /tmp/perturbd
+
+# Cache hit/miss cost over HTTP plus the hedged fleet round-trip — the
+# numbers EXPERIMENTS.md's "Result cache" section quotes.
+bench-cache:
+	$(GO) test -run '^$$' -bench 'BenchmarkCacheHit|BenchmarkCacheMissAnalyze|BenchmarkClientHedged' -benchmem ./internal/server/
 
 # Dogfooded audit: the obs layer's own perturbation of the analysis.
 selfperturb:

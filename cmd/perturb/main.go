@@ -32,11 +32,17 @@
 //	-critpath      print the critical path summary
 //	-profile       print the per-statement time profile
 //	-svg FILE      write the approximated timeline as SVG to FILE
-//	-remote URL    send the trace to a perturbd service at URL (e.g.
-//	               http://localhost:7077) instead of analyzing locally;
-//	               shed requests are retried with backoff. Detail views
-//	               (-waiting, -timeline, ...) need the approximated trace
-//	               and stay local-only.
+//	-remote URLs   send the trace to a perturbd service instead of
+//	               analyzing locally; shed requests are retried with
+//	               backoff. A comma-separated list (http://a,http://b)
+//	               forms a fleet: traces route to endpoints by consistent
+//	               hashing on their content address, with failover to the
+//	               next replica on transport errors and 503s. Detail
+//	               views (-waiting, -timeline, ...) need the approximated
+//	               trace and stay local-only.
+//	-hedge         with a multi-endpoint -remote, mirror a slow request
+//	               to the next-choice replica after the endpoint's recent
+//	               p90 latency; first answer wins, the loser is canceled
 //	-quiet         print only the summary line
 //	-stats         print pipeline span timings and engine telemetry to
 //	               stderr: a human-readable summary followed by one JSON
@@ -84,6 +90,7 @@ type options struct {
 	profile   bool
 	svgFile   string
 	remote    string
+	hedge     bool
 	quiet     bool
 	stats     bool
 	debugAddr string
@@ -113,7 +120,8 @@ func main() {
 	flag.BoolVar(&o.critpath, "critpath", false, "print the critical path summary")
 	flag.BoolVar(&o.profile, "profile", false, "print the per-statement time profile")
 	flag.StringVar(&o.svgFile, "svg", "", "write the approximated timeline as SVG to this file")
-	flag.StringVar(&o.remote, "remote", "", "analyze on a perturbd service at this base URL instead of locally")
+	flag.StringVar(&o.remote, "remote", "", "analyze on a perturbd service instead of locally: one base URL, or a comma-separated fleet")
+	flag.BoolVar(&o.hedge, "hedge", false, "hedge slow fleet requests to the next-choice replica (needs a multi-endpoint -remote)")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
 	flag.BoolVar(&o.stats, "stats", false, "print pipeline/telemetry statistics (human summary + one JSON line) to stderr")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -169,9 +177,14 @@ func validateOptions(o options, args []string) error {
 			return fmt.Errorf("-slice needs a structurally valid trace and cannot follow -inject")
 		}
 	}
+	if o.hedge && len(remoteEndpoints(o.remote)) < 2 {
+		return fmt.Errorf("-hedge needs a multi-endpoint -remote (comma-separated base URLs)")
+	}
 	if o.remote != "" {
-		if !strings.HasPrefix(o.remote, "http://") && !strings.HasPrefix(o.remote, "https://") {
-			return fmt.Errorf("-remote must be an http(s) base URL, got %q", o.remote)
+		for _, ep := range remoteEndpoints(o.remote) {
+			if !strings.HasPrefix(ep, "http://") && !strings.HasPrefix(ep, "https://") {
+				return fmt.Errorf("-remote endpoints must be http(s) base URLs, got %q", ep)
+			}
 		}
 		if strings.ToLower(o.analysis) == "liberal" {
 			return fmt.Errorf("-remote cannot run the liberal analysis (it needs loop structure the service does not have)")
@@ -385,19 +398,45 @@ func analyzePhase(o options, measured *perturb.Trace, cal perturb.Calibration, l
 	return perturb.Analyze(measured, cal, opts)
 }
 
+// remoteEndpoints splits a -remote value into its base URLs, dropping
+// empty elements so a trailing comma is harmless.
+func remoteEndpoints(remote string) []string {
+	var eps []string
+	for _, ep := range strings.Split(remote, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
 // remotePhase ships the measured trace to a perturbd service and renders
-// the summary from the service's response. The client retries shed
-// requests (429/503) with capped exponential backoff, honoring the
-// server's Retry-After hints.
+// the summary from the service's response. A single endpoint uses the
+// retrying client (shed requests retried with capped backoff, honoring
+// Retry-After hints); multiple endpoints form a consistent-hashing fleet
+// with failover and, under -hedge, hedged requests.
 func remotePhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.Trace, cal perturb.Calibration, actualDur perturb.Time, haveActual bool) error {
 	defer obs.StartSpan("pipeline.remote").End()
 
-	c := &server.Client{BaseURL: o.remote}
 	req := server.Request{Workers: o.workers, Repair: o.repair, Cal: &cal}
 	if strings.ToLower(o.analysis) == "time" {
 		req.Mode = perturb.TimeBased
 	}
-	resp, err := c.Analyze(context.Background(), measured, req)
+	var (
+		resp *server.Response
+		err  error
+	)
+	if eps := remoteEndpoints(o.remote); len(eps) > 1 {
+		var f *server.Fleet
+		f, err = server.NewFleet(server.FleetConfig{Endpoints: eps, Hedge: o.hedge})
+		if err != nil {
+			return err
+		}
+		resp, err = f.Analyze(context.Background(), measured, req)
+	} else {
+		c := &server.Client{BaseURL: o.remote}
+		resp, err = c.Analyze(context.Background(), measured, req)
+	}
 	if err != nil {
 		return err
 	}
@@ -432,6 +471,10 @@ func remotePhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.T
 		}
 	}
 	fmt.Fprintf(w, "approximation sha256: %s\n", resp.TraceSHA256)
+	if resp.InputSHA256 != "" {
+		cached := resp.Cached != nil && *resp.Cached
+		fmt.Fprintf(w, "input sha256: %s   served from cache: %v\n", resp.InputSHA256, cached)
+	}
 	return nil
 }
 

@@ -195,6 +195,8 @@ func TestValidateOptions(t *testing.T) {
 		{"zero procs", func(o *options) { o.procs = 0 }, nil},
 		{"negative probe", func(o *options) { o.probe = -time.Microsecond }, nil},
 		{"load with save", func(o *options) { o.loadFile = "a"; o.saveFile = "b" }, nil},
+		{"hedge without fleet", func(o *options) { o.remote = "http://a:7077"; o.hedge = true }, nil},
+		{"non-http fleet endpoint", func(o *options) { o.remote = "http://a:7077,b:7077" }, nil},
 	}
 	for _, tc := range cases {
 		o := defaults()

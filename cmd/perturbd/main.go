@@ -3,13 +3,21 @@
 // Usage:
 //
 //	perturbd [-addr A] [-max-concurrency N] [-queue N] [-timeout D]
-//	         [-drain-timeout D] [-max-body N] [-debug-addr A]
+//	         [-drain-timeout D] [-max-body N] [-cache-bytes N] [-debug-addr A]
 //
 // POST a trace (either codec, auto-detected) to /analyze and the response
 // is the approximation as JSON; query parameters select the analysis (see
 // the README's "Running as a service"). /healthz reports liveness,
 // /readyz readiness. -debug-addr serves expvar and pprof on a second
-// listener, including the server.* admission counters.
+// listener, including the server.* admission counters and the cache.*
+// hit/miss/eviction counters.
+//
+// Results are cached content-addressed (-cache-bytes budget, default
+// 256 MiB; 0 disables): a re-upload of an already-analyzed trace with the
+// same analysis parameters is served from memory, concurrent identical
+// uploads coalesce onto one analysis, and cached responses carry
+// "cached": true plus the input's content address as input_sha256. With
+// the cache disabled the wire format is exactly the pre-cache one.
 //
 // Load beyond -max-concurrency running plus -queue waiting requests is
 // shed with 429 and a Retry-After hint. SIGTERM or SIGINT drains: the
@@ -41,6 +49,7 @@ type options struct {
 	timeout      time.Duration
 	drainTimeout time.Duration
 	maxBody      int64
+	cacheBytes   int64
 	debugAddr    string
 }
 
@@ -55,6 +64,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline, body read included")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Int64Var(&o.maxBody, "max-body", 64<<20, "largest accepted trace body in bytes")
+	flag.Int64Var(&o.cacheBytes, "cache-bytes", server.DefaultCacheBytes, "result cache budget in bytes (0 disables caching)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -96,6 +106,9 @@ func validateOptions(o options, args []string) error {
 	if o.maxBody <= 0 {
 		return fmt.Errorf("-max-body must be positive, got %d", o.maxBody)
 	}
+	if o.cacheBytes < 0 {
+		return fmt.Errorf("-cache-bytes must be >= 0 (0 disables caching), got %d", o.cacheBytes)
+	}
 	if o.debugAddr != "" {
 		if _, _, err := net.SplitHostPort(o.debugAddr); err != nil {
 			return fmt.Errorf("-debug-addr %q is not host:port: %v", o.debugAddr, err)
@@ -115,11 +128,18 @@ func run(o options) error {
 		log.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)", d.Addr())
 	}
 
+	// Flag semantics: 0 disables the cache. Config semantics: 0 means the
+	// default budget, negative disables — so the flag's 0 maps to -1.
+	cacheBytes := o.cacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = -1
+	}
 	srv := server.New(server.Config{
 		MaxConcurrency: o.maxConc,
 		QueueDepth:     o.queue,
 		RequestTimeout: o.timeout,
 		MaxBodyBytes:   o.maxBody,
+		CacheBytes:     cacheBytes,
 		Logger:         log.Default(),
 	})
 

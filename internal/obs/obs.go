@@ -53,6 +53,7 @@ var registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	maxes    map[string]*MaxGauge
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*spanStat
 }
@@ -131,6 +132,50 @@ func (g *MaxGauge) Observe(n int64) {
 
 // Value returns the maximum observed so far.
 func (g *MaxGauge) Value() int64 { return g.v.Load() }
+
+// Gauge tracks a current level (cache bytes in use, entries resident):
+// unlike a Counter it moves both ways, unlike a MaxGauge it reports the
+// present value, not the peak.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns the gauge registered under name, creating it on first
+// use.
+func NewGauge(name string) *Gauge {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = make(map[string]*Gauge)
+	}
+	g, ok := registry.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		registry.gauges[name] = g
+	}
+	return g
+}
+
+// Set stores n as the current level when telemetry is enabled.
+func (g *Gauge) Set(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the level by n (negative to decrease) when telemetry is
+// enabled.
+func (g *Gauge) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Histogram buckets and sharding. Values are bucketed by bit length
 // (bucket 0 holds value 0, bucket k holds [2^(k-1), 2^k-1]), which covers
@@ -246,6 +291,9 @@ func Reset() {
 	for _, g := range registry.maxes {
 		g.v.Store(0)
 	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
 	for _, h := range registry.hists {
 		for i := range h.shards {
 			s := &h.shards[i]
@@ -272,6 +320,9 @@ func Snapshot() Stats {
 	}
 	for _, g := range registry.maxes {
 		st.Maxes = append(st.Maxes, CounterStat{Name: g.name, Value: g.v.Load()})
+	}
+	for _, g := range registry.gauges {
+		st.Gauges = append(st.Gauges, CounterStat{Name: g.name, Value: g.v.Load()})
 	}
 	for _, h := range registry.hists {
 		hs := HistStat{Name: h.name}
@@ -308,6 +359,7 @@ func Snapshot() Stats {
 	}
 	sort.Slice(st.Counters, func(i, j int) bool { return st.Counters[i].Name < st.Counters[j].Name })
 	sort.Slice(st.Maxes, func(i, j int) bool { return st.Maxes[i].Name < st.Maxes[j].Name })
+	sort.Slice(st.Gauges, func(i, j int) bool { return st.Gauges[i].Name < st.Gauges[j].Name })
 	sort.Slice(st.Hists, func(i, j int) bool { return st.Hists[i].Name < st.Hists[j].Name })
 	sort.Slice(st.Spans, func(i, j int) bool { return st.Spans[i].Name < st.Spans[j].Name })
 	return st

@@ -269,3 +269,47 @@ func TestServeDebug(t *testing.T) {
 		}
 	})
 }
+
+func TestGauge(t *testing.T) {
+	withTelemetry(t, func() {
+		g := NewGauge("test.gauge")
+		g.Set(100)
+		g.Add(-30)
+		g.Add(5)
+		if got := g.Value(); got != 75 {
+			t.Errorf("gauge = %d, want 75", got)
+		}
+		st := Snapshot()
+		if got := st.Counter("test.gauge"); got != 75 {
+			t.Errorf("snapshot gauge = %d, want 75", got)
+		}
+		found := false
+		for _, c := range st.Gauges {
+			if c.Name == "test.gauge" {
+				found = true
+			}
+		}
+		if !found {
+			t.Error("test.gauge missing from snapshot Gauges")
+		}
+	})
+
+	// Disabled: Set and Add are no-ops; Reset zeroes the level.
+	SetEnabled(false)
+	g := NewGauge("test.gauge.off")
+	g.Set(9)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Errorf("disabled gauge recorded %d", g.Value())
+	}
+	if NewGauge("test.gauge.off") != g {
+		t.Error("NewGauge returned distinct handles for one name")
+	}
+	SetEnabled(true)
+	g.Set(4)
+	Reset()
+	SetEnabled(false)
+	if g.Value() != 0 {
+		t.Errorf("gauge survived Reset with %d", g.Value())
+	}
+}

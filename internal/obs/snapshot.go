@@ -14,6 +14,7 @@ type Stats struct {
 	Spans    []SpanStat    `json:"spans,omitempty"`
 	Counters []CounterStat `json:"counters,omitempty"`
 	Maxes    []CounterStat `json:"maxes,omitempty"`
+	Gauges   []CounterStat `json:"gauges,omitempty"`
 	Hists    []HistStat    `json:"histograms,omitempty"`
 }
 
@@ -73,8 +74,8 @@ func (s Stats) Span(name string) (SpanStat, bool) {
 	return SpanStat{}, false
 }
 
-// Counter returns the named counter's value (max gauges included); zero if
-// absent.
+// Counter returns the named counter's value (max gauges and level gauges
+// included); zero if absent.
 func (s Stats) Counter(name string) int64 {
 	for _, c := range s.Counters {
 		if c.Name == name {
@@ -82,6 +83,11 @@ func (s Stats) Counter(name string) int64 {
 		}
 	}
 	for _, c := range s.Maxes {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	for _, c := range s.Gauges {
 		if c.Name == name {
 			return c.Value
 		}
@@ -126,6 +132,16 @@ func (s Stats) WriteText(w io.Writer) error {
 			return err
 		}
 		for _, c := range s.Maxes {
+			if err := p("  %-32s %d\n", c.Name, c.Value); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.Gauges) > 0 {
+		if err := p("obs: gauges\n"); err != nil {
+			return err
+		}
+		for _, c := range s.Gauges {
 			if err := p("  %-32s %d\n", c.Name, c.Value); err != nil {
 				return err
 			}

@@ -108,11 +108,14 @@ func TestChaosSoak(t *testing.T) {
 
 	// Queue depth covers the whole storm so no legitimate request is shed:
 	// this test is about correctness under load, TestAdmissionControl
-	// covers shedding.
+	// covers shedding. The cache is off so every response is compared
+	// byte-for-byte against the locally rendered pre-cache wire format;
+	// TestCacheStorm covers the cached path under the same kind of load.
 	_, base := startServer(t, Config{
 		MaxConcurrency: 4,
 		QueueDepth:     64,
 		MaxBodyBytes:   cap,
+		CacheBytes:     -1,
 	})
 
 	const requests = 64

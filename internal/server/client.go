@@ -126,6 +126,27 @@ func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Res
 	}
 }
 
+// analyzeOnce runs a single no-retry exchange with a pre-encoded trace
+// body — the fleet's per-endpoint attempt primitive, where retries and
+// failover are owned by the caller.
+func (c *Client) analyzeOnce(ctx context.Context, req Request, body []byte) (*Response, error) {
+	u, err := c.analyzeURL(req)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	resp, _, err := c.do(httpc, hreq)
+	return resp, err
+}
+
 // do runs one attempt, returning the decoded response or an error plus any
 // Retry-After hint from the server.
 func (c *Client) do(httpc *http.Client, hreq *http.Request) (*Response, time.Duration, error) {
@@ -138,12 +159,7 @@ func (c *Client) do(httpc *http.Client, hreq *http.Request) (*Response, time.Dur
 		hresp.Body.Close()
 	}()
 
-	var retryAfter time.Duration
-	if v := hresp.Header.Get("Retry-After"); v != "" {
-		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	retryAfter := parseRetryAfter(hresp.Header.Get("Retry-After"), time.Now())
 	if hresp.StatusCode != http.StatusOK {
 		msg := "no detail"
 		var eb errorBody
@@ -157,6 +173,28 @@ func (c *Client) do(httpc *http.Client, hreq *http.Request) (*Response, time.Dur
 		return nil, retryAfter, fmt.Errorf("decoding response: %w", err)
 	}
 	return &resp, 0, nil
+}
+
+// parseRetryAfter interprets a Retry-After header value in either RFC
+// 9110 form: delta-seconds ("120") or an HTTP-date ("Fri, 31 Dec 1999
+// 23:59:59 GMT"), the latter relative to now. Unparseable or past values
+// yield 0, falling back to the client's computed backoff.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // analyzeURL renders req as the /analyze query string.

@@ -149,6 +149,12 @@ func TestClientRoundTripsAgainstRealServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The default-on cache annotates responses; the analysis fields must
+	// still be byte-faithful to the local run.
+	if got.Cached == nil || *got.Cached {
+		t.Errorf("first request Cached = %v, want false", got.Cached)
+	}
+	got.Cached, got.InputSHA256 = nil, ""
 	gj, _ := json.Marshal(got)
 	wj, _ := json.Marshal(want)
 	if string(gj) != string(wj) {

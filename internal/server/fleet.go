@@ -1,0 +1,368 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perturb/internal/cache"
+	"perturb/internal/obs"
+	"perturb/internal/trace"
+)
+
+// Fleet telemetry, alongside the service's own counters on the obs
+// debug surface.
+var (
+	cFleetFailovers = obs.NewCounter("fleet.failovers")
+	cFleetHedges    = obs.NewCounter("fleet.hedges")
+	cFleetHedgeWins = obs.NewCounter("fleet.hedge_wins")
+)
+
+// Fleet fans analysis requests out over several perturbd endpoints.
+// Routing is consistent hashing on the trace's content address: the same
+// trace always lands on the same endpoint (so each endpoint's result
+// cache concentrates its own shard of the key space), and adding or
+// removing an endpoint only remaps the keys adjacent to it on the ring.
+//
+// Each endpoint carries health state: a transport error or a 503 puts it
+// in a cooldown during which routing prefers the next endpoint on the
+// ring, so a killed or draining box sheds its keys to its ring successor
+// without losing requests. When every endpoint is cooling down the fleet
+// ignores health and tries them all — total blackout beats refusing work.
+//
+// With Hedge enabled, a request that has not answered within the
+// endpoint's recent p90 latency is mirrored to the next-choice replica;
+// the first answer wins and the loser's request context is cancelled.
+// The hedge always targets a different endpoint, so one box never
+// analyzes the same request twice (and the target box's own singleflight
+// coalesces any residual overlap).
+type FleetConfig struct {
+	// Endpoints are the perturbd base URLs, e.g. "http://a:7077".
+	Endpoints []string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Hedge enables hedged requests.
+	Hedge bool
+	// HedgeAfter fixes the hedge delay; 0 derives it per endpoint from
+	// the p90 of its recent latencies (50ms before enough samples).
+	HedgeAfter time.Duration
+	// Cooldown is how long a failed endpoint is deprioritized. Default 3s.
+	Cooldown time.Duration
+	// Rounds caps full passes over the preference list before giving up.
+	// Default 3: with per-endpoint failover inside each round, that is
+	// Rounds*len(Endpoints) attempts worst case.
+	Rounds int
+	// BaseDelay seeds the inter-round backoff. Default 200ms.
+	BaseDelay time.Duration
+}
+
+// Fleet is created by NewFleet and is safe for concurrent use.
+type Fleet struct {
+	cfg       FleetConfig
+	endpoints []*endpoint
+	ring      []ringSlot // sorted by hash
+}
+
+// endpoint is one perturbd instance plus its health and latency state.
+type endpoint struct {
+	base   string
+	client *Client
+	// downUntil is the unix-nano timestamp until which the endpoint is
+	// cooling down after a failure; 0 or past means healthy.
+	downUntil atomic.Int64
+
+	// Recent request latencies, a fixed ring buffer for the hedge
+	// percentile.
+	latMu  sync.Mutex
+	lats   [64]time.Duration
+	latN   int // total recorded (ring index = latN % len)
+	latCap int
+}
+
+type ringSlot struct {
+	hash uint64
+	ep   *endpoint
+}
+
+// vnodes is the number of ring positions per endpoint; enough that three
+// endpoints split the key space within a few percent of evenly.
+const vnodes = 64
+
+// NewFleet builds a fleet over the given endpoints. A single endpoint is
+// valid: the fleet degrades to a plain retrying client with health
+// bookkeeping.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, fmt.Errorf("fleet: no endpoints")
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 3 * time.Second
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.BaseDelay <= 0 {
+		cfg.BaseDelay = 200 * time.Millisecond
+	}
+	f := &Fleet{cfg: cfg}
+	seen := map[string]bool{}
+	for _, base := range cfg.Endpoints {
+		if base == "" || seen[base] {
+			return nil, fmt.Errorf("fleet: empty or duplicate endpoint %q", base)
+		}
+		seen[base] = true
+		// The fleet owns retry policy: each endpoint gets single attempts
+		// (analyzeOnce) so failover happens immediately, not after a
+		// per-endpoint backoff dance.
+		ep := &endpoint{
+			base:   base,
+			latCap: 64,
+			client: &Client{BaseURL: base, HTTPClient: cfg.HTTPClient},
+		}
+		f.endpoints = append(f.endpoints, ep)
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", base, v)
+			f.ring = append(f.ring, ringSlot{hash: h.Sum64(), ep: ep})
+		}
+	}
+	sort.Slice(f.ring, func(i, j int) bool { return f.ring[i].hash < f.ring[j].hash })
+	return f, nil
+}
+
+// route returns every endpoint ordered by ring preference for the given
+// trace content address: the owner first, then successors clockwise.
+func (f *Fleet) route(traceSHA string) []*endpoint {
+	// The content address is hex; fold its bytes to the ring's hash space.
+	h := fnv.New64a()
+	h.Write([]byte(traceSHA))
+	key := h.Sum64()
+	i := sort.Search(len(f.ring), func(i int) bool { return f.ring[i].hash >= key })
+	prefs := make([]*endpoint, 0, len(f.endpoints))
+	seen := make(map[*endpoint]bool, len(f.endpoints))
+	for n := 0; n < len(f.ring) && len(prefs) < len(f.endpoints); n++ {
+		ep := f.ring[(i+n)%len(f.ring)].ep
+		if !seen[ep] {
+			seen[ep] = true
+			prefs = append(prefs, ep)
+		}
+	}
+	return prefs
+}
+
+// Analyze routes t to its ring owner, failing over to successor replicas
+// on transport errors and shed responses, optionally hedging slow
+// requests to the next-choice replica. The response is exactly what a
+// single Client.Analyze against the chosen endpoint would return.
+func (f *Fleet) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Response, error) {
+	traceSHA, err := cache.TraceSHA256(t)
+	if err != nil {
+		return nil, err
+	}
+	var body bytes.Buffer
+	if err := t.WriteBinary(&body); err != nil {
+		return nil, fmt.Errorf("encoding trace: %w", err)
+	}
+	prefs := f.route(traceSHA)
+
+	var lastErr error
+	for round := 0; round < f.cfg.Rounds; round++ {
+		if round > 0 {
+			delay := f.cfg.BaseDelay << uint(round-1)
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("fleet: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		// Healthy endpoints in ring order first, cooling ones after: a
+		// fleet-wide outage still tries everyone rather than failing fast.
+		now := time.Now()
+		ordered := make([]*endpoint, 0, len(prefs))
+		for _, ep := range prefs {
+			if !ep.coolingDown(now) {
+				ordered = append(ordered, ep)
+			}
+		}
+		for _, ep := range prefs {
+			if ep.coolingDown(now) {
+				ordered = append(ordered, ep)
+			}
+		}
+		for i, ep := range ordered {
+			var next *endpoint
+			if f.cfg.Hedge && i+1 < len(ordered) {
+				next = ordered[i+1]
+			}
+			resp, err := f.attempt(ctx, ep, next, req, body.Bytes())
+			if err == nil {
+				return resp, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("fleet: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+			if !retryable(err) {
+				return nil, err
+			}
+			if marksDown(err) {
+				ep.markDown(now.Add(f.cfg.Cooldown))
+			}
+			if i+1 < len(ordered) {
+				cFleetFailovers.Add(1)
+			}
+		}
+	}
+	return nil, fmt.Errorf("fleet: giving up after %d rounds: %w", f.cfg.Rounds, lastErr)
+}
+
+// attempt runs one request against ep, hedging to next (when non-nil)
+// after the hedge delay. The first answer wins; the loser's context is
+// cancelled.
+func (f *Fleet) attempt(ctx context.Context, ep, next *endpoint, req Request, body []byte) (*Response, error) {
+	if next == nil {
+		return f.post(ctx, ep, req, body)
+	}
+
+	hctx, cancelHedge := context.WithCancel(ctx)
+	defer cancelHedge()
+	type result struct {
+		resp *Response
+		err  error
+		ep   *endpoint
+	}
+	results := make(chan result, 2)
+	launch := func(target *endpoint) {
+		go func() {
+			resp, err := f.post(hctx, target, req, body)
+			results <- result{resp, err, target}
+		}()
+	}
+	launch(ep)
+	timer := time.NewTimer(f.hedgeDelay(ep))
+	defer timer.Stop()
+
+	pending, hedged := 1, false
+	var firstErr error
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil {
+				// First answer wins; cancelHedge (deferred) aborts the
+				// loser's in-flight request.
+				if hedged && r.ep == next {
+					cFleetHedgeWins.Add(1)
+				}
+				return r.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !hedged {
+				// The primary failed outright before the hedge fired;
+				// surface the error so the fleet's failover (which also
+				// updates health) takes over instead of hedging blind.
+				return nil, r.err
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				cFleetHedges.Add(1)
+				launch(next)
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+// post runs a single no-retry exchange against ep and records its
+// latency on success.
+func (f *Fleet) post(ctx context.Context, ep *endpoint, req Request, body []byte) (*Response, error) {
+	start := time.Now()
+	resp, err := ep.client.analyzeOnce(ctx, req, body)
+	if err == nil {
+		ep.recordLatency(time.Since(start))
+	}
+	return resp, err
+}
+
+// hedgeDelay is how long to wait for ep before mirroring the request.
+func (f *Fleet) hedgeDelay(ep *endpoint) time.Duration {
+	if f.cfg.HedgeAfter > 0 {
+		return f.cfg.HedgeAfter
+	}
+	return ep.latencyP90()
+}
+
+// retryable reports whether another endpoint might succeed where this
+// error occurred: transport failures and shed/overload statuses.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode == http.StatusTooManyRequests ||
+			se.StatusCode == http.StatusServiceUnavailable ||
+			se.StatusCode == http.StatusGatewayTimeout
+	}
+	// Anything that is not an HTTP status is a transport-level failure:
+	// connection refused, reset, EOF mid-body.
+	return true
+}
+
+// marksDown reports whether the error indicates an unhealthy endpoint
+// (as opposed to a healthy one that is merely at capacity, 429).
+func marksDown(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode == http.StatusServiceUnavailable
+	}
+	return true
+}
+
+func (e *endpoint) coolingDown(now time.Time) bool {
+	return e.downUntil.Load() > now.UnixNano()
+}
+
+func (e *endpoint) markDown(until time.Time) {
+	e.downUntil.Store(until.UnixNano())
+}
+
+func (e *endpoint) recordLatency(d time.Duration) {
+	e.latMu.Lock()
+	e.lats[e.latN%e.latCap] = d
+	e.latN++
+	e.latMu.Unlock()
+}
+
+// latencyP90 is the 90th percentile of the recent latency window, with a
+// 50ms floor-and-fallback: before eight samples exist the estimate is too
+// noisy to hedge on, and hedging below 50ms would mirror nearly every
+// request.
+func (e *endpoint) latencyP90() time.Duration {
+	const fallback = 50 * time.Millisecond
+	e.latMu.Lock()
+	n := e.latN
+	if n > e.latCap {
+		n = e.latCap
+	}
+	window := make([]time.Duration, n)
+	copy(window, e.lats[:n])
+	e.latMu.Unlock()
+	if len(window) < 8 {
+		return fallback
+	}
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	p90 := window[len(window)*9/10]
+	if p90 < fallback {
+		return fallback
+	}
+	return p90
+}

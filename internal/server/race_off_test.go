@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; the
+// cache-storm speedup assertion skips itself under -race, where the
+// cached and uncached paths are instrumented by different factors.
+const raceEnabled = false

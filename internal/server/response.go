@@ -33,6 +33,16 @@ type Response struct {
 	// encoding: a byte-exact fingerprint of the full analysis output
 	// without shipping every event back.
 	TraceSHA256 string `json:"trace_sha256"`
+	// InputSHA256 is the content address of the request: the hex SHA-256
+	// of the uploaded trace's decoded events (codec-independent — the
+	// cache key's trace component). Present only when the service runs
+	// with a result cache; the no-cache wire format is unchanged.
+	InputSHA256 string `json:"input_sha256,omitempty"`
+	// Cached reports whether this response was served from the result
+	// cache (a resident hit or a coalesced in-flight analysis) rather
+	// than a fresh analysis. Present only when the service runs with a
+	// result cache.
+	Cached *bool `json:"cached,omitempty"`
 	// Repair summarizes the sanitizer's work when the request ran with
 	// repair=1; absent otherwise.
 	Repair *RepairSummary `json:"repair,omitempty"`

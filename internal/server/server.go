@@ -10,13 +10,26 @@
 // panic in one analysis is confined to that request. Shutdown drains:
 // the listener closes, /readyz flips to 503, in-flight requests get a
 // grace period and are then force-cancelled.
+//
+// The analysis is deterministic, so results are content-addressed: by
+// default a byte-bounded LRU caches finished responses keyed on the
+// decoded trace plus every result-affecting option (see internal/cache),
+// and concurrent identical uploads coalesce onto a single analysis
+// (singleflight). Cache hits bypass admission control entirely — they
+// cost a decode plus a hash, never an analysis slot. Disable with
+// Config.CacheBytes < 0 for the exact pre-cache wire format and
+// admission behavior.
 package server
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -26,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"perturb/internal/cache"
 	"perturb/internal/cancel"
 	"perturb/internal/core"
 	"perturb/internal/instr"
@@ -60,10 +74,20 @@ type Config struct {
 	// MaxBodyBytes caps the request body; larger uploads get 413.
 	// Default: 64 MiB.
 	MaxBodyBytes int64
+	// CacheBytes budgets the content-addressed result cache. 0 (the
+	// zero value) selects DefaultCacheBytes; a negative value disables
+	// caching entirely, reproducing the pre-cache request path and wire
+	// format byte for byte.
+	CacheBytes int64
 	// Logger receives request errors and panic stacks. Default: the
 	// standard logger.
 	Logger *log.Logger
 }
+
+// DefaultCacheBytes is the result-cache budget a zero Config gets. A
+// cached response is a few hundred bytes, so the default admits on the
+// order of a million distinct results.
+const DefaultCacheBytes = 256 << 20
 
 // Normalize fills zero fields with defaults and returns the result.
 func (c Config) Normalize() Config {
@@ -80,6 +104,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
 	}
 	if c.Logger == nil {
 		c.Logger = log.Default()
@@ -110,6 +137,10 @@ type Server struct {
 
 	httpSrv *http.Server
 
+	// cache holds finished responses content-addressed by the decoded
+	// trace and analysis options; nil when Config.CacheBytes < 0.
+	cache *cache.Cache
+
 	// hookAnalyze, when set, replaces core.AnalyzeContext. Tests use it to
 	// park requests mid-analysis or panic on demand.
 	hookAnalyze func(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts core.Options) (*core.Approximation, error)
@@ -118,10 +149,15 @@ type Server struct {
 // New builds a Server from cfg (normalized first).
 func New(cfg Config) *Server {
 	cfg = cfg.Normalize()
+	budget := cfg.CacheBytes
+	if budget < 0 {
+		budget = 0 // cache.New(0) is the nil always-miss cache
+	}
 	s := &Server{
 		cfg:     cfg,
 		slots:   make(chan struct{}, cfg.MaxConcurrency+cfg.QueueDepth),
 		running: make(chan struct{}, cfg.MaxConcurrency),
+		cache:   cache.New(budget),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
 
@@ -222,6 +258,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		cShed.Add(1)
 		return
 	}
+	if s.cache != nil {
+		s.handleAnalyzeCached(w, r)
+		return
+	}
 
 	// Admission: if running+queue are both full, shed now — a client retry
 	// later beats a goroutine pileup here.
@@ -320,9 +360,211 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 	return http.StatusOK, resp
 }
 
+// Sentinel errors of the cached request path, mapped onto HTTP statuses
+// by analyzeCached.
+var (
+	errAtCapacity    = errors.New("server at capacity")
+	errAnalysisPanic = errors.New("internal error during analysis")
+)
+
+// handleAnalyzeCached serves /analyze through the result cache: decode,
+// content-address, and either return the resident response in
+// microseconds or coalesce onto / start the one analysis for this key.
+// Admission control guards only actual analyses — the flight leader
+// acquires the running-cap/queue slots; hits and coalesced followers
+// never touch them.
+func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx, cancelReq := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancelReq()
+	stop := context.AfterFunc(s.forceCtx, cancelReq)
+	defer stop()
+
+	status, body := s.analyzeCached(ctx, w, r)
+	if status != http.StatusOK {
+		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		writeError(w, status, body.(string))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// analyzeCached runs one request against the cache and returns the status
+// plus either a *Response (200) or an error message. Decode errors are
+// confined here; analysis panics are confined inside the flight.
+func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *http.Request) (status int, body any) {
+	defer func() {
+		if p := recover(); p != nil {
+			cPanics.Add(1)
+			s.cfg.Logger.Printf("perturbd: panic serving %s: %v\n%s", r.URL.Path, p, debug.Stack())
+			status, body = http.StatusInternalServerError, "internal error during analysis"
+		}
+	}()
+
+	opts, cal, err := parseQuery(r.URL.Query())
+	if err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		switch {
+		case errors.As(err, &tooBig):
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("trace body exceeds %d bytes", tooBig.Limit)
+		case ctx.Err() != nil && errors.Is(cancel.Err(ctx), cancel.ErrDeadlineExceeded):
+			return http.StatusGatewayTimeout, "deadline exceeded reading trace"
+		case ctx.Err() != nil:
+			return http.StatusServiceUnavailable, "request canceled reading trace"
+		default:
+			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
+		}
+	}
+
+	// Wire-byte fast path: a repeat upload of the exact same bytes skips
+	// the decode — one hash of the body resolves the content address, and
+	// a resident result for this (trace, calibration, options) key is
+	// served straight from the LRU.
+	wireSum := sha256.Sum256(raw)
+	wire := hex.EncodeToString(wireSum[:])
+	var key, inputSHA string
+	if resolved, ok := s.cache.Alias(wire); ok {
+		key, inputSHA = cache.KeyFromTraceSHA(resolved, cal, opts), resolved
+		if v, hit := s.cache.Get(key); hit {
+			cp := *v.(*Response)
+			hitTrue := true
+			cp.Cached = &hitTrue
+			cOK.Add(1)
+			return http.StatusOK, &cp
+		}
+	}
+
+	tr, err := decodeTrace(ctx, raw)
+	if err != nil {
+		switch {
+		case errors.Is(err, cancel.ErrDeadlineExceeded):
+			return http.StatusGatewayTimeout, "deadline exceeded reading trace"
+		case errors.Is(err, cancel.ErrCanceled):
+			return http.StatusServiceUnavailable, "request canceled reading trace"
+		default:
+			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
+		}
+	}
+	if key == "" {
+		key, inputSHA, err = cache.Key(tr, cal, opts)
+		if err != nil {
+			return http.StatusUnprocessableEntity, err.Error()
+		}
+		s.cache.PutAlias(wire, inputSHA)
+	}
+
+	v, cached, err := s.cache.Do(ctx, key, responseSize, func(fctx context.Context) (any, error) {
+		// Admission, held only by the flight leader. The flight context
+		// stays live while any coalesced request is still waiting, so a
+		// queued analysis with surviving followers keeps its place even
+		// if the request that started it gives up.
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		default:
+			return nil, errAtCapacity
+		}
+		select {
+		case s.running <- struct{}{}:
+			defer func() { <-s.running }()
+		case <-fctx.Done():
+			return nil, cancel.Err(fctx)
+		}
+		approx, err := s.safeAnalyze(fctx, tr, cal, opts)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := BuildResponse(approx)
+		if err != nil {
+			return nil, err
+		}
+		resp.InputSHA256 = inputSHA
+		return resp, nil
+	})
+	switch {
+	case err == nil:
+		// Shallow copy so the per-request Cached flag never mutates the
+		// shared resident value.
+		cp := *v.(*Response)
+		cp.Cached = &cached
+		cOK.Add(1)
+		return http.StatusOK, &cp
+	case errors.Is(err, errAtCapacity):
+		cShed.Add(1)
+		return http.StatusTooManyRequests, "server at capacity, retry later"
+	case errors.Is(err, cancel.ErrDeadlineExceeded):
+		cDeadline.Add(1)
+		return http.StatusGatewayTimeout, "analysis deadline exceeded"
+	case errors.Is(err, cancel.ErrCanceled):
+		cCanceled.Add(1)
+		return http.StatusServiceUnavailable, "analysis canceled"
+	case errors.Is(err, errAnalysisPanic):
+		return http.StatusInternalServerError, "internal error during analysis"
+	default:
+		return http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err)
+	}
+}
+
+// safeAnalyze runs the analysis with panics converted to an error: on the
+// cached path the analysis executes on a flight goroutine, where an
+// unrecovered panic would crash the process rather than one handler.
+func (s *Server) safeAnalyze(ctx context.Context, tr *trace.Trace, cal instr.Calibration, opts core.Options) (approx *core.Approximation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cPanics.Add(1)
+			s.cfg.Logger.Printf("perturbd: panic during analysis: %v\n%s", p, debug.Stack())
+			approx, err = nil, errAnalysisPanic
+		}
+	}()
+	analyzeFn := core.AnalyzeContext
+	if s.hookAnalyze != nil {
+		analyzeFn = s.hookAnalyze
+	}
+	return analyzeFn(ctx, tr, cal, opts)
+}
+
+// responseSize reports a cached response's budget charge: its encoded
+// JSON length.
+func responseSize(v any) int64 {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return 1024 // unreachable for a Response; charge something sane
+	}
+	return int64(len(b))
+}
+
+// CacheStats reports the result cache's counters; ok is false when the
+// cache is disabled.
+func (s *Server) CacheStats() (st cache.Stats, ok bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
 // readTrace decodes the request body in either trace codec.
 func (s *Server) readTrace(ctx context.Context, r *http.Request) (*trace.Trace, error) {
 	tr, err := trace.NewReader(r.Body)
+	if err != nil {
+		return nil, err
+	}
+	return trace.ReadAllContext(ctx, tr)
+}
+
+// decodeTrace decodes an already-read request body in either trace codec.
+func decodeTrace(ctx context.Context, raw []byte) (*trace.Trace, error) {
+	tr, err := trace.NewReader(bytes.NewReader(raw))
 	if err != nil {
 		return nil, err
 	}

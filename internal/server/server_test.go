@@ -98,6 +98,18 @@ func TestAnalyzeEndpoint(t *testing.T) {
 		t.Fatalf("response is not JSON: %v", err)
 	}
 
+	// With the default cache on, the first request is a miss that reports
+	// the input's content address; strip the cache metadata before the
+	// byte-fidelity comparison below.
+	if got.Cached == nil || *got.Cached {
+		t.Errorf("first request Cached = %v, want false", got.Cached)
+	}
+	if got.InputSHA256 == "" {
+		t.Error("response lacks input_sha256")
+	}
+	got.Cached = nil
+	got.InputSHA256 = ""
+
 	// The service must be byte-faithful to a direct Analyze call.
 	approx, err := core.Analyze(tr, DefaultCalibration(), core.Options{})
 	if err != nil {
@@ -120,30 +132,76 @@ func TestAnalyzeEndpoint(t *testing.T) {
 // clients can switch to the columnar encoding with no server change.
 func TestAnalyzeCodecParity(t *testing.T) {
 	tr := testTrace(t, 3)
-	_, base := startServer(t, Config{MaxConcurrency: 2})
+	s, base := startServer(t, Config{MaxConcurrency: 2})
 
-	encode := map[string]func(*trace.Trace, io.Writer) error{
-		"binary":   func(tr *trace.Trace, w io.Writer) error { return tr.WriteBinary(w) },
-		"text":     func(tr *trace.Trace, w io.Writer) error { return tr.WriteText(w) },
-		"columnar": func(tr *trace.Trace, w io.Writer) error { return tr.WriteColumnar(w) },
+	encode := []struct {
+		name string
+		enc  func(*trace.Trace, io.Writer) error
+	}{
+		{"binary", func(tr *trace.Trace, w io.Writer) error { return tr.WriteBinary(w) }},
+		{"text", func(tr *trace.Trace, w io.Writer) error { return tr.WriteText(w) }},
+		{"columnar", func(tr *trace.Trace, w io.Writer) error { return tr.WriteColumnar(w) }},
 	}
-	responses := map[string][]byte{}
-	for name, enc := range encode {
+	responses := map[string]*Response{}
+	for _, e := range encode {
 		var buf bytes.Buffer
-		if err := enc(tr, &buf); err != nil {
+		if err := e.enc(tr, &buf); err != nil {
 			t.Fatal(err)
 		}
 		resp, body := post(t, base+"/analyze", buf.Bytes())
 		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("%s upload: status = %d, body %s", name, resp.StatusCode, body)
+			t.Fatalf("%s upload: status = %d, body %s", e.name, resp.StatusCode, body)
 		}
-		responses[name] = body
+		var r Response
+		if err := json.Unmarshal(body, &r); err != nil {
+			t.Fatalf("%s upload: %v", e.name, err)
+		}
+		responses[e.name] = &r
 	}
-	for _, name := range []string{"text", "columnar"} {
-		if !bytes.Equal(responses[name], responses["binary"]) {
-			t.Errorf("%s upload response differs from binary upload:\n%s\nvs\n%s",
-				name, responses[name], responses["binary"])
+	// The cache key hashes decoded events, so the text and columnar
+	// uploads land on the binary upload's entry: same content address,
+	// served as hits.
+	for _, e := range encode[1:] {
+		r := responses[e.name]
+		if r.Cached == nil || !*r.Cached {
+			t.Errorf("%s upload was not a cache hit (cached = %v)", e.name, r.Cached)
 		}
+		if r.InputSHA256 != responses["binary"].InputSHA256 {
+			t.Errorf("%s upload input_sha256 %s != binary upload %s",
+				e.name, r.InputSHA256, responses["binary"].InputSHA256)
+		}
+		r.Cached = nil
+	}
+	responses["binary"].Cached = nil
+	for _, name := range []string{"text", "columnar"} {
+		if !reflect.DeepEqual(responses[name], responses["binary"]) {
+			t.Errorf("%s upload response differs from binary upload:\n%+v\nvs\n%+v",
+				name, *responses[name], *responses["binary"])
+		}
+	}
+	if st, ok := s.CacheStats(); !ok || st.Hits != 2 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v (ok=%v), want 2 hits, 1 miss", st, ok)
+	}
+}
+
+// TestAnalyzeCacheDisabled pins the no-cache wire format: with the cache
+// off, responses carry no cache metadata at all — byte-compatible with
+// pre-cache releases.
+func TestAnalyzeCacheDisabled(t *testing.T) {
+	tr := testTrace(t, 3)
+	s, base := startServer(t, Config{MaxConcurrency: 2, CacheBytes: -1})
+
+	resp, body := post(t, base+"/analyze", traceBody(t, tr))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	for _, field := range []string{"input_sha256", "cached"} {
+		if bytes.Contains(body, []byte(field)) {
+			t.Errorf("cache-disabled response contains %q:\n%s", field, body)
+		}
+	}
+	if _, ok := s.CacheStats(); ok {
+		t.Error("CacheStats reports ok with the cache disabled")
 	}
 }
 
@@ -202,7 +260,10 @@ func TestAnalyzeBodyTooLarge(t *testing.T) {
 
 func TestAdmissionControl(t *testing.T) {
 	release := make(chan struct{})
-	s, base := startServer(t, Config{MaxConcurrency: 1, QueueDepth: 1, RequestTimeout: 10 * time.Second})
+	// The cache is disabled here: this test posts identical bodies, which
+	// the cache would deliberately coalesce into one analysis instead of
+	// filling the running slot and queue.
+	s, base := startServer(t, Config{MaxConcurrency: 1, QueueDepth: 1, RequestTimeout: 10 * time.Second, CacheBytes: -1})
 	s.hookAnalyze = func(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts core.Options) (*core.Approximation, error) {
 		select {
 		case <-release:

@@ -72,6 +72,7 @@ import (
 	"context"
 	"io"
 
+	"perturb/internal/cache"
 	"perturb/internal/cancel"
 	"perturb/internal/core"
 	"perturb/internal/experiments"
@@ -386,6 +387,75 @@ func Analyze(m *Trace, cal Calibration, opts AnalyzeOptions) (*Approximation, er
 func AnalyzeContext(ctx context.Context, m *Trace, cal Calibration, opts AnalyzeOptions) (*Approximation, error) {
 	defer obs.StartSpan("perturb.analyze").End()
 	return core.AnalyzeContext(ctx, m, cal, opts)
+}
+
+// CachedAnalyzer memoizes Analyze results in-process. The analysis is
+// deterministic — the same trace, calibration and options always yield
+// the same approximation — so results are stored content-addressed: the
+// key hashes the decoded events (codec-invariant) plus every analysis
+// input that changes the output. Repeated analyses of an unchanged input
+// cost a hash and a map lookup; concurrent identical analyses coalesce
+// onto a single computation. This is the same engine perturbd uses for
+// its service-side result cache.
+//
+// A CachedAnalyzer is safe for concurrent use. Returned approximations
+// are shared across callers and must be treated as read-only.
+type CachedAnalyzer struct {
+	c *Cache
+}
+
+// Cache is the in-process analysis-result cache backing a CachedAnalyzer;
+// see NewCachedAnalyzer.
+type Cache = cache.Cache
+
+// CacheStats summarizes a CachedAnalyzer's effectiveness: hits, misses,
+// coalesced waiters, evictions, and current residency.
+type CacheStats = cache.Stats
+
+// NewCachedAnalyzer returns an analyzer memoizing up to maxBytes of
+// results (sizes estimated from the approximation's trace footprint),
+// evicting least recently used results beyond that. maxBytes <= 0
+// disables caching: every call analyzes, which keeps the zero budget
+// safe to configure.
+func NewCachedAnalyzer(maxBytes int64) *CachedAnalyzer {
+	return &CachedAnalyzer{c: cache.New(maxBytes)}
+}
+
+// Analyze is AnalyzeContext through the cache: a resident result returns
+// immediately with cached=true, a concurrent identical call coalesces
+// (also cached=true), and otherwise the analysis runs and is stored. A
+// caller whose ctx expires leaves with ErrCanceled/ErrDeadlineExceeded
+// while the computation continues for any remaining waiters.
+func (a *CachedAnalyzer) Analyze(ctx context.Context, m *Trace, cal Calibration, opts AnalyzeOptions) (approx *Approximation, cached bool, err error) {
+	defer obs.StartSpan("perturb.analyze.cached").End()
+	key, _, err := cache.Key(m, cal, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	v, cached, err := a.c.Do(ctx, key, approxSize, func(fctx context.Context) (any, error) {
+		return core.AnalyzeContext(fctx, m, cal, opts)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*Approximation), cached, nil
+}
+
+// Stats returns the cache's lifetime counters and current residency.
+func (a *CachedAnalyzer) Stats() CacheStats { return a.c.Stats() }
+
+// approxSize estimates an approximation's resident footprint for the
+// byte budget: the dominating term is the approximated trace's event
+// slice.
+func approxSize(v any) int64 {
+	const perEvent = 64 // fields of trace.Event plus slice overhead
+	ap := v.(*Approximation)
+	size := int64(1024)
+	if ap.Trace != nil {
+		size += int64(len(ap.Trace.Events)) * perEvent
+	}
+	size += int64(len(ap.Times)) * 8
+	return size
 }
 
 // AnalyzeTimeBased applies time-based perturbation analysis (paper §3).

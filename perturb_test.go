@@ -2,6 +2,8 @@ package perturb_test
 
 import (
 	"bytes"
+	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -202,5 +204,92 @@ func TestFacadeProgramAndTools(t *testing.T) {
 	}
 	if te.MaxAbs != 0 {
 		t.Errorf("exact recovery should have zero per-event error, max %d", te.MaxAbs)
+	}
+}
+
+// TestCachedAnalyzer: the in-process cached analyzer returns results
+// byte-identical to direct Analyze, serves repeats from memory, and
+// discriminates on every analysis input.
+func TestCachedAnalyzer(t *testing.T) {
+	loop, err := perturb.LivermoreLoop(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := perturb.Alliant()
+	ovh := perturb.UniformOverheads(5 * perturb.Microsecond)
+	measured, err := perturb.Simulate(loop, perturb.FullInstrumentation(ovh, true), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := perturb.ExactCalibration(ovh, cfg)
+
+	direct, err := perturb.Analyze(measured.Trace, cal, perturb.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := perturb.NewCachedAnalyzer(64 << 20)
+	ctx := context.Background()
+	first, cached, err := a.Analyze(ctx, measured.Trace, cal, perturb.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first analysis reported cached")
+	}
+	if !reflect.DeepEqual(first, direct) {
+		t.Error("cached analyzer result differs from direct Analyze")
+	}
+
+	second, cached, err := a.Analyze(ctx, measured.Trace, cal, perturb.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("repeat analysis missed the cache")
+	}
+	if second != first {
+		t.Error("repeat analysis did not return the resident result")
+	}
+
+	// A different analysis of the same trace is a distinct key.
+	_, cached, err = a.Analyze(ctx, measured.Trace, cal, perturb.AnalyzeOptions{Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("repair-enabled analysis reused the plain result")
+	}
+
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 hit, 2 misses, 2 entries", st)
+	}
+
+	// Workers selects an engine, not a result: any worker count is a hit.
+	_, cached, err = a.Analyze(ctx, measured.Trace, cal, perturb.AnalyzeOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("workers variant missed; worker count must not split the key")
+	}
+
+	// maxBytes <= 0 disables caching but stays usable.
+	off := perturb.NewCachedAnalyzer(0)
+	for i := 0; i < 2; i++ {
+		res, cached, err := off.Analyze(ctx, measured.Trace, cal, perturb.AnalyzeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached {
+			t.Error("disabled analyzer reported a cache hit")
+		}
+		if !reflect.DeepEqual(res, direct) {
+			t.Error("disabled analyzer result differs from direct Analyze")
+		}
+	}
+	if st := off.Stats(); st.Hits != 0 || st.Entries != 0 {
+		t.Errorf("disabled analyzer stats = %+v, want zeroes", st)
 	}
 }
