@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke selfperturb api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke metrics-smoke selfperturb selftrace api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -72,9 +72,25 @@ cache-smoke:
 bench-cache:
 	$(GO) test -run '^$$' -bench 'BenchmarkCacheHit|BenchmarkCacheMissAnalyze|BenchmarkClientHedged' -benchmem ./internal/server/
 
+# Observability check against a live daemon: /metrics must pass the
+# Prometheus exposition checker, the live and shutdown-written
+# self-traces must audit clean, and the request log must be JSON lines
+# (scripts/metrics_smoke.sh, also CI's metrics-smoke job).
+metrics-smoke:
+	$(GO) build -o /tmp/perturbd ./cmd/perturbd
+	$(GO) build -o /tmp/promcheck ./internal/tools/promcheck
+	$(GO) build -o /tmp/tracecat ./cmd/tracecat
+	sh scripts/metrics_smoke.sh /tmp/perturbd /tmp/promcheck /tmp/tracecat
+
 # Dogfooded audit: the obs layer's own perturbation of the analysis.
 selfperturb:
 	$(GO) run ./cmd/experiments -run selfperturb
+
+# Dogfooded service study: soak an in-process perturbd with the span
+# recorder attached, analyze its exported self-trace, and report the
+# service's waiting/parallelism profile plus the recorder's overhead.
+selftrace:
+	$(GO) run ./cmd/experiments -run selftrace
 
 # Regenerate the pinned facade API surface after a deliberate change.
 api:

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation|faults|selfperturb] [-noise N] [-exact] [-workers N]
+//	experiments [-run all|fig1|table1|table2|table3|fig4|fig5|ablation|faults|selfperturb|selftrace] [-noise N] [-exact] [-workers N]
 //
 // -noise sets the calibration error in per mille (default 8, the
 // paper-scale environment); -exact forces perfect calibration; -workers
@@ -12,9 +12,11 @@
 // (default 1, serial). The output is byte-identical for any worker
 // count — only the wall-clock time changes.
 //
-// -run selfperturb is the exception: it audits the toolchain's own
-// telemetry overhead and therefore prints wall-clock times, so it is not
-// part of -run all or the Markdown report.
+// -run selfperturb and -run selftrace are the exceptions: selfperturb
+// audits the toolchain's own telemetry overhead, selftrace drives a live
+// in-process perturbd with the span recorder attached and analyzes the
+// service's own exported trace. Both print wall-clock times, so neither
+// is part of -run all or the Markdown report.
 //
 // -stats prints the obs telemetry snapshot (human summary followed by one
 // JSON line) to stderr after the run; -debug-addr serves expvar and pprof
@@ -30,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"perturb/internal/buildinfo"
 	"perturb/internal/experiments"
 	"perturb/internal/obs"
 )
@@ -37,14 +40,20 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation, faults, selfperturb")
+	which := flag.String("run", "all", "experiment to run: all, fig1, table1, table2, table3, fig4, fig5, timing, vector, locks, scaling, ablation, faults, selfperturb, selftrace")
 	noise := flag.Int("noise", 8, "calibration error in per mille")
 	exact := flag.Bool("exact", false, "use exact calibration (overrides -noise)")
 	markdown := flag.Bool("markdown", false, "emit the full evaluation as a Markdown report")
 	workers := flag.Int("workers", 1, "run independent simulations on up to N goroutines")
 	stats := flag.Bool("stats", false, "print telemetry statistics (human summary + one JSON line) to stderr")
 	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build and version information and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Resolve().Print(os.Stdout, "experiments")
+		return
+	}
 
 	if err := validateFlags(*workers, *noise, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n\n", err)
@@ -176,6 +185,14 @@ func run(w io.Writer, which string, env experiments.Env) error {
 		// The audit toggles the telemetry layer itself, so it runs on the
 		// benchmark workload rather than through env; see SelfPerturb.
 		res, err := experiments.SelfPerturb(8, 250_000, 5)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	case "selftrace":
+		// The dogfooded study drives a live in-process perturbd and reports
+		// wall-clock times, so like selfperturb it is not part of -run all.
+		res, err := experiments.SelfTrace(experiments.SelfTraceConfig{})
 		if err != nil {
 			return err
 		}

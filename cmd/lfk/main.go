@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"time"
 
+	"perturb/internal/buildinfo"
 	"perturb/internal/lfk"
 	"perturb/internal/rt"
 )
@@ -26,7 +27,13 @@ func main() {
 	reps := flag.Int("reps", 100, "repetitions per kernel for timing")
 	doacross := flag.Bool("doacross", false, "run kernel 3 as a traced goroutine DOACROSS loop")
 	workers := flag.Int("workers", 0, "goroutines for -doacross (0 = GOMAXPROCS, min 2, max 8)")
+	version := flag.Bool("version", false, "print build and version information and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Resolve().Print(os.Stdout, "lfk")
+		return
+	}
 
 	if *doacross {
 		if err := runDoacross(os.Stdout, *workers); err != nil {

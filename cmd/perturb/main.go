@@ -63,6 +63,7 @@ import (
 	"time"
 
 	"perturb"
+	"perturb/internal/buildinfo"
 	"perturb/internal/obs"
 	"perturb/internal/server"
 	"perturb/internal/textplot"
@@ -125,7 +126,13 @@ func main() {
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
 	flag.BoolVar(&o.stats, "stats", false, "print pipeline/telemetry statistics (human summary + one JSON line) to stderr")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	version := flag.Bool("version", false, "print build and version information and exit")
 	flag.Parse()
+
+	if *version {
+		buildinfo.Resolve().Print(os.Stdout, "perturb")
+		return
+	}
 
 	if err := validateOptions(o, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "perturb: %v\n\n", err)

@@ -4,6 +4,7 @@
 //
 //	perturbd [-addr A] [-max-concurrency N] [-queue N] [-timeout D]
 //	         [-drain-timeout D] [-max-body N] [-cache-bytes N] [-debug-addr A]
+//	         [-selftrace FILE] [-request-log FILE] [-version]
 //
 // POST a trace (either codec, auto-detected) to /analyze and the response
 // is the approximation as JSON; query parameters select the analysis (see
@@ -24,12 +25,22 @@
 // listener closes, in-flight analyses get -drain-timeout to finish and
 // are then cancelled cooperatively; the process exits 0 on a clean or
 // forced drain.
+//
+// The service can trace itself: with -selftrace FILE every request's
+// phases, queue waits and singleflight waits are recorded as spans and
+// written at shutdown as an event trace in the columnar codec — a trace
+// `perturb -load` analyzes like any other subject program. The live
+// recorder is also downloadable from /debug/selftrace on the service
+// address. /metrics serves the telemetry snapshot in the Prometheus text
+// exposition format; -request-log FILE ("-" for stderr) writes one JSON
+// line per request with trace id, status, cache outcome and latency.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"os"
@@ -39,6 +50,9 @@ import (
 	"time"
 
 	"perturb"
+	"perturb/internal/buildinfo"
+	"perturb/internal/obs"
+	"perturb/internal/selftrace"
 	"perturb/internal/server"
 )
 
@@ -51,6 +65,9 @@ type options struct {
 	maxBody      int64
 	cacheBytes   int64
 	debugAddr    string
+	selftrace    string
+	requestLog   string
+	version      bool
 }
 
 func main() {
@@ -66,7 +83,15 @@ func main() {
 	flag.Int64Var(&o.maxBody, "max-body", 64<<20, "largest accepted trace body in bytes")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", server.DefaultCacheBytes, "result cache budget in bytes (0 disables caching)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.selftrace, "selftrace", "", "record request spans and write them as a columnar event trace to this file at shutdown")
+	flag.StringVar(&o.requestLog, "request-log", "", "write one JSON line per request to this file (\"-\" = stderr)")
+	flag.BoolVar(&o.version, "version", false, "print build and version information and exit")
 	flag.Parse()
+
+	if o.version {
+		buildinfo.Resolve().Print(os.Stdout, "perturbd")
+		return
+	}
 
 	if err := validateOptions(o, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "perturbd: %v\n\n", err)
@@ -118,14 +143,35 @@ func validateOptions(o options, args []string) error {
 }
 
 func run(o options) error {
+	// /metrics renders the obs snapshot, so the service always records
+	// its own telemetry (the gated-counter overhead is within the obs
+	// budget and changes no response bytes).
+	perturb.EnableObservability(true)
 	if o.debugAddr != "" {
-		perturb.EnableObservability(true)
 		d, err := perturb.ServeDebug(o.debugAddr)
 		if err != nil {
 			return err
 		}
 		defer d.Close()
 		log.Printf("debug server on http://%s/debug/vars (pprof under /debug/pprof/)", d.Addr())
+	}
+
+	var recorder *obs.Recorder
+	if o.selftrace != "" {
+		recorder = obs.NewRecorder(0)
+	}
+	var requestLog io.Writer
+	switch o.requestLog {
+	case "":
+	case "-":
+		requestLog = os.Stderr
+	default:
+		f, err := os.Create(o.requestLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		requestLog = f
 	}
 
 	// Flag semantics: 0 disables the cache. Config semantics: 0 means the
@@ -141,6 +187,8 @@ func run(o options) error {
 		MaxBodyBytes:   o.maxBody,
 		CacheBytes:     cacheBytes,
 		Logger:         log.Default(),
+		Recorder:       recorder,
+		RequestLog:     requestLog,
 	})
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -172,6 +220,13 @@ func run(o options) error {
 		log.Print("drain deadline passed, in-flight requests cancelled")
 	} else {
 		log.Print("drained cleanly")
+	}
+	if recorder != nil {
+		if err := selftrace.WriteFile(recorder, o.selftrace); err != nil {
+			return fmt.Errorf("writing self-trace: %w", err)
+		}
+		log.Printf("self-trace written to %s (%d procs, %d dropped)",
+			o.selftrace, recorder.Procs(), recorder.Dropped())
 	}
 	return nil
 }

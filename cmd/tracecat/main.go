@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"perturb"
+	"perturb/internal/buildinfo"
 )
 
 type options struct {
@@ -53,7 +54,12 @@ func main() {
 	flag.StringVar(&o.out, "o", "", "write the (filtered) trace to FILE")
 	flag.BoolVar(&o.binary, "binary", false, "write -o output in the binary codec (deprecated: use -format binary)")
 	flag.StringVar(&o.format, "format", "", "codec for -o output: text, binary or columnar (default text)")
+	version := flag.Bool("version", false, "print build and version information and exit")
 	flag.Parse()
+	if *version {
+		buildinfo.Resolve().Print(os.Stdout, "tracecat")
+		return
+	}
 	if err := validateOptions(o, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "tracecat: %v\n\n", err)
 		flag.Usage()

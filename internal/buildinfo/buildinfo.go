@@ -1,0 +1,83 @@
+// Package buildinfo resolves build and version metadata for the
+// repository's binaries from the information the Go toolchain already
+// embeds (runtime/debug.ReadBuildInfo): module version, VCS revision and
+// dirty flag, and the Go toolchain version. Every binary exposes it via
+// -version; perturbd additionally publishes it as the build_info expvar,
+// a build_info metric on /metrics, and in the /healthz body.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the resolved build metadata. Fields degrade to "unknown"/false
+// rather than failing: binaries built outside a module or VCS checkout
+// (go run, test binaries) still report something useful.
+type Info struct {
+	// Path is the main module path ("perturb").
+	Path string `json:"path"`
+	// Version is the module version, or "devel" when unversioned.
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, or "unknown".
+	Revision string `json:"revision"`
+	// Dirty reports uncommitted changes in the build's checkout.
+	Dirty bool `json:"dirty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goversion"`
+}
+
+// Resolve reads the running binary's embedded build information.
+func Resolve() Info {
+	info := Info{
+		Path:      "unknown",
+		Version:   "devel",
+		Revision:  "unknown",
+		GoVersion: runtime.Version(),
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Path = bi.Main.Path
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Short is the single-token form used in the /healthz body: the version
+// when released, otherwise the (possibly dirty-suffixed) revision prefix.
+func (i Info) Short() string {
+	if i.Version != "devel" {
+		return i.Version
+	}
+	rev := i.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// Print writes the multi-line -version output for the named binary.
+func (i Info) Print(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s version %s\n", binary, i.Short())
+	fmt.Fprintf(w, "  module:   %s %s\n", i.Path, i.Version)
+	fmt.Fprintf(w, "  revision: %s (dirty=%v)\n", i.Revision, i.Dirty)
+	fmt.Fprintf(w, "  go:       %s\n", i.GoVersion)
+}

@@ -7,6 +7,8 @@ import (
 	"net/http/pprof"
 	"sync"
 	"time"
+
+	"perturb/internal/buildinfo"
 )
 
 // Connection timeouts for the debug server. A debug endpoint is usually
@@ -26,12 +28,15 @@ var (
 // (tests, repeated CLI invocations in one binary).
 var publishOnce sync.Once
 
-// PublishExpvar registers the telemetry snapshot as the "obs" expvar, so
-// it appears (as JSON) under /debug/vars alongside the runtime's memstats.
-// Safe to call repeatedly.
+// PublishExpvar registers the telemetry snapshot as the "obs" expvar and
+// the binary's build metadata as "build_info", so both appear (as JSON)
+// under /debug/vars alongside the runtime's memstats. Safe to call
+// repeatedly.
 func PublishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any { return Snapshot() }))
+		build := buildinfo.Resolve()
+		expvar.Publish("build_info", expvar.Func(func() any { return build }))
 	})
 }
 

@@ -1,0 +1,336 @@
+// Package promfmt validates Prometheus text exposition format (version
+// 0.0.4), dependency-free. It is the checking half of internal/obs's
+// WriteProm: CI scrapes perturbd's /metrics and runs the payload through
+// Check (via internal/tools/promcheck), so a malformed rendering fails
+// the build instead of a scrape.
+//
+// Checked invariants:
+//
+//   - every line is a comment, blank, or a well-formed sample
+//     (name{labels} value [timestamp]);
+//   - metric and label names match the exposition grammar, label values
+//     are properly quoted and escaped;
+//   - TYPE declarations are valid, unique per family, and precede the
+//     family's samples;
+//   - sample values parse as Go floats (Inf/NaN included);
+//   - histogram families have cumulative non-decreasing buckets with
+//     non-decreasing le bounds, a trailing +Inf bucket, and a _count
+//     equal to the +Inf bucket.
+package promfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+type family struct {
+	typ     string
+	sampled bool
+	// histogram bookkeeping
+	lastLe    float64
+	lastCount float64
+	buckets   int
+	infCount  float64
+	haveInf   bool
+	count     float64
+	haveCount bool
+}
+
+// Check reads an exposition payload and returns the first format
+// violation found, or nil for a valid payload. An empty payload is
+// valid.
+func Check(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	families := map[string]*family{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := checkComment(text, families); err != nil {
+				return fmt.Errorf("line %d: %w", line, err)
+			}
+			continue
+		}
+		if err := checkSample(text, families); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	// Terminal histogram invariants, in deterministic order.
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if f.typ != "histogram" || !f.sampled {
+			continue
+		}
+		if !f.haveInf {
+			return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", name)
+		}
+		if f.haveCount && f.count != f.infCount {
+			return fmt.Errorf("histogram %s: _count %v != +Inf bucket %v", name, f.count, f.infCount)
+		}
+	}
+	return nil
+}
+
+// checkComment validates # HELP / # TYPE lines; other comments pass.
+func checkComment(text string, families map[string]*family) error {
+	fields := strings.SplitN(text, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#..." comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", text)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		f := families[name]
+		if f == nil {
+			f = &family{}
+			families[name] = f
+		}
+		if f.typ != "" {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if f.sampled {
+			return fmt.Errorf("TYPE for %s after its samples", name)
+		}
+		f.typ = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", text)
+		}
+		if !validMetricName(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+// checkSample validates one sample line and updates family state.
+func checkSample(text string, families map[string]*family) error {
+	name, rest, err := splitName(text)
+	if err != nil {
+		return err
+	}
+	labels, rest, err := splitLabels(rest)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	valueField, tsField, _ := strings.Cut(rest, " ")
+	if valueField == "" {
+		return fmt.Errorf("sample %s: missing value", name)
+	}
+	value, err := parseValue(valueField)
+	if err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, valueField)
+	}
+	if tsField = strings.TrimSpace(tsField); tsField != "" {
+		if _, err := strconv.ParseInt(tsField, 10, 64); err != nil {
+			return fmt.Errorf("sample %s: bad timestamp %q", name, tsField)
+		}
+	}
+
+	fam, sampleOf := resolveFamily(families, name)
+	fam.sampled = true
+	if fam.typ == "counter" && sampleOf == "" && value < 0 {
+		return fmt.Errorf("counter %s has negative value %v", name, value)
+	}
+	if fam.typ == "histogram" {
+		switch sampleOf {
+		case "_bucket":
+			leStr, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram bucket %s lacks an le label", name)
+			}
+			le, err := parseValue(leStr)
+			if err != nil {
+				return fmt.Errorf("histogram bucket %s: bad le %q", name, leStr)
+			}
+			if fam.buckets > 0 {
+				if le <= fam.lastLe {
+					return fmt.Errorf("histogram %s: le %q not increasing", name, leStr)
+				}
+				if value < fam.lastCount {
+					return fmt.Errorf("histogram %s: bucket counts not cumulative at le=%q", name, leStr)
+				}
+			}
+			fam.lastLe, fam.lastCount = le, value
+			fam.buckets++
+			if leStr == "+Inf" {
+				fam.haveInf = true
+				fam.infCount = value
+			}
+		case "_count":
+			fam.count = value
+			fam.haveCount = true
+		}
+	}
+	return nil
+}
+
+// resolveFamily maps a sample name to its family: histogram samples
+// _bucket/_sum/_count belong to the base family when one is declared.
+func resolveFamily(families map[string]*family, name string) (*family, string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f := families[base]; f != nil && f.typ == "histogram" {
+				return f, suffix
+			}
+		}
+	}
+	f := families[name]
+	if f == nil {
+		f = &family{}
+		families[name] = f
+	}
+	return f, ""
+}
+
+// splitName consumes the metric name from the start of a sample line.
+func splitName(text string) (name, rest string, err error) {
+	i := 0
+	for i < len(text) && isNameByte(text[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("sample line %q does not start with a metric name", text)
+	}
+	return text[:i], text[i:], nil
+}
+
+// splitLabels consumes an optional {k="v",...} block.
+func splitLabels(text string) (map[string]string, string, error) {
+	if !strings.HasPrefix(text, "{") {
+		return nil, text, nil
+	}
+	labels := map[string]string{}
+	i := 1
+	for {
+		// Label name.
+		j := i
+		for j < len(text) && isLabelByte(text[j], j == i) {
+			j++
+		}
+		if j == i {
+			return nil, "", fmt.Errorf("empty label name at %q", text[i:])
+		}
+		lname := text[i:j]
+		if j >= len(text) || text[j] != '=' {
+			return nil, "", fmt.Errorf("label %s: expected '='", lname)
+		}
+		j++
+		if j >= len(text) || text[j] != '"' {
+			return nil, "", fmt.Errorf("label %s: expected quoted value", lname)
+		}
+		j++
+		var val strings.Builder
+		for j < len(text) && text[j] != '"' {
+			if text[j] == '\\' {
+				j++
+				if j >= len(text) {
+					return nil, "", fmt.Errorf("label %s: truncated escape", lname)
+				}
+				switch text[j] {
+				case '\\', '"':
+					val.WriteByte(text[j])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("label %s: bad escape \\%c", lname, text[j])
+				}
+			} else {
+				val.WriteByte(text[j])
+			}
+			j++
+		}
+		if j >= len(text) {
+			return nil, "", fmt.Errorf("label %s: unterminated value", lname)
+		}
+		labels[lname] = val.String()
+		j++ // closing quote
+		if j < len(text) && text[j] == ',' {
+			i = j + 1
+			continue
+		}
+		if j < len(text) && text[j] == '}' {
+			return labels, text[j+1:], nil
+		}
+		return nil, "", fmt.Errorf("label %s: expected ',' or '}'", lname)
+	}
+}
+
+// parseValue parses a sample or le value: Go float syntax plus the
+// exposition spellings +Inf/-Inf/NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameByte(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelByte(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package promfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func check(s string) error { return Check(strings.NewReader(s)) }
+
+func TestCheckAcceptsWellFormedExposition(t *testing.T) {
+	good := `# HELP perturb_requests_total Requests served.
+# TYPE perturb_requests_total counter
+perturb_requests_total 42
+# HELP perturb_queue_depth Current queue depth.
+# TYPE perturb_queue_depth gauge
+perturb_queue_depth 3
+# HELP perturb_latency_seconds Request latency.
+# TYPE perturb_latency_seconds histogram
+perturb_latency_seconds_bucket{le="0.1"} 5
+perturb_latency_seconds_bucket{le="1"} 9
+perturb_latency_seconds_bucket{le="+Inf"} 12
+perturb_latency_seconds_sum 7.5
+perturb_latency_seconds_count 12
+perturb_build_info{version="devel",revision="abc",goversion="go1.x"} 1
+perturb_nan_gauge NaN
+perturb_ts_counter 5 1700000000
+`
+	if err := check(good); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsViolations(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":     "0bad_name 1\n",
+		"missing value":       "perturb_x\n",
+		"bad value":           "perturb_x one\n",
+		"unterminated labels": `perturb_x{le="1" 2` + "\n",
+		"unquoted label":      "perturb_x{le=1} 2\n",
+		"bad TYPE":            "# TYPE perturb_x flavor\nperturb_x 1\n",
+		"duplicate TYPE":      "# TYPE perturb_x counter\n# TYPE perturb_x counter\nperturb_x 1\n",
+		"TYPE after samples":  "perturb_x 1\n# TYPE perturb_x counter\n",
+		"negative counter":    "# TYPE perturb_x counter\nperturb_x -1\n",
+		"histogram non-cumulative": `# TYPE perturb_h histogram
+perturb_h_bucket{le="0.1"} 5
+perturb_h_bucket{le="1"} 3
+perturb_h_bucket{le="+Inf"} 5
+perturb_h_count 5
+`,
+		"histogram le not increasing": `# TYPE perturb_h histogram
+perturb_h_bucket{le="1"} 2
+perturb_h_bucket{le="0.5"} 3
+perturb_h_bucket{le="+Inf"} 3
+perturb_h_count 3
+`,
+		"histogram missing +Inf": `# TYPE perturb_h histogram
+perturb_h_bucket{le="1"} 2
+perturb_h_count 2
+`,
+		"histogram count mismatch": `# TYPE perturb_h histogram
+perturb_h_bucket{le="+Inf"} 2
+perturb_h_count 3
+`,
+	}
+	for name, in := range cases {
+		if err := check(in); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestCheckAcceptsEmptyAndComments(t *testing.T) {
+	if err := check(""); err != nil {
+		t.Errorf("empty input rejected: %v", err)
+	}
+	if err := check("# just a comment\n\n# another\n"); err != nil {
+		t.Errorf("comment-only input rejected: %v", err)
+	}
+}
+
+func TestCheckLabelEscapes(t *testing.T) {
+	ok := `perturb_x{msg="a \"quoted\" value with \\ and \n"} 1` + "\n"
+	if err := check(ok); err != nil {
+		t.Errorf("escaped label value rejected: %v", err)
+	}
+	bad := `perturb_x{msg="unterminated} 1` + "\n"
+	if err := check(bad); err == nil {
+		t.Error("unterminated label value accepted")
+	}
+}

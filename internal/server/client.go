@@ -44,6 +44,16 @@ type Request struct {
 	// Cal overrides the service's default calibration when non-nil; every
 	// field travels as a query parameter.
 	Cal *instr.Calibration
+	// TraceID travels as the X-Perturb-Trace-Id header, correlating
+	// retries, failovers and hedges of one logical request in the
+	// service's request log. Empty means the client mints one per
+	// Analyze call (and the fleet one per fleet-level Analyze), so every
+	// wire attempt of the same logical request shares an id.
+	TraceID string
+	// Attempt travels as the X-Perturb-Attempt header: a per-wire-attempt
+	// tag ("try0", "r1p0-hedge", ...) distinguishing attempts that share
+	// a TraceID. Filled by the retry loop and the fleet.
+	Attempt string
 }
 
 // StatusError is a non-2xx terminal response from the service.
@@ -87,6 +97,13 @@ func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Res
 		maxDelay = 5 * time.Second
 	}
 
+	// One trace id spans every retry of this call, so the service's
+	// request log shows them as attempts of one logical request.
+	traceID := req.TraceID
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
@@ -94,6 +111,8 @@ func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Res
 			return nil, err
 		}
 		hreq.Header.Set("Content-Type", "application/octet-stream")
+		hreq.Header.Set(traceIDHeader, traceID)
+		hreq.Header.Set(attemptHeader, fmt.Sprintf("try%d", attempt))
 
 		resp, retryAfter, err := c.do(httpc, hreq)
 		if err == nil {
@@ -143,6 +162,12 @@ func (c *Client) analyzeOnce(ctx context.Context, req Request, body []byte) (*Re
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/octet-stream")
+	if req.TraceID != "" {
+		hreq.Header.Set(traceIDHeader, req.TraceID)
+	}
+	if req.Attempt != "" {
+		hreq.Header.Set(attemptHeader, req.Attempt)
+	}
 	resp, _, err := c.do(httpc, hreq)
 	return resp, err
 }

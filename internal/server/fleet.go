@@ -172,6 +172,13 @@ func (f *Fleet) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Resp
 	}
 	prefs := f.route(traceSHA)
 
+	// One trace id covers the whole fleet-level request: every failover
+	// and hedge attempt carries it with a distinct attempt tag, so the
+	// endpoints' request logs reconstruct the fan-out.
+	if req.TraceID == "" {
+		req.TraceID = NewTraceID()
+	}
+
 	var lastErr error
 	for round := 0; round < f.cfg.Rounds; round++ {
 		if round > 0 {
@@ -201,6 +208,7 @@ func (f *Fleet) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Resp
 			if f.cfg.Hedge && i+1 < len(ordered) {
 				next = ordered[i+1]
 			}
+			req.Attempt = fmt.Sprintf("r%dp%d", round, i)
 			resp, err := f.attempt(ctx, ep, next, req, body.Bytes())
 			if err == nil {
 				return resp, nil
@@ -239,13 +247,15 @@ func (f *Fleet) attempt(ctx context.Context, ep, next *endpoint, req Request, bo
 		ep   *endpoint
 	}
 	results := make(chan result, 2)
-	launch := func(target *endpoint) {
+	launch := func(target *endpoint, tag string) {
+		r := req
+		r.Attempt = tag
 		go func() {
-			resp, err := f.post(hctx, target, req, body)
+			resp, err := f.post(hctx, target, r, body)
 			results <- result{resp, err, target}
 		}()
 	}
-	launch(ep)
+	launch(ep, req.Attempt)
 	timer := time.NewTimer(f.hedgeDelay(ep))
 	defer timer.Stop()
 
@@ -277,7 +287,9 @@ func (f *Fleet) attempt(ctx context.Context, ep, next *endpoint, req Request, bo
 				hedged = true
 				pending++
 				cFleetHedges.Add(1)
-				launch(next)
+				// The hedge shares the trace id with a distinct tag, so
+				// the two endpoints' logs show one request, two attempts.
+				launch(next, req.Attempt+"-hedge")
 			}
 		}
 	}

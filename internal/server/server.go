@@ -24,6 +24,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -36,14 +37,17 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"perturb/internal/buildinfo"
 	"perturb/internal/cache"
 	"perturb/internal/cancel"
 	"perturb/internal/core"
 	"perturb/internal/instr"
 	"perturb/internal/obs"
+	"perturb/internal/selftrace"
 	"perturb/internal/trace"
 )
 
@@ -82,6 +86,15 @@ type Config struct {
 	// Logger receives request errors and panic stacks. Default: the
 	// standard logger.
 	Logger *log.Logger
+	// Recorder, when non-nil, records request-scoped spans (phases,
+	// queue and singleflight waits, the shutdown drain) for export as an
+	// analyzable event trace; it also mounts /debug/selftrace on the
+	// service mux. See internal/obs and internal/selftrace.
+	Recorder *obs.Recorder
+	// RequestLog, when non-nil, receives one structured JSON line per
+	// /analyze request: trace id, endpoint, status, cache outcome, and
+	// latency. Writes are serialized by the server.
+	RequestLog io.Writer
 }
 
 // DefaultCacheBytes is the result-cache budget a zero Config gets. A
@@ -141,6 +154,15 @@ type Server struct {
 	// trace and analysis options; nil when Config.CacheBytes < 0.
 	cache *cache.Cache
 
+	// version is the single-token build version shown in /healthz and
+	// the /metrics build_info labels.
+	version string
+	build   buildinfo.Info
+
+	// logMu serializes Config.RequestLog writes so concurrent handlers
+	// never interleave JSON lines.
+	logMu sync.Mutex
+
 	// hookAnalyze, when set, replaces core.AnalyzeContext. Tests use it to
 	// park requests mid-analysis or panic on demand.
 	hookAnalyze func(ctx context.Context, m *trace.Trace, cal instr.Calibration, opts core.Options) (*core.Approximation, error)
@@ -160,11 +182,17 @@ func New(cfg Config) *Server {
 		cache:   cache.New(budget),
 	}
 	s.forceCtx, s.forceCancel = context.WithCancel(context.Background())
+	s.build = buildinfo.Resolve()
+	s.version = s.build.Short()
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.Recorder != nil {
+		mux.Handle("/debug/selftrace", selftrace.Handler(cfg.Recorder))
+	}
 	s.httpSrv = &http.Server{
 		Handler: mux,
 		// The request deadline covers the body read, so the connection
@@ -198,6 +226,11 @@ func (s *Server) Serve(ln net.Listener) error {
 // reports whether that was necessary.
 func (s *Server) Shutdown(ctx context.Context) (forced bool, err error) {
 	s.draining.Store(true)
+	// The drain is recorded as a barrier in the self-trace: every request
+	// processor arrives when the drain starts and is released when the
+	// last in-flight request has unwound.
+	drain := s.cfg.Recorder.Drain()
+	defer drain.End()
 	err = s.httpSrv.Shutdown(ctx)
 	if err == nil {
 		return false, nil
@@ -219,9 +252,82 @@ func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// Liveness: the process is up and serving. Stays 200 while draining.
+	// The first token stays "ok" for line-oriented probes; the build
+	// version rides along for humans and fleet inventories.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "ok version=%s\n", s.version)
+}
+
+// handleMetrics renders the obs snapshot in the Prometheus text
+// exposition format, with a build_info gauge carrying the binary's
+// version labels. Dependency-free: see obs.WriteProm.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, obs.Snapshot(), &obs.BuildLabels{
+		Version:   s.version,
+		Revision:  s.build.Revision,
+		GoVersion: s.build.GoVersion,
+	})
+}
+
+// Request-tracing plumbing: every /analyze request carries a trace id —
+// the client's X-Perturb-Trace-Id when present (so retries, fleet
+// failovers and hedges correlate across endpoints), freshly generated
+// otherwise — which is echoed on the response and stamped on the
+// structured request log line.
+const (
+	traceIDHeader = "X-Perturb-Trace-Id"
+	attemptHeader = "X-Perturb-Attempt"
+)
+
+// requestTraceID resolves (or mints) the request's trace id.
+func requestTraceID(r *http.Request) string {
+	if id := r.Header.Get(traceIDHeader); id != "" {
+		return id
+	}
+	return NewTraceID()
+}
+
+// NewTraceID mints a random request trace id (16 hex characters). The
+// client and the fleet use it to tag every wire attempt of one logical
+// request with a shared X-Perturb-Trace-Id.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// requestLogLine is the structured log record written per request.
+type requestLogLine struct {
+	TraceID string `json:"trace_id"`
+	Attempt string `json:"attempt,omitempty"`
+	Method  string `json:"method"`
+	Path    string `json:"path"`
+	Status  int    `json:"status"`
+	// Cache is the request's cache outcome: "hit" (resident), "miss"
+	// (fresh analysis), "coalesced" (joined an in-flight analysis),
+	// "off" (cache disabled), or "" for requests that never reached the
+	// cache (shed, bad request).
+	Cache     string `json:"cache,omitempty"`
+	LatencyNS int64  `json:"latency_ns"`
+}
+
+// logRequest writes one JSON line to Config.RequestLog, if configured.
+func (s *Server) logRequest(line requestLogLine) {
+	if s.cfg.RequestLog == nil {
+		return
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.cfg.RequestLog.Write(b)
+	s.logMu.Unlock()
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -247,21 +353,43 @@ func (s *Server) retryAfter() string {
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	cRequests.Add(1)
+	reqStart := time.Now()
+	line := requestLogLine{
+		TraceID: requestTraceID(r),
+		Attempt: r.Header.Get(attemptHeader),
+		Method:  r.Method,
+		Path:    r.URL.Path,
+	}
+	w.Header().Set(traceIDHeader, line.TraceID)
+	defer func() {
+		line.LatencyNS = time.Since(reqStart).Nanoseconds()
+		s.logRequest(line)
+	}()
+
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST a trace to /analyze")
+		line.Status = http.StatusMethodNotAllowed
+		writeError(w, line.Status, "POST a trace to /analyze")
 		return
 	}
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", s.retryAfter())
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		line.Status = http.StatusServiceUnavailable
+		writeError(w, line.Status, "server is draining")
 		cShed.Add(1)
 		return
 	}
 	if s.cache != nil {
-		s.handleAnalyzeCached(w, r)
+		s.handleAnalyzeCached(w, r, &line)
 		return
 	}
+	line.Cache = "off"
+
+	// The request's span timeline: one processor slot in the self-trace,
+	// opened with the admission phase.
+	sc := s.cfg.Recorder.Begin()
+	defer sc.End()
+	sc.Phase("admission")
 
 	// Admission: if running+queue are both full, shed now — a client retry
 	// later beats a goroutine pileup here.
@@ -270,7 +398,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.slots }()
 	default:
 		w.Header().Set("Retry-After", s.retryAfter())
-		writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+		line.Status = http.StatusTooManyRequests
+		writeError(w, line.Status, "server at capacity, retry later")
 		cShed.Add(1)
 		return
 	}
@@ -283,17 +412,23 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer stop()
 
 	// Queued: wait for a running slot, bounded by the request deadline.
+	// The wait exports as an advance/await pair on the "queue" resource.
+	qw := sc.Wait("queue")
 	select {
 	case s.running <- struct{}{}:
+		qw.End()
 		defer func() { <-s.running }()
 	case <-ctx.Done():
+		qw.End()
 		w.Header().Set("Retry-After", s.retryAfter())
-		writeError(w, http.StatusServiceUnavailable, "timed out waiting for an analysis slot")
+		line.Status = http.StatusServiceUnavailable
+		writeError(w, line.Status, "timed out waiting for an analysis slot")
 		cShed.Add(1)
 		return
 	}
 
-	status, body := s.analyze(ctx, w, r)
+	status, body := s.analyze(ctx, w, r, sc)
+	line.Status = status
 	if status != http.StatusOK {
 		writeError(w, status, body.(string))
 		return
@@ -304,7 +439,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // analyze runs one admitted request and returns the status plus either a
 // *Response (200) or an error message (anything else). Panics from the
 // analysis stack are confined here.
-func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Request) (status int, body any) {
+func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Request, sc *obs.Scope) (status int, body any) {
 	defer func() {
 		if p := recover(); p != nil {
 			cPanics.Add(1)
@@ -318,6 +453,7 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 		return http.StatusBadRequest, err.Error()
 	}
 
+	sc.Phase("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	tr, err := s.readTrace(ctx, r)
 	if err != nil {
@@ -335,6 +471,7 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 		}
 	}
 
+	sc.Phase("analyze")
 	analyzeFn := core.AnalyzeContext
 	if s.hookAnalyze != nil {
 		analyzeFn = s.hookAnalyze
@@ -352,6 +489,7 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 			return http.StatusUnprocessableEntity, fmt.Sprintf("analysis failed: %v", err)
 		}
 	}
+	sc.Phase("encode")
 	resp, err := BuildResponse(approx)
 	if err != nil {
 		return http.StatusInternalServerError, err.Error()
@@ -373,7 +511,7 @@ var (
 // Admission control guards only actual analyses — the flight leader
 // acquires the running-cap/queue slots; hits and coalesced followers
 // never touch them.
-func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request, line *requestLogLine) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
@@ -382,7 +520,12 @@ func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(s.forceCtx, cancelReq)
 	defer stop()
 
-	status, body := s.analyzeCached(ctx, w, r)
+	sc := s.cfg.Recorder.Begin()
+	defer sc.End()
+	sc.Phase("admission")
+
+	status, body := s.analyzeCached(ctx, w, r, sc, line)
+	line.Status = status
 	if status != http.StatusOK {
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", s.retryAfter())
@@ -396,7 +539,7 @@ func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request) {
 // analyzeCached runs one request against the cache and returns the status
 // plus either a *Response (200) or an error message. Decode errors are
 // confined here; analysis panics are confined inside the flight.
-func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *http.Request) (status int, body any) {
+func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *http.Request, sc *obs.Scope, line *requestLogLine) (status int, body any) {
 	defer func() {
 		if p := recover(); p != nil {
 			cPanics.Add(1)
@@ -410,6 +553,7 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		return http.StatusBadRequest, err.Error()
 	}
 
+	sc.Phase("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
@@ -431,12 +575,15 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 	// the decode — one hash of the body resolves the content address, and
 	// a resident result for this (trace, calibration, options) key is
 	// served straight from the LRU.
+	sc.Phase("lookup")
 	wireSum := sha256.Sum256(raw)
 	wire := hex.EncodeToString(wireSum[:])
 	var key, inputSHA string
 	if resolved, ok := s.cache.Alias(wire); ok {
 		key, inputSHA = cache.KeyFromTraceSHA(resolved, cal, opts), resolved
 		if v, hit := s.cache.Get(key); hit {
+			sc.Phase("encode")
+			line.Cache = "hit"
 			cp := *v.(*Response)
 			hitTrue := true
 			cp.Cached = &hitTrue
@@ -445,6 +592,7 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		}
 	}
 
+	sc.Phase("decode")
 	tr, err := decodeTrace(ctx, raw)
 	if err != nil {
 		switch {
@@ -456,6 +604,7 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
 		}
 	}
+	sc.Phase("lookup")
 	if key == "" {
 		key, inputSHA, err = cache.Key(tr, cal, opts)
 		if err != nil {
@@ -464,7 +613,16 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		s.cache.PutAlias(wire, inputSHA)
 	}
 
+	// The singleflight wait exports as an advance/await pair on the
+	// "flight" resource: the leader's analysis runs on a flight
+	// goroutine with its own processor timeline (admission, queue wait,
+	// analyze), while this request — leader and followers alike — waits
+	// for the flight's advance.
+	fw := sc.Wait("flight")
 	v, cached, err := s.cache.Do(ctx, key, responseSize, func(fctx context.Context) (any, error) {
+		fsc := s.cfg.Recorder.Begin()
+		defer fsc.End()
+		fsc.Phase("admission")
 		// Admission, held only by the flight leader. The flight context
 		// stays live while any coalesced request is still waiting, so a
 		// queued analysis with surviving followers keeps its place even
@@ -475,16 +633,21 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		default:
 			return nil, errAtCapacity
 		}
+		qw := fsc.Wait("queue")
 		select {
 		case s.running <- struct{}{}:
+			qw.End()
 			defer func() { <-s.running }()
 		case <-fctx.Done():
+			qw.End()
 			return nil, cancel.Err(fctx)
 		}
+		fsc.Phase("analyze")
 		approx, err := s.safeAnalyze(fctx, tr, cal, opts)
 		if err != nil {
 			return nil, err
 		}
+		fsc.Phase("encode")
 		resp, err := BuildResponse(approx)
 		if err != nil {
 			return nil, err
@@ -492,8 +655,15 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		resp.InputSHA256 = inputSHA
 		return resp, nil
 	})
+	fw.End()
 	switch {
 	case err == nil:
+		sc.Phase("encode")
+		if cached {
+			line.Cache = "coalesced"
+		} else {
+			line.Cache = "miss"
+		}
 		// Shallow copy so the per-request Cached flag never mutates the
 		// shared resident value.
 		cp := *v.(*Response)

@@ -1,0 +1,37 @@
+// Command promcheck validates a Prometheus text-exposition payload read
+// from stdin (or from a file argument) against internal/promfmt. CI's
+// metrics-smoke job pipes perturbd's /metrics through it.
+//
+//	curl -s localhost:7077/metrics | go run ./internal/tools/promcheck
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"perturb/internal/promfmt"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	switch len(os.Args) {
+	case 1:
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promcheck [file]")
+		os.Exit(2)
+	}
+	if err := promfmt.Check(in); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}
