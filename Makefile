@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke metrics-smoke selfperturb selftrace api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke metrics-smoke stream-smoke selfperturb selftrace api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -66,6 +66,15 @@ service-smoke:
 cache-smoke:
 	$(GO) build -o /tmp/perturbd ./cmd/perturbd
 	sh scripts/cache_smoke.sh /tmp/perturbd
+
+# Streaming endpoint check against a live daemon: a chunked upload to
+# /v1/analyze/stream must yield NDJSON window lines plus a final record
+# matching the batch /v1/analyze response exactly, and the deprecated
+# /analyze alias must answer byte-identically with a Deprecation header
+# (scripts/stream_smoke.sh, also CI's stream-smoke job).
+stream-smoke:
+	$(GO) build -o /tmp/perturbd ./cmd/perturbd
+	sh scripts/stream_smoke.sh /tmp/perturbd
 
 # Cache hit/miss cost over HTTP plus the hedged fleet round-trip — the
 # numbers EXPERIMENTS.md's "Result cache" section quotes.

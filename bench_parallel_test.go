@@ -1,7 +1,10 @@
 package perturb_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -130,4 +133,76 @@ func BenchmarkEventBasedMillionEquivalence(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkStreamMillion compares whole-trace batch analysis against the
+// streaming session on the million-event workload, both fed from the
+// same encoded bytes — the numbers EXPERIMENTS.md's "Streaming
+// incremental analysis" section quotes. The liveMB metric is the heap
+// retained right before the final result is computed: batch holds the
+// fully decoded trace (and retains the approximated one), while the
+// low-memory stream holds only per-processor frontier state, so its
+// footprint is independent of trace length.
+func BenchmarkStreamMillion(b *testing.B) {
+	tr, cal := bigBench(b)
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	liveMB := func() float64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc) / (1 << 20)
+	}
+	ctx := context.Background()
+
+	b.Run("batch=decode+analyze", func(b *testing.B) {
+		base := liveMB()
+		var retained float64
+		for i := 0; i < b.N; i++ {
+			r, err := perturb.NewTraceReader(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec, err := perturb.ReadTrace(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				retained = liveMB() - base
+			}
+			if _, err := perturb.Analyze(dec, cal, perturb.AnalyzeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(retained, "liveMB")
+	})
+	b.Run("stream=lowmem", func(b *testing.B) {
+		base := liveMB()
+		var retained float64
+		for i := 0; i < b.N; i++ {
+			r, err := perturb.NewTraceReader(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sa, err := perturb.NewStreamAnalyzer(cal, perturb.StreamOptions{
+				Procs: r.Procs(), LowMemory: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sa.FeedReader(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				retained = liveMB() - base
+			}
+			if _, err := sa.Close(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(retained, "liveMB")
+	})
 }

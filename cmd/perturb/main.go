@@ -22,6 +22,15 @@
 //	-load FILE     skip simulation, analyze the trace in FILE
 //	               (text, binary or columnar, auto-detected, decoded as
 //	               a stream)
+//	-follow FILE   stream-analyze FILE as it grows (tail -f for traces):
+//	               windows print as the producer writes events, and the
+//	               session closes with the batch-identical summary once
+//	               the file has been idle for -follow-idle
+//	-window D      streaming window length on the measured-time axis,
+//	               e.g. 100us (0 = one cumulative window at the end)
+//	-slide D       streaming window spacing (0 = tumbling windows)
+//	-follow-idle D end the followed stream after this long without new
+//	               data (default 2s)
 //	-slice SPEC    analyze only the causally sufficient slice for SPEC,
 //	               e.g. 'procs=3 kinds=awaitE window=1000:2500'
 //	               (constraints: procs=, stmts=, kinds=, window=from:to);
@@ -85,6 +94,12 @@ type options struct {
 	saveFile  string
 	loadFile  string
 	sliceSpec string
+
+	followFile string
+	window     time.Duration
+	slide      time.Duration
+	followIdle time.Duration
+
 	waiting   bool
 	timeline  bool
 	critpath  bool
@@ -116,6 +131,10 @@ func main() {
 	flag.StringVar(&o.saveFile, "save", "", "write the measured trace (text) to this file")
 	flag.StringVar(&o.loadFile, "load", "", "analyze a previously saved trace instead of simulating")
 	flag.StringVar(&o.sliceSpec, "slice", "", "analyze only the causally sufficient slice for this query (e.g. 'procs=3 window=1000:2500')")
+	flag.StringVar(&o.followFile, "follow", "", "stream-analyze this trace file as it grows (tail -f for traces)")
+	flag.DurationVar(&o.window, "window", 0, "streaming window length in measured time, e.g. 100us (0 = one cumulative window)")
+	flag.DurationVar(&o.slide, "slide", 0, "streaming window spacing (0 = tumbling windows)")
+	flag.DurationVar(&o.followIdle, "follow-idle", 2*time.Second, "end a followed stream after this long without new data")
 	flag.BoolVar(&o.waiting, "waiting", false, "print per-processor waiting statistics")
 	flag.BoolVar(&o.timeline, "timeline", false, "print the busy/waiting timeline")
 	flag.BoolVar(&o.critpath, "critpath", false, "print the critical path summary")
@@ -184,6 +203,36 @@ func validateOptions(o options, args []string) error {
 			return fmt.Errorf("-slice needs a structurally valid trace and cannot follow -inject")
 		}
 	}
+	if o.window < 0 || o.slide < 0 {
+		return fmt.Errorf("-window and -slide must not be negative")
+	}
+	if o.followFile == "" && (o.window != 0 || o.slide != 0) {
+		return fmt.Errorf("-window and -slide only apply to a -follow stream")
+	}
+	if o.followFile != "" {
+		if o.followIdle <= 0 {
+			return fmt.Errorf("-follow-idle must be positive, got %v", o.followIdle)
+		}
+		switch a := strings.ToLower(o.analysis); a {
+		case "event", "time":
+		default:
+			return fmt.Errorf("-follow cannot run the %s analysis incrementally (use event or time)", a)
+		}
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{o.loadFile != "", "-load"}, {o.saveFile != "", "-save"},
+			{o.sliceSpec != "", "-slice"}, {o.inject > 0, "-inject"},
+			{o.remote != "", "-remote"}, {o.waiting, "-waiting"},
+			{o.timeline, "-timeline"}, {o.critpath, "-critpath"},
+			{o.profile, "-profile"}, {o.svgFile != "", "-svg"},
+		} {
+			if bad.set {
+				return fmt.Errorf("%s cannot be combined with -follow (the stream reports windows and a summary)", bad.flag)
+			}
+		}
+	}
 	if o.hedge && len(remoteEndpoints(o.remote)) < 2 {
 		return fmt.Errorf("-hedge needs a multi-endpoint -remote (comma-separated base URLs)")
 	}
@@ -230,6 +279,13 @@ func study(w io.Writer, o options) error {
 		perturb.ResetObservability()
 		perturb.EnableObservability(true)
 		defer perturb.EnableObservability(false)
+	}
+
+	if o.followFile != "" {
+		if err := followStudy(w, o); err != nil {
+			return err
+		}
+		return studyStats(o)
 	}
 
 	cfg := perturb.Alliant()
@@ -295,20 +351,23 @@ func study(w io.Writer, o options) error {
 		return err
 	}
 
-	if o.stats {
-		statsW := o.statsW
-		if statsW == nil {
-			statsW = os.Stderr
-		}
-		snap := perturb.ObservabilitySnapshot()
-		if err := snap.WriteText(statsW); err != nil {
-			return err
-		}
-		if err := json.NewEncoder(statsW).Encode(snap); err != nil {
-			return err
-		}
+	return studyStats(o)
+}
+
+// studyStats emits the -stats telemetry snapshot after a pipeline run.
+func studyStats(o options) error {
+	if !o.stats {
+		return nil
 	}
-	return nil
+	statsW := o.statsW
+	if statsW == nil {
+		statsW = os.Stderr
+	}
+	snap := perturb.ObservabilitySnapshot()
+	if err := snap.WriteText(statsW); err != nil {
+		return err
+	}
+	return json.NewEncoder(statsW).Encode(snap)
 }
 
 // loadPhase produces the measured trace, either by simulating the kernel

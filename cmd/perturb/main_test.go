@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -196,6 +197,12 @@ func TestValidateOptions(t *testing.T) {
 		{"negative probe", func(o *options) { o.probe = -time.Microsecond }, nil},
 		{"load with save", func(o *options) { o.loadFile = "a"; o.saveFile = "b" }, nil},
 		{"hedge without fleet", func(o *options) { o.remote = "http://a:7077"; o.hedge = true }, nil},
+		{"window without follow", func(o *options) { o.window = time.Millisecond }, nil},
+		{"negative slide", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.slide = -1 }, nil},
+		{"follow with load", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.loadFile = "b" }, nil},
+		{"follow with remote", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.remote = "http://a:7077" }, nil},
+		{"follow liberal", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.analysis = "liberal" }, nil},
+		{"follow zero idle", func(o *options) { o.followFile = "a" }, nil},
 		{"non-http fleet endpoint", func(o *options) { o.remote = "http://a:7077,b:7077" }, nil},
 	}
 	for _, tc := range cases {
@@ -292,5 +299,86 @@ func TestStudySVGExport(t *testing.T) {
 	}
 	if !strings.HasPrefix(string(data), "<svg") {
 		t.Errorf("not an SVG: %q", data[:20])
+	}
+}
+
+// TestStudyFollow streams a growing trace file through the -follow
+// pipeline: a writer goroutine appends the saved trace in small chunks
+// while the tail reader analyzes it, and the run must report windows plus
+// the batch-identical summary once the file goes idle.
+func TestStudyFollow(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "trace.txt")
+	o := defaults()
+	o.saveFile = src
+	o.quiet = true
+	if err := study(&bytes.Buffer{}, o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := perturb.ReadTraceText(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := perturb.Analyze(tr, perturb.ExactCalibration(perturb.PaperOverheads(), perturb.Alliant()), perturb.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grow := filepath.Join(dir, "grow.txt")
+	gf, err := os.Create(grow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer gf.Close()
+		for len(data) > 0 {
+			n := 2048
+			if n > len(data) {
+				n = len(data)
+			}
+			if _, err := gf.Write(data[:n]); err != nil {
+				done <- err
+				return
+			}
+			data = data[n:]
+			time.Sleep(5 * time.Millisecond)
+		}
+		done <- nil
+	}()
+
+	fo := defaults()
+	fo.followFile = grow
+	fo.followIdle = time.Second
+	fo.window = time.Duration(tr.End()) / 5 * time.Nanosecond
+	var buf bytes.Buffer
+	if err := study(&buf, fo); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "window 0 [") {
+		t.Errorf("no windows reported:\n%s", out)
+	}
+	want := fmt.Sprintf("events %d  measured %v  approximated %v",
+		tr.Len(),
+		time.Duration(tr.End())*time.Nanosecond,
+		time.Duration(batch.Duration)*time.Nanosecond)
+	if !strings.Contains(out, want) {
+		t.Errorf("summary %q missing from:\n%s", want, out)
+	}
+	if !strings.Contains(out, "waits kept") {
+		t.Error("diagnostics missing")
 	}
 }

@@ -6,9 +6,13 @@
 //	         [-drain-timeout D] [-max-body N] [-cache-bytes N] [-debug-addr A]
 //	         [-selftrace FILE] [-request-log FILE] [-version]
 //
-// POST a trace (either codec, auto-detected) to /analyze and the response
+// POST a trace (any codec, auto-detected) to /v1/analyze and the response
 // is the approximation as JSON; query parameters select the analysis (see
-// the README's "Running as a service"). /healthz reports liveness,
+// the README's "Running as a service" and docs/http-api.md). POST to
+// /v1/analyze/stream and windowed results stream back as NDJSON while the
+// upload is still in flight, closing with the batch-identical summary.
+// The unversioned /analyze path is a deprecated alias for /v1/analyze and
+// answers with a Deprecation header. /healthz reports liveness,
 // /readyz readiness. -debug-addr serves expvar and pprof on a second
 // listener, including the server.* admission counters and the cache.*
 // hit/miss/eviction counters.
@@ -195,7 +199,7 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	log.Printf("serving analysis on http://%s/analyze", ln.Addr())
+	log.Printf("serving analysis on http://%s/v1/analyze (streaming at /v1/analyze/stream)", ln.Addr())
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()

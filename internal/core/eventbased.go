@@ -2,9 +2,7 @@ package core
 
 import (
 	"context"
-	"fmt"
 
-	"perturb/internal/cancel"
 	"perturb/internal/instr"
 	"perturb/internal/trace"
 )
@@ -43,9 +41,14 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 	return eventBased(context.Background(), m, cal, false)
 }
 
-// eventBased is the sequential worklist engine. With degraded set, the
-// analysis tolerates sanitized-but-incomplete traces instead of insisting
-// on exact reconstruction:
+// eventBased is the sequential worklist analysis: a feed-everything-
+// then-close run of the incremental engine (stream.go), where the
+// resolution rules live, shared with the streaming sessions. Sealing is
+// off — with the whole trace fed before close, absence decisions are
+// never needed early.
+//
+// With degraded set, the analysis tolerates sanitized-but-incomplete
+// traces instead of insisting on exact reconstruction:
 //
 //   - an awaitE whose paired advance is missing from the whole trace (and
 //     whose iteration is non-negative, so it is not a pre-advanced
@@ -60,214 +63,17 @@ func EventBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
 // Both degradations are tallied per processor in the returned
 // Approximation's Confidence.
 //
-// The fixpoint loop polls ctx between passes and every cancel.CheckEvery
-// resolved events within a pass, abandoning the run with the mapped
-// cancellation sentinel.
+// The engine polls ctx every cancel.CheckEvery resolved events,
+// abandoning the run with the mapped cancellation sentinel.
 func eventBased(ctx context.Context, m *trace.Trace, cal instr.Calibration, degraded bool) (*Approximation, error) {
-	r, err := newResolver(m, cal)
-	if err != nil {
+	g := newIncEngine(m.Procs, cal, engineOptions{
+		mode:       ModeEventBased,
+		degraded:   degraded,
+		retain:     true,
+		fixedProcs: true,
+	})
+	if err := g.feed(ctx, m.Events); err != nil {
 		return nil, err
 	}
-	var conf []ProcConfidence
-	if degraded {
-		conf = make([]ProcConfidence, m.Procs)
-		for p := range conf {
-			conf[p].Proc = p
-			conf[p].Events = len(r.perProc[p])
-		}
-	}
-
-	advIdx := m.PairIndex() // pairing key -> advance event index
-	// Barrier participants: (var, iter) -> arrive event indices.
-	arrives := make(map[trace.PairKey][]int)
-	// Lock serialization: for each lock-acq event index, the event index
-	// of the previous holder's lock-rel (-1 for the first acquisition).
-	prevRel := make(map[int]int)
-	lastRel := make(map[int]int) // lock id -> latest lock-rel event index
-	for i, e := range m.Events {
-		switch e.Kind {
-		case trace.KindBarrierArrive:
-			arrives[e.Pair()] = append(arrives[e.Pair()], i)
-		case trace.KindLockAcq:
-			if ri, ok := lastRel[e.Var]; ok {
-				prevRel[i] = ri
-			} else {
-				prevRel[i] = -1
-			}
-		case trace.KindLockRel:
-			lastRel[e.Var] = i
-		}
-	}
-
-	stats := struct{ kept, removed, introduced int }{}
-
-	resolveSync := func(idx int, taBase, tmBase trace.Time) bool {
-		e := m.Events[idx]
-		switch e.Kind {
-		case trace.KindAwaitE:
-			taAwaitB := taBase // predecessor of awaitE is its awaitB
-			advPos, paired := advIdx[e.Pair()]
-			if paired && !r.done[advPos] {
-				return false // blocked on the advance
-			}
-			var taA trace.Time
-			if paired {
-				taA = r.ta[advPos]
-			}
-			// Classify against the measured behaviour (Figure 2): the
-			// await waited in the measurement iff its measured gap
-			// exceeds the no-wait processing plus probe cost.
-			measuredGap := e.Time - tmBase
-			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
-			if !paired && degraded && e.Iter >= 0 {
-				// Conservative placeholder: the advance was dropped.
-				wait := placeholderWait(cal, taAwaitB, tmBase, e.Time)
-				r.ta[idx] = taAwaitB + wait
-				r.done[idx] = true
-				conf[e.Proc].Placeholders++
-				waitedApprox := wait > cal.SNoWait
-				if waitedMeasured && waitedApprox {
-					stats.kept++
-				} else if waitedMeasured {
-					stats.removed++
-				} else if waitedApprox {
-					stats.introduced++
-				}
-				return true
-			}
-			if paired && taA > taAwaitB {
-				r.ta[idx] = taA + cal.SWait
-				stats.kept++
-			} else {
-				r.ta[idx] = taAwaitB + cal.SNoWait
-			}
-			r.done[idx] = true
-			waitedApprox := paired && taA > taAwaitB
-			if waitedMeasured && !waitedApprox {
-				stats.removed++
-			} else if !waitedMeasured && waitedApprox {
-				stats.introduced++
-			}
-			return true
-
-		case trace.KindLockAcq:
-			taReq := taBase // predecessor of lock-acq is its lock-req
-			ri := prevRel[idx]
-			if ri >= 0 && !r.done[ri] {
-				return false // blocked on the previous holder's release
-			}
-			var taRel trace.Time
-			held := ri >= 0
-			if held {
-				taRel = r.ta[ri]
-			}
-			if held && taRel > taReq {
-				r.ta[idx] = taRel + cal.SWait
-				stats.kept++
-			} else {
-				r.ta[idx] = taReq + cal.SNoWait
-			}
-			r.done[idx] = true
-			measuredGap := e.Time - tmBase
-			waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.ForKind(e.Kind)+cal.SNoWait/2
-			waitedApprox := held && taRel > taReq
-			if waitedMeasured && !waitedApprox {
-				stats.removed++
-			} else if !waitedMeasured && waitedApprox {
-				stats.introduced++
-			}
-			return true
-
-		case trace.KindBarrierRelease:
-			parts := arrives[e.Pair()]
-			var latest trace.Time
-			for _, ai := range parts {
-				if !r.done[ai] {
-					return false
-				}
-				if r.ta[ai] > latest {
-					latest = r.ta[ai]
-				}
-			}
-			r.ta[idx] = latest + cal.Barrier
-			r.done[idx] = true
-			return true
-
-		default:
-			r.resolveDefault(idx, taBase, tmBase)
-			return true
-		}
-	}
-
-	pos := make([]int, m.Procs) // next unresolved position per processor
-	remaining := m.Len()
-	sinceCheck := 0
-	for remaining > 0 {
-		if err := cancel.Err(ctx); err != nil {
-			return nil, err
-		}
-		progress := false
-		for p := 0; p < m.Procs; p++ {
-			for pos[p] < len(r.perProc[p]) {
-				idx := r.perProc[p][pos[p]]
-				taBase, tmBase, ok := r.basis(p, pos[p])
-				if !ok {
-					break
-				}
-				if !resolveSync(idx, taBase, tmBase) {
-					break
-				}
-				pos[p]++
-				remaining--
-				progress = true
-				if sinceCheck++; sinceCheck >= cancel.CheckEvery {
-					sinceCheck = 0
-					if err := cancel.Err(ctx); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
-		if !progress {
-			if !degraded {
-				return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
-					ErrUnresolvable, remaining)
-			}
-			// Stall-breaking: force-resolve the first blocked event in
-			// processor order with the execution-timing rule, so a
-			// dependency cycle degrades one event instead of failing the
-			// whole analysis. Deterministic: lowest processor id wins.
-			forced := false
-			for p := 0; p < m.Procs && !forced; p++ {
-				if pos[p] >= len(r.perProc[p]) {
-					continue
-				}
-				idx := r.perProc[p][pos[p]]
-				taBase, tmBase, ok := r.basis(p, pos[p])
-				if !ok {
-					// Basis itself unresolved (cross-processor fence in
-					// the cycle): anchor at the measured time.
-					taBase, tmBase = m.Events[idx].Time, m.Events[idx].Time
-				}
-				r.resolveDefault(idx, taBase, tmBase)
-				conf[p].Forced++
-				pos[p]++
-				remaining--
-				forced = true
-			}
-			if !forced {
-				return nil, fmt.Errorf("%w: %d events unresolved", ErrUnresolvable, remaining)
-			}
-		}
-	}
-
-	a := r.finish()
-	a.WaitsKept = stats.kept
-	a.WaitsRemoved = stats.removed
-	a.WaitsIntroduced = stats.introduced
-	if degraded {
-		scoreConfidence(conf)
-		a.Confidence = conf
-	}
-	return a, nil
+	return g.close(ctx)
 }

@@ -1,0 +1,1219 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"perturb/internal/cancel"
+	"perturb/internal/instr"
+	"perturb/internal/trace"
+)
+
+// This file implements the incremental analysis engine: the constructive
+// resolution of eventbased.go restructured to ingest events in arrival
+// order and resolve them as their dependencies become available, instead
+// of requiring the whole trace up front. The batch entry points
+// (EventBased, TimeBased) are thin wrappers — feed every event, then
+// close — so there is one engine, not two, and the golden tests that pin
+// the batch outputs cover the incremental machinery byte for byte.
+//
+// Correctness rests on three properties of the constructive resolution:
+//
+//   - Confluence: every event's approximated time is a pure function of
+//     its dependencies' approximated times (same-processor basis, fork
+//     fence, paired advance, previous lock holder, barrier participants),
+//     so the order in which resolvable events are resolved never changes
+//     a value. Resolving eagerly as events arrive therefore yields the
+//     same times the batch fixpoint computes.
+//
+//   - Arrival order is trace order: advance pairing (first occurrence
+//     wins), lock serialization (previous release in trace order) and
+//     fork fences (latest fence between two positions) are all defined
+//     over trace positions, which the engine assigns as events arrive.
+//
+//   - Watermark sealing: the only decisions that need whole-trace
+//     knowledge are absence decisions — an awaitE with no paired advance,
+//     a barrier whose participant set must be complete. While the feed is
+//     globally time-sorted, every event with measured time <= t has
+//     arrived once the watermark (largest measured time seen) exceeds t,
+//     so for causally ordered traces (a partner never completes after its
+//     dependent) absence is decidable mid-stream. The decisions are
+//     optimistic: if a contradicting partner does arrive later, the
+//     engine flags the run and re-resolves exactly at close from the
+//     retained events (or fails in low-memory mode, which retains
+//     nothing). Unsorted feeds simply defer absence decisions to close.
+//
+// Stall-breaking (degraded mode's forced resolution) runs only at close,
+// where the engine has exactly the batch fixpoint's knowledge: the set of
+// events still unresolved at a stall is the unique maximal-progress
+// fixpoint, so the forced-resolution sequence matches the batch engine's.
+
+// WindowResult is one window of streaming analysis output: the measured
+// time interval [Start, End) with the waiting and parallelism the
+// analysis resolved for the events inside it. Windows are emitted in
+// index order, non-empty only, as soon as every event that can fall in
+// the window has been fed and resolved.
+//
+// An Index can appear more than once in a session's output: when a feed
+// turns out-of-order after a sorted prefix, events can land in a window
+// that the watermark evidence had already released, and close re-emits
+// that window with its complete corrected content. For a given Index the
+// latest emission supersedes earlier ones; for globally time-sorted feeds
+// every Index is emitted exactly once.
+type WindowResult struct {
+	// Index is the window's position on the measured time axis: window k
+	// covers [k*Slide, k*Slide+Window).
+	Index int `json:"index"`
+	// Start and End bound the window in measured time (nanoseconds).
+	// For an unwindowed session (Window <= 0) the single window spans
+	// [0, latest measured time].
+	Start trace.Time `json:"start"`
+	End   trace.Time `json:"end"`
+	// Events is the number of events whose measured time falls in the
+	// window.
+	Events int `json:"events"`
+	// ActiveProcs is the number of processors with at least one event in
+	// the window — the instantaneous parallelism at window granularity.
+	ActiveProcs int `json:"active_procs"`
+	// Waiting is the total approximated waiting time attributed to
+	// synchronization events in the window: the part of each event's
+	// approximated gap from its basis that exceeds the operation's
+	// no-contention cost.
+	Waiting trace.Time `json:"waiting"`
+	// AvgParallelism is the average parallelism over the window's
+	// approximated span: per-processor busy time (approximated span minus
+	// waiting) summed, divided by the window's total approximated span.
+	AvgParallelism float64 `json:"avg_parallelism"`
+	// Confidence is 1 minus the window's impaired-event fraction
+	// (placeholder or forced resolutions); 1.0 for exact runs.
+	Confidence float64 `json:"confidence"`
+	// Procs breaks the window down per processor, ordered by processor id.
+	Procs []WindowProc `json:"procs"`
+}
+
+// WindowProc is one processor's share of a window.
+type WindowProc struct {
+	Proc   int `json:"proc"`
+	Events int `json:"events"`
+	// MeasuredStart/End and ApproxStart/End bound the processor's events
+	// in the window on the measured and approximated time axes — their
+	// divergence is the perturbation the analysis removed.
+	MeasuredStart trace.Time `json:"measured_start"`
+	MeasuredEnd   trace.Time `json:"measured_end"`
+	ApproxStart   trace.Time `json:"approx_start"`
+	ApproxEnd     trace.Time `json:"approx_end"`
+	// Waiting is the approximated waiting attributed to the processor's
+	// synchronization events in the window.
+	Waiting trace.Time `json:"waiting"`
+}
+
+// engineOptions configures the incremental engine.
+type engineOptions struct {
+	mode     Mode // ModeEventBased or ModeTimeBased
+	degraded bool // tolerate incomplete traces (placeholders, stall-breaking)
+	retain   bool // keep events for finish(); off = summary-only, low memory
+	seal     bool // allow optimistic watermark absence decisions mid-stream
+	// fixedProcs pins the processor count (events outside [0, procs) are
+	// rejected); false grows the processor set from the events.
+	fixedProcs bool
+}
+
+// advRec is the pairing record of the first advance seen for a PairKey.
+type advRec struct {
+	ta   trace.Time
+	done bool
+}
+
+// relRec is the resolution record of a lock-rel event, referenced by the
+// following acquisition of the same lock.
+type relRec struct {
+	ta   trace.Time
+	done bool
+}
+
+// barRec accumulates one barrier's participant state.
+type barRec struct {
+	fed      int        // arrive events fed so far
+	resolved int        // arrive events resolved so far
+	maxTA    trace.Time // max approximated arrival over resolved participants
+	sealed   bool       // a release resolved mid-stream against this set
+}
+
+// fenceRec is a fork fence (loop-begin event) in arrival order.
+type fenceRec struct {
+	seq  int
+	proc int
+	tm   trace.Time
+	ta   trace.Time
+	done bool
+}
+
+// pend is one unresolved event waiting in its processor's queue.
+type pend struct {
+	seq     int
+	ev      trace.Event
+	prevRel int     // KindLockAcq: seq of the previous holder's lock-rel, -1 if first
+	adv     *advRec // KindAdvance: pairing record to fill on resolution (nil for duplicates)
+	bar     *barRec // KindBarrierArrive: barrier to fold into on resolution
+	fence   int     // KindLoopBegin: index into fences
+}
+
+// procState is one processor's frontier: the resolved prefix is
+// summarized by (prevSeq, taPrev, tmPrev); the unresolved suffix waits in
+// queue[qhead:].
+type procState struct {
+	queue   []pend
+	qhead   int
+	prevSeq int
+	taPrev  trace.Time
+	tmPrev  trace.Time
+	events  int // events fed (Confidence denominator)
+}
+
+// resolveNote carries one event's resolution to the window accumulator.
+type resolveNote struct {
+	ev         trace.Event
+	ta         trace.Time
+	waiting    trace.Time
+	kept       int
+	removed    int
+	introduced int
+	impaired   bool
+}
+
+// winAcc accumulates one window's statistics as its events resolve.
+type winAcc struct {
+	events   int
+	impaired int
+	waiting  trace.Time
+	procs    map[int]*winProcAcc
+}
+
+type winProcAcc struct {
+	events       int
+	minTM, maxTM trace.Time
+	minTA, maxTA trace.Time
+	waiting      trace.Time
+}
+
+// engine is the incremental resolution engine. It is not safe for
+// concurrent use; the facade's StreamAnalyzer adds the locking.
+type engine struct {
+	cal  instr.Calibration
+	opts engineOptions
+
+	ps        []procState
+	fences    []fenceRec
+	advances  map[trace.PairKey]*advRec
+	rels      map[int]*relRec
+	lastRel   map[int]int // lock var -> seq of latest lock-rel fed
+	barriers  map[trace.PairKey]*barRec
+	validator *trace.EventValidator
+
+	// sealedAwaits records PairKeys whose awaitE resolved mid-stream on
+	// the absent-partner path; a later advance for one of these is the
+	// contradiction that forces a redo.
+	sealedAwaits map[trace.PairKey]bool
+	// sealedBarriers records pairs whose release resolved mid-stream
+	// before any participant was fed.
+	sealedBarriers map[trace.PairKey]bool
+
+	n         int // events fed
+	remaining int // events fed but not resolved
+	watermark trace.Time
+	sorted    bool
+	closed    bool
+	needRedo  bool
+
+	maxTA trace.Time
+
+	stats struct{ kept, removed, introduced int }
+	conf  []ProcConfidence // degraded-mode impairment tallies, indexed by proc
+
+	// Windowing. window <= 0 means a single unbounded window emitted at
+	// close; otherwise window k covers [k*slide, k*slide+window) in
+	// measured time.
+	window, slide trace.Time
+	winAccs       map[int]*winAcc
+	winPending    map[int]int // fed-but-unresolved events per window index
+	winMaxIdx     int         // largest window index any fed event touches
+	winNext       int         // next window index to consider for emission
+	winQ          []WindowResult
+	winAmended    map[int]bool         // emitted windows that later received events
+	drainedWin    map[int]WindowResult // last content handed out per index
+
+	// Retained input (opts.retain): events in arrival order with their
+	// resolution state, for finish() and for the exact redo pass.
+	all     []trace.Event
+	taAll   []trace.Time
+	doneAll []bool
+
+	sinceCheck int
+}
+
+func newIncEngine(procs int, cal instr.Calibration, opts engineOptions) *engine {
+	g := &engine{
+		cal:            cal,
+		opts:           opts,
+		advances:       make(map[trace.PairKey]*advRec),
+		rels:           make(map[int]*relRec),
+		lastRel:        make(map[int]int),
+		barriers:       make(map[trace.PairKey]*barRec),
+		sealedAwaits:   make(map[trace.PairKey]bool),
+		sealedBarriers: make(map[trace.PairKey]bool),
+		winAccs:        make(map[int]*winAcc),
+		winPending:     make(map[int]int),
+		winMaxIdx:      -1,
+		winAmended:     make(map[int]bool),
+		drainedWin:     make(map[int]WindowResult),
+		watermark:      math.MinInt64,
+		sorted:         true,
+	}
+	if opts.fixedProcs {
+		g.ps = make([]procState, procs)
+		for p := range g.ps {
+			g.ps[p].prevSeq = -1
+		}
+		g.validator = trace.NewEventValidator(procs)
+	} else {
+		g.validator = trace.NewEventValidator(0)
+	}
+	return g
+}
+
+// setWindows configures the window geometry. Must be called before the
+// first feed. slide <= 0 means tumbling (slide = window).
+func (g *engine) setWindows(window, slide trace.Time) {
+	if window > 0 && slide <= 0 {
+		slide = window
+	}
+	g.window, g.slide = window, slide
+}
+
+func (g *engine) procs() int { return len(g.ps) }
+
+// feed ingests events in arrival order, validating each, and resolves
+// everything their arrival makes resolvable. Each event is processed
+// individually so resolution decisions (and therefore emitted windows)
+// depend only on the event sequence, never on how the caller chunked it.
+func (g *engine) feed(ctx context.Context, events []trace.Event) error {
+	for _, e := range events {
+		if err := g.validator.Check(e); err != nil {
+			return fmt.Errorf("core: invalid input trace: %w", err)
+		}
+		seq := g.n
+		g.n++
+		g.remaining++
+		if g.opts.retain {
+			g.all = append(g.all, e)
+			g.taAll = append(g.taAll, 0)
+			g.doneAll = append(g.doneAll, false)
+		}
+		if seq > 0 && e.Time < g.watermark {
+			g.sorted = false
+		}
+		if e.Time > g.watermark {
+			g.watermark = e.Time
+		}
+		for e.Proc >= len(g.ps) {
+			g.ps = append(g.ps, procState{prevSeq: -1})
+		}
+		ps := &g.ps[e.Proc]
+		ps.events++
+
+		kmin, kmax := g.winRange(e.Time)
+		for k := kmin; k <= kmax; k++ {
+			g.winPending[k]++
+		}
+		if kmax > g.winMaxIdx {
+			g.winMaxIdx = kmax
+		}
+
+		pe := pend{seq: seq, ev: e, prevRel: -1, fence: -1}
+		switch e.Kind {
+		case trace.KindAdvance:
+			k := e.Pair()
+			if g.sealedAwaits[k] {
+				g.needRedo = true
+			}
+			if _, dup := g.advances[k]; !dup {
+				rec := &advRec{}
+				g.advances[k] = rec
+				pe.adv = rec
+			}
+		case trace.KindBarrierArrive:
+			k := e.Pair()
+			b := g.barriers[k]
+			if b == nil {
+				b = &barRec{}
+				g.barriers[k] = b
+			}
+			if b.sealed || g.sealedBarriers[k] {
+				g.needRedo = true
+			}
+			b.fed++
+			pe.bar = b
+		case trace.KindLockAcq:
+			if ri, ok := g.lastRel[e.Var]; ok {
+				pe.prevRel = ri
+			}
+		case trace.KindLockRel:
+			g.rels[seq] = &relRec{}
+			g.lastRel[e.Var] = seq
+		case trace.KindLoopBegin:
+			pe.fence = len(g.fences)
+			g.fences = append(g.fences, fenceRec{seq: seq, proc: e.Proc, tm: e.Time})
+		}
+		ps.queue = append(ps.queue, pe)
+
+		if err := g.pass(ctx); err != nil {
+			return err
+		}
+		g.emitWindows()
+	}
+	return nil
+}
+
+// winRange returns the inclusive window index range an event at measured
+// time tm falls into, or an empty range (kmin > kmax) when it falls in no
+// window (negative time, or a gap when slide > window).
+func (g *engine) winRange(tm trace.Time) (int, int) {
+	if g.window <= 0 {
+		return 0, 0 // single unbounded window
+	}
+	kmax := floorDiv(tm, g.slide)
+	kmin := floorDiv(tm-g.window, g.slide) + 1
+	if kmin < 0 {
+		kmin = 0
+	}
+	return int(kmin), int(kmax)
+}
+
+func floorDiv(a, b trace.Time) trace.Time {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// winEnd returns the exclusive measured-time end of window k.
+func (g *engine) winEnd(k int) trace.Time {
+	if g.window <= 0 {
+		return math.MaxInt64
+	}
+	return trace.Time(k)*g.slide + g.window
+}
+
+// fenceBetween returns the index (into g.fences) of the latest fork fence
+// with arrival position strictly between prevSeq and seq that lies on a
+// different processor than proc, or -1 — the incremental form of
+// resolver.fenceBetween.
+func (g *engine) fenceBetween(prevSeq, seq, proc int) int {
+	for k := len(g.fences) - 1; k >= 0; k-- {
+		f := &g.fences[k]
+		if f.seq >= seq {
+			continue
+		}
+		if f.seq <= prevSeq {
+			return -1
+		}
+		if f.proc != proc {
+			return k
+		}
+	}
+	return -1
+}
+
+// basis returns the time basis for processor p's queue head: the fork
+// fence between it and its predecessor if one applies, the predecessor's
+// frontier otherwise, the origin for a processor's first event.
+func (g *engine) basis(p int) (ta, tm trace.Time, ok bool) {
+	ps := &g.ps[p]
+	head := &ps.queue[ps.qhead]
+	if fi := g.fenceBetween(ps.prevSeq, head.seq, p); fi >= 0 {
+		f := &g.fences[fi]
+		if !f.done {
+			return 0, 0, false
+		}
+		return f.ta, f.tm, true
+	}
+	if ps.prevSeq >= 0 {
+		return ps.taPrev, ps.tmPrev, true
+	}
+	return 0, 0, true
+}
+
+// absenceKnown reports whether the engine may decide that no partner for
+// a synchronization event at measured time t will ever arrive: certainly
+// at close, optimistically once a sorted feed's watermark has passed t
+// (strictly, so timestamp ties are safe).
+func (g *engine) absenceKnown(t trace.Time) bool {
+	if g.closed {
+		return true
+	}
+	return g.opts.seal && g.sorted && g.watermark > t
+}
+
+// overhead returns the calibrated probe cost for the event kind.
+func (g *engine) overhead(k trace.Kind) trace.Time {
+	return g.cal.Overheads.ForKind(k)
+}
+
+// resolveHead applies the resolution rules to processor p's queue head,
+// whose basis (taBase, tmBase) is available. It reports whether the event
+// resolved or is still blocked on a dependency.
+func (g *engine) resolveHead(p int, taBase, tmBase trace.Time) bool {
+	ps := &g.ps[p]
+	pe := &ps.queue[ps.qhead]
+	e := pe.ev
+	cal := g.cal
+	note := resolveNote{ev: e}
+
+	if g.opts.mode == ModeTimeBased {
+		g.resolveDefaultInc(pe, taBase, tmBase, &note)
+		g.commit(p, pe, note)
+		return true
+	}
+
+	switch e.Kind {
+	case trace.KindAwaitE:
+		taAwaitB := taBase // predecessor of awaitE is its awaitB
+		rec, paired := g.advances[e.Pair()]
+		if paired && !rec.done {
+			return false // blocked on the advance
+		}
+		if !paired && !g.absenceKnown(e.Time) {
+			return false // the advance may still arrive
+		}
+		if !paired && !g.closed {
+			g.sealedAwaits[e.Pair()] = true
+		}
+		var taA trace.Time
+		if paired {
+			taA = rec.ta
+		}
+		// Classify against the measured behaviour (Figure 2): the
+		// await waited in the measurement iff its measured gap
+		// exceeds the no-wait processing plus probe cost.
+		measuredGap := e.Time - tmBase
+		waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.AwaitE+cal.SNoWait/2
+		if !paired && g.opts.degraded && e.Iter >= 0 {
+			// Conservative placeholder: the advance was dropped.
+			wait := placeholderWait(cal, taAwaitB, tmBase, e.Time)
+			note.ta = taAwaitB + wait
+			note.impaired = true
+			g.confFor(e.Proc).Placeholders++
+			waitedApprox := wait > cal.SNoWait
+			if waitedMeasured && waitedApprox {
+				note.kept = 1
+			} else if waitedMeasured {
+				note.removed = 1
+			} else if waitedApprox {
+				note.introduced = 1
+			}
+			note.waiting = waitAbove(note.ta, taAwaitB, cal.SNoWait)
+			g.commit(p, pe, note)
+			return true
+		}
+		if paired && taA > taAwaitB {
+			note.ta = taA + cal.SWait
+			note.kept = 1
+		} else {
+			note.ta = taAwaitB + cal.SNoWait
+		}
+		waitedApprox := paired && taA > taAwaitB
+		if waitedMeasured && !waitedApprox {
+			note.removed = 1
+		} else if !waitedMeasured && waitedApprox {
+			note.introduced = 1
+		}
+		note.waiting = waitAbove(note.ta, taAwaitB, cal.SNoWait)
+		g.commit(p, pe, note)
+		return true
+
+	case trace.KindLockAcq:
+		taReq := taBase // predecessor of lock-acq is its lock-req
+		ri := pe.prevRel
+		var rr *relRec
+		if ri >= 0 {
+			rr = g.rels[ri]
+			if !rr.done {
+				return false // blocked on the previous holder's release
+			}
+		}
+		var taRel trace.Time
+		held := ri >= 0
+		if held {
+			taRel = rr.ta
+		}
+		if held && taRel > taReq {
+			note.ta = taRel + cal.SWait
+			note.kept = 1
+		} else {
+			note.ta = taReq + cal.SNoWait
+		}
+		measuredGap := e.Time - tmBase
+		waitedMeasured := measuredGap > cal.SNoWait+cal.Overheads.ForKind(e.Kind)+cal.SNoWait/2
+		waitedApprox := held && taRel > taReq
+		if waitedMeasured && !waitedApprox {
+			note.removed = 1
+		} else if !waitedMeasured && waitedApprox {
+			note.introduced = 1
+		}
+		note.waiting = waitAbove(note.ta, taReq, cal.SNoWait)
+		g.commit(p, pe, note)
+		return true
+
+	case trace.KindBarrierRelease:
+		b := g.barriers[e.Pair()]
+		if !g.absenceKnown(e.Time) {
+			return false // more participants may still arrive
+		}
+		if b != nil && b.resolved < b.fed {
+			return false // a fed participant is still unresolved
+		}
+		var latest trace.Time
+		if b != nil {
+			latest = b.maxTA
+		}
+		if !g.closed {
+			if b != nil {
+				b.sealed = true
+			} else {
+				g.sealedBarriers[e.Pair()] = true
+			}
+		}
+		note.ta = latest + cal.Barrier
+		note.waiting = waitAbove(note.ta, taBase, cal.Barrier)
+		g.commit(p, pe, note)
+		return true
+
+	default:
+		g.resolveDefaultInc(pe, taBase, tmBase, &note)
+		g.commit(p, pe, note)
+		return true
+	}
+}
+
+// waitAbove is the window accumulator's waiting attribution: the part of
+// the event's approximated gap from its basis that exceeds the
+// operation's no-contention cost.
+func waitAbove(ta, taBase, cost trace.Time) trace.Time {
+	w := ta - taBase - cost
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// resolveDefaultInc applies the execution-timing rule (resolveDefault's
+// incremental twin).
+func (g *engine) resolveDefaultInc(pe *pend, taBase, tmBase trace.Time, note *resolveNote) {
+	e := pe.ev
+	gap := e.Time - tmBase - g.overhead(e.Kind)
+	if gap < 0 {
+		// Calibration error can slightly exceed a short measured gap;
+		// clamp so approximated per-thread time stays monotonic.
+		gap = 0
+	}
+	note.ta = taBase + gap
+}
+
+// commit finalizes a resolution: records the approximated time, folds
+// sync bookkeeping, advances the processor frontier and accumulates the
+// event into its windows.
+func (g *engine) commit(p int, pe *pend, note resolveNote) {
+	e := pe.ev
+	ta := note.ta
+	ps := &g.ps[p]
+
+	if g.opts.retain {
+		g.taAll[pe.seq] = ta
+		g.doneAll[pe.seq] = true
+	}
+	switch e.Kind {
+	case trace.KindAdvance:
+		if pe.adv != nil {
+			pe.adv.ta = ta
+			pe.adv.done = true
+		}
+	case trace.KindLockRel:
+		rr := g.rels[pe.seq]
+		rr.ta = ta
+		rr.done = true
+	case trace.KindBarrierArrive:
+		pe.bar.resolved++
+		if ta > pe.bar.maxTA {
+			pe.bar.maxTA = ta
+		}
+	case trace.KindLoopBegin:
+		f := &g.fences[pe.fence]
+		f.ta = ta
+		f.done = true
+	}
+	g.stats.kept += note.kept
+	g.stats.removed += note.removed
+	g.stats.introduced += note.introduced
+	if ta > g.maxTA {
+		g.maxTA = ta
+	}
+
+	g.foldWindow(&note)
+
+	ps.prevSeq = pe.seq
+	ps.taPrev = ta
+	ps.tmPrev = e.Time
+	ps.qhead++
+	// Compact the queue once the resolved prefix dominates, keeping
+	// amortized O(1) pops without unbounded growth.
+	if ps.qhead > 32 && ps.qhead*2 >= len(ps.queue) {
+		n := copy(ps.queue, ps.queue[ps.qhead:])
+		ps.queue = ps.queue[:n]
+		ps.qhead = 0
+	}
+	g.remaining--
+}
+
+// foldWindow accumulates a resolved event into every window containing
+// its measured time.
+func (g *engine) foldWindow(note *resolveNote) {
+	e := note.ev
+	kmin, kmax := g.winRange(e.Time)
+	for k := kmin; k <= kmax; k++ {
+		g.winPending[k]--
+		if k < g.winNext {
+			g.winAmended[k] = true
+		}
+		acc := g.winAccs[k]
+		if acc == nil {
+			acc = &winAcc{procs: make(map[int]*winProcAcc)}
+			g.winAccs[k] = acc
+		}
+		acc.events++
+		acc.waiting += note.waiting
+		if note.impaired {
+			acc.impaired++
+		}
+		pa := acc.procs[e.Proc]
+		if pa == nil {
+			pa = &winProcAcc{
+				minTM: e.Time, maxTM: e.Time,
+				minTA: note.ta, maxTA: note.ta,
+			}
+			acc.procs[e.Proc] = pa
+		}
+		pa.events++
+		pa.waiting += note.waiting
+		if e.Time < pa.minTM {
+			pa.minTM = e.Time
+		}
+		if e.Time > pa.maxTM {
+			pa.maxTM = e.Time
+		}
+		if note.ta < pa.minTA {
+			pa.minTA = note.ta
+		}
+		if note.ta > pa.maxTA {
+			pa.maxTA = note.ta
+		}
+	}
+}
+
+// emitWindows moves every finished window, in index order, from the
+// accumulators to the output queue. A window is finished when no fed
+// event that can fall in it is unresolved and (mid-stream) the sorted
+// feed's watermark has passed its end, so no future event can fall in it
+// either. Empty windows are skipped, not emitted.
+//
+// The accumulators stay alive after emission: a feed that turns
+// out-of-order after a sorted prefix can deliver events into a window
+// that was already emitted on the watermark's evidence. Such late events
+// keep folding, the window is marked amended, and close re-emits its
+// corrected content (emitAmended).
+func (g *engine) emitWindows() {
+	for {
+		k := g.winNext
+		if k > g.winMaxIdx {
+			return
+		}
+		if g.winPending[k] > 0 {
+			return
+		}
+		if !g.closed && !(g.sorted && g.watermark >= g.winEnd(k)) {
+			return
+		}
+		if acc := g.winAccs[k]; acc != nil {
+			g.winQ = append(g.winQ, g.buildWindow(k, acc))
+		}
+		g.winNext++
+	}
+}
+
+// emitAmended re-emits, at close, every window that received events after
+// its emission — possible only when the feed violated global time order
+// after a sorted prefix. The re-emission carries the window's complete
+// corrected content; for a given Index, the latest emission supersedes
+// earlier ones.
+func (g *engine) emitAmended() {
+	if len(g.winAmended) == 0 {
+		return
+	}
+	ks := make([]int, 0, len(g.winAmended))
+	for k := range g.winAmended {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		if acc := g.winAccs[k]; acc != nil {
+			g.winQ = append(g.winQ, g.buildWindow(k, acc))
+		}
+	}
+	g.winAmended = make(map[int]bool)
+}
+
+// buildWindow assembles the WindowResult for window k from its
+// accumulator.
+func (g *engine) buildWindow(k int, acc *winAcc) WindowResult {
+	w := WindowResult{
+		Index:       k,
+		Start:       trace.Time(k) * g.slide,
+		End:         g.winEnd(k),
+		Events:      acc.events,
+		ActiveProcs: len(acc.procs),
+		Waiting:     acc.waiting,
+		Confidence:  1,
+	}
+	if g.window <= 0 {
+		w.Start = 0
+		w.End = 0
+		if g.watermark > 0 {
+			w.End = g.watermark
+		}
+	}
+	procIDs := make([]int, 0, len(acc.procs))
+	for p := range acc.procs {
+		procIDs = append(procIDs, p)
+	}
+	sort.Ints(procIDs)
+	var busy trace.Time
+	minTA, maxTA := trace.Time(math.MaxInt64), trace.Time(math.MinInt64)
+	for _, p := range procIDs {
+		pa := acc.procs[p]
+		w.Procs = append(w.Procs, WindowProc{
+			Proc:          p,
+			Events:        pa.events,
+			MeasuredStart: pa.minTM,
+			MeasuredEnd:   pa.maxTM,
+			ApproxStart:   pa.minTA,
+			ApproxEnd:     pa.maxTA,
+			Waiting:       pa.waiting,
+		})
+		b := pa.maxTA - pa.minTA - pa.waiting
+		if b > 0 {
+			busy += b
+		}
+		if pa.minTA < minTA {
+			minTA = pa.minTA
+		}
+		if pa.maxTA > maxTA {
+			maxTA = pa.maxTA
+		}
+	}
+	if span := maxTA - minTA; span > 0 {
+		w.AvgParallelism = float64(busy) / float64(span)
+	} else {
+		w.AvgParallelism = float64(len(procIDs))
+	}
+	if g.opts.degraded && acc.events > 0 {
+		c := 1 - float64(acc.impaired)/float64(acc.events)
+		if c < 0 {
+			c = 0
+		}
+		w.Confidence = c
+	}
+	return w
+}
+
+// drainWindows hands out the finished windows emitted since the last
+// drain, in index order.
+func (g *engine) drainWindows() []WindowResult {
+	if len(g.winQ) == 0 {
+		return nil
+	}
+	out := g.winQ
+	g.winQ = nil
+	for _, w := range out {
+		g.drainedWin[w.Index] = w
+	}
+	return out
+}
+
+// windowEqual reports whether two emissions carry identical content.
+func windowEqual(a, b WindowResult) bool {
+	if a.Index != b.Index || a.Start != b.Start || a.End != b.End ||
+		a.Events != b.Events || a.ActiveProcs != b.ActiveProcs ||
+		a.Waiting != b.Waiting || a.AvgParallelism != b.AvgParallelism ||
+		a.Confidence != b.Confidence || len(a.Procs) != len(b.Procs) {
+		return false
+	}
+	for i := range a.Procs {
+		if a.Procs[i] != b.Procs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// confFor returns the degraded-mode impairment record for proc,
+// allocating the table on first use.
+func (g *engine) confFor(proc int) *ProcConfidence {
+	for proc >= len(g.conf) {
+		g.conf = append(g.conf, ProcConfidence{Proc: len(g.conf)})
+	}
+	return &g.conf[proc]
+}
+
+// pass runs the worklist to a local fixpoint: repeated rounds over the
+// processors, resolving every queue head whose dependencies are
+// available, until a round makes no progress.
+func (g *engine) pass(ctx context.Context) error {
+	for {
+		progress := false
+		for p := range g.ps {
+			ps := &g.ps[p]
+			for ps.qhead < len(ps.queue) {
+				taBase, tmBase, ok := g.basis(p)
+				if !ok {
+					break
+				}
+				if !g.resolveHead(p, taBase, tmBase) {
+					break
+				}
+				progress = true
+				if g.sinceCheck++; g.sinceCheck >= cancel.CheckEvery {
+					g.sinceCheck = 0
+					if err := cancel.Err(ctx); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// close finishes the analysis: every event has arrived, so absence
+// decisions are final, stalls are broken (degraded mode) or reported, and
+// a contradiction-flagged run is re-resolved exactly from the retained
+// events.
+func (g *engine) close(ctx context.Context) (*Approximation, error) {
+	g.closed = true
+	if err := g.pass(ctx); err != nil {
+		return nil, err
+	}
+	for g.remaining > 0 {
+		if err := cancel.Err(ctx); err != nil {
+			return nil, err
+		}
+		if g.opts.mode == ModeTimeBased {
+			// Unreachable for validated input: the default rule's
+			// dependency graph strictly decreases arrival position.
+			return nil, ErrUnresolvable
+		}
+		if !g.opts.degraded {
+			return nil, fmt.Errorf("%w: %d events unresolved (missing advance pair or barrier participant?)",
+				ErrUnresolvable, g.remaining)
+		}
+		// Stall-breaking: force-resolve the first blocked event in
+		// processor order with the execution-timing rule, so a
+		// dependency cycle degrades one event instead of failing the
+		// whole analysis. Deterministic: lowest processor id wins.
+		forced := false
+		for p := 0; p < len(g.ps) && !forced; p++ {
+			ps := &g.ps[p]
+			if ps.qhead >= len(ps.queue) {
+				continue
+			}
+			pe := &ps.queue[ps.qhead]
+			taBase, tmBase, ok := g.basis(p)
+			if !ok {
+				// Basis itself unresolved (cross-processor fence in
+				// the cycle): anchor at the measured time.
+				taBase, tmBase = pe.ev.Time, pe.ev.Time
+			}
+			var note resolveNote
+			note.ev = pe.ev
+			g.resolveDefaultInc(pe, taBase, tmBase, &note)
+			note.impaired = true
+			g.confFor(p).Forced++
+			g.commit(p, pe, note)
+			forced = true
+		}
+		if !forced {
+			return nil, fmt.Errorf("%w: %d events unresolved", ErrUnresolvable, g.remaining)
+		}
+		if err := g.pass(ctx); err != nil {
+			return nil, err
+		}
+	}
+
+	if g.needRedo {
+		return g.redo(ctx)
+	}
+	g.emitWindows()
+	g.emitAmended()
+	return g.finish()
+}
+
+// redo re-resolves the retained events with sealing disabled: every
+// absence decision waits for close, where knowledge is complete, so the
+// result is exactly the batch fixpoint's. Reached only when a partner
+// event arrived after its absence had optimistically been decided —
+// possible only for feeds that violate causal order (a partner completing
+// after its dependent), which no measured execution produces. The window
+// queue is rebuilt from the exact run's emissions; any window already
+// drained with content the exact run confirms is not repeated, while a
+// corrected window is re-emitted and supersedes the drained one.
+func (g *engine) redo(ctx context.Context) (*Approximation, error) {
+	if !g.opts.retain {
+		return nil, fmt.Errorf("%w: synchronization partner arrived after its absence was decided; low-memory streaming cannot re-resolve (retain events or sort the feed)", ErrUnsupported)
+	}
+	opts := g.opts
+	opts.seal = false
+	g2 := newIncEngine(g.procs(), g.cal, opts)
+	if !opts.fixedProcs {
+		// Keep the discovered processor count.
+		for len(g2.ps) < len(g.ps) {
+			g2.ps = append(g2.ps, procState{prevSeq: -1})
+		}
+	}
+	g2.setWindows(g.window, g.slide)
+	if err := g2.feed(ctx, g.all); err != nil {
+		return nil, err
+	}
+	a, err := g2.close(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Adopt the exact run's state so callers observing the engine after
+	// close (windows, duration, confidence) see consistent values.
+	g.stats = g2.stats
+	g.conf = g2.conf
+	g.maxTA = g2.maxTA
+	g.taAll = g2.taAll
+	g.doneAll = g2.doneAll
+	g.winQ = g.winQ[:0]
+	for _, w := range g2.winQ {
+		if prev, ok := g.drainedWin[w.Index]; ok && windowEqual(prev, w) {
+			continue
+		}
+		g.winQ = append(g.winQ, w)
+	}
+	return a, nil
+}
+
+// finish assembles the Approximation. With retention it mirrors
+// resolver.finish (events re-timed, canonically sorted, Times aligned
+// with arrival order); without, it carries the summary only.
+func (g *engine) finish() (*Approximation, error) {
+	a := &Approximation{
+		WaitsKept:       g.stats.kept,
+		WaitsRemoved:    g.stats.removed,
+		WaitsIntroduced: g.stats.introduced,
+	}
+	if g.opts.degraded {
+		conf := make([]ProcConfidence, g.procs())
+		for p := range conf {
+			conf[p].Proc = p
+			conf[p].Events = g.ps[p].events
+		}
+		for p := range g.conf {
+			conf[p].Placeholders = g.conf[p].Placeholders
+			conf[p].Forced = g.conf[p].Forced
+		}
+		scoreConfidence(conf)
+		a.Confidence = conf
+	}
+	if !g.opts.retain {
+		a.Duration = g.maxTA
+		return a, nil
+	}
+	a.Trace = trace.NewWithCap(g.procs(), len(g.all))
+	a.Times = g.taAll
+	// No renormalization: the basis rule anchors each thread at the
+	// execution origin (time zero), so approximated times are already in
+	// actual-execution coordinates.
+	for i, e := range g.all {
+		e.Time = g.taAll[i]
+		a.Trace.Append(e)
+	}
+	a.Trace.Sort()
+	a.Duration = a.Trace.End()
+	return a, nil
+}
+
+// StreamOptions configures a streaming analysis session.
+type StreamOptions struct {
+	// Mode selects the analysis family: ModeEventBased (default) or
+	// ModeTimeBased. ModeLiberal re-derives the whole schedule from the
+	// loop's dependence structure and is inherently batch; NewStream
+	// rejects it.
+	Mode Mode
+
+	// Repair buffers the feed and sanitizes it with trace.Repair at
+	// Close, then analyzes in degraded mode — the streaming counterpart
+	// of Options.Repair. Windows are all emitted at Close, since repair
+	// needs the complete feed. Incompatible with LowMemory.
+	Repair bool
+
+	// LowMemory drops resolved events instead of retaining them: Close
+	// returns a summary-only Approximation (Duration, wait statistics,
+	// Confidence; nil Trace and Times), and memory stays proportional to
+	// the synchronization state in flight instead of the trace length.
+	LowMemory bool
+
+	// Procs fixes the processor count, like Trace.Procs. Zero discovers
+	// the processor set from the events.
+	Procs int
+
+	// Window and Slide define the measured-time windows (nanoseconds)
+	// over which intermediate results are emitted: window k covers
+	// [k*Slide, k*Slide+Window). Slide == 0 means tumbling windows
+	// (Slide = Window); Window == 0 disables intermediate windows — the
+	// session emits one unbounded window at Close.
+	Window trace.Time
+	Slide  trace.Time
+}
+
+// Stream is an incremental analysis session: feed measured events in
+// arrival order, collect finished windows as they resolve, close to
+// obtain the final Approximation — which is identical to what the batch
+// Analyze computes over the same events, because both run the same
+// engine.
+//
+// Stream is not safe for concurrent use; the facade's StreamAnalyzer
+// adds locking.
+type Stream struct {
+	cal    instr.Calibration
+	opts   StreamOptions
+	g      *engine      // nil in repair mode until Close
+	buf    *trace.Trace // repair mode: the buffered feed
+	closed bool
+	result *Approximation
+}
+
+// NewStream starts a streaming analysis session.
+func NewStream(cal instr.Calibration, opts StreamOptions) (*Stream, error) {
+	switch opts.Mode {
+	case ModeEventBased, ModeTimeBased:
+	case ModeLiberal:
+		return nil, fmt.Errorf("%w: liberal analysis re-derives the whole schedule and cannot run incrementally", ErrUnsupported)
+	default:
+		return nil, fmt.Errorf("core: unknown analysis mode")
+	}
+	if opts.Repair && opts.LowMemory {
+		return nil, fmt.Errorf("%w: repair needs the complete feed buffered; it cannot run low-memory", ErrUnsupported)
+	}
+	s := &Stream{cal: cal, opts: opts}
+	if opts.Repair {
+		s.buf = trace.New(opts.Procs)
+	} else {
+		g := newIncEngine(opts.Procs, cal, engineOptions{
+			mode:       opts.Mode,
+			degraded:   false,
+			retain:     !opts.LowMemory,
+			seal:       true,
+			fixedProcs: opts.Procs > 0,
+		})
+		g.setWindows(opts.Window, opts.Slide)
+		s.g = g
+	}
+	return s, nil
+}
+
+// Feed ingests the next events of the stream, in arrival order. Events
+// are validated and resolved one at a time, so results never depend on
+// how the stream is chunked. Feeding after Close is an error.
+func (s *Stream) Feed(ctx context.Context, events []trace.Event) error {
+	if s.closed {
+		return fmt.Errorf("core: stream session is closed")
+	}
+	if s.buf != nil {
+		// Repair mode: defer everything to Close — the sanitizer needs
+		// the complete feed.
+		s.buf.Grow(len(events))
+		for _, e := range events {
+			s.buf.Append(e)
+		}
+		return cancel.Err(ctx)
+	}
+	return s.g.feed(ctx, events)
+}
+
+// Windows returns the finished windows emitted since the last call, in
+// window-index order, without blocking. Windows become available as the
+// feed's watermark passes them (sorted feeds only) and after Close.
+func (s *Stream) Windows() []WindowResult {
+	if s.g == nil {
+		return nil
+	}
+	return s.g.drainWindows()
+}
+
+// Close ends the stream and returns the final Approximation — identical
+// to batch Analyze over the same events. Remaining windows become
+// available via Windows afterwards. Close is idempotent: repeated calls
+// return the same result.
+func (s *Stream) Close(ctx context.Context) (*Approximation, error) {
+	if s.closed {
+		if s.result == nil {
+			return nil, fmt.Errorf("core: stream session is closed")
+		}
+		return s.result, nil
+	}
+	s.closed = true
+	if s.buf != nil {
+		// Repair mode: sanitize the buffered feed, then run the engine
+		// in degraded mode over the repaired trace — exactly
+		// AnalyzeContext's repair path. The feed order is preserved (no
+		// sort): it is the trace order batch Analyze would see.
+		if s.buf.Procs == 0 {
+			for _, e := range s.buf.Events {
+				if e.Proc >= s.buf.Procs {
+					s.buf.Procs = e.Proc + 1
+				}
+			}
+		}
+		repaired, rep := trace.Repair(s.buf)
+		g := newIncEngine(repaired.Procs, s.cal, engineOptions{
+			mode:       s.opts.Mode,
+			degraded:   s.opts.Mode == ModeEventBased,
+			retain:     true,
+			fixedProcs: true,
+		})
+		g.setWindows(s.opts.Window, s.opts.Slide)
+		s.g = g
+		if err := g.feed(ctx, repaired.Events); err != nil {
+			return nil, err
+		}
+		a, err := g.close(ctx)
+		if err != nil {
+			return nil, err
+		}
+		a.Repair = rep
+		attachDefects(a, rep, repaired.Procs)
+		s.result = a
+		return a, nil
+	}
+	a, err := s.g.close(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.result = a
+	return a, nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"perturb/internal/instr"
 	"perturb/internal/trace"
 )
@@ -18,33 +20,18 @@ import (
 // of each thread other than the forking one is based on the loop-begin
 // event, without which concurrent threads would have no time origin.
 func TimeBased(m *trace.Trace, cal instr.Calibration) (*Approximation, error) {
-	r, err := newResolver(m, cal)
-	if err != nil {
+	// A feed-everything-then-close run of the incremental engine
+	// (stream.go) in time-based mode: every event resolves with the
+	// execution-timing rule, the fork fences ordering resolution across
+	// processors. The engine's worklist subsumes the fork-processor-first
+	// ordering the analysis used to hard-code.
+	g := newIncEngine(m.Procs, cal, engineOptions{
+		mode:       ModeTimeBased,
+		retain:     true,
+		fixedProcs: true,
+	})
+	if err := g.feed(context.Background(), m.Events); err != nil {
 		return nil, err
 	}
-	// Resolve the forking processor first so the fork basis is available,
-	// then every other processor in a single linear pass each.
-	order := make([]int, 0, m.Procs)
-	forkProc := 0
-	if r.forkIdx >= 0 {
-		forkProc = m.Events[r.forkIdx].Proc
-	}
-	order = append(order, forkProc)
-	for p := 0; p < m.Procs; p++ {
-		if p != forkProc {
-			order = append(order, p)
-		}
-	}
-	for _, p := range order {
-		for pos, idx := range r.perProc[p] {
-			taBase, tmBase, ok := r.basis(p, pos)
-			if !ok {
-				// Only possible if the fork event's own chain is
-				// broken, which Validate precludes.
-				return nil, ErrUnresolvable
-			}
-			r.resolveDefault(idx, taBase, tmBase)
-		}
-	}
-	return r.finish(), nil
+	return g.close(context.Background())
 }

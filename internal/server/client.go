@@ -110,7 +110,7 @@ func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Res
 		if err != nil {
 			return nil, err
 		}
-		hreq.Header.Set("Content-Type", "application/octet-stream")
+		hreq.Header.Set("Content-Type", traceContentType(body.Bytes()))
 		hreq.Header.Set(traceIDHeader, traceID)
 		hreq.Header.Set(attemptHeader, fmt.Sprintf("try%d", attempt))
 
@@ -161,7 +161,7 @@ func (c *Client) analyzeOnce(ctx context.Context, req Request, body []byte) (*Re
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hreq.Header.Set("Content-Type", traceContentType(body))
 	if req.TraceID != "" {
 		hreq.Header.Set(traceIDHeader, req.TraceID)
 	}
@@ -222,7 +222,18 @@ func parseRetryAfter(v string, now time.Time) time.Duration {
 	return 0
 }
 
-// analyzeURL renders req as the /analyze query string.
+// traceContentType declares an encoded trace body: the precise codec
+// type when the magic identifies one, the generic octet-stream otherwise
+// (never wrong, merely vague — the server sniffs the codec from the bytes
+// regardless and rejects only contradictory declarations).
+func traceContentType(body []byte) string {
+	if ct := trace.SniffContentType(body); ct != "" {
+		return ct
+	}
+	return "application/octet-stream"
+}
+
+// analyzeURL renders req as the /v1/analyze query string.
 func (c *Client) analyzeURL(req Request) (string, error) {
 	base := strings.TrimSuffix(c.BaseURL, "/")
 	if base == "" {
@@ -259,7 +270,7 @@ func (c *Client) analyzeURL(req Request) (string, error) {
 			q.Set(p.name, strconv.FormatInt(int64(p.v), 10))
 		}
 	}
-	u := base + "/analyze"
+	u := base + "/v1/analyze"
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}

@@ -19,7 +19,14 @@ import (
 // never changes a byte of the analysis, so the same request always yields
 // the same response body, which is what lets clients (and the service
 // golden test) diff responses against a direct perturb.Analyze call.
+// APIVersion is the service's wire-contract version, stamped on every
+// JSON response body (success and error alike) as api_version. Bump only
+// on an incompatible change, alongside a new path prefix.
+const APIVersion = "v1"
+
 type Response struct {
+	// APIVersion names the wire contract this body follows ("v1").
+	APIVersion string `json:"api_version"`
 	// Procs and Events describe the analyzed trace.
 	Procs  int `json:"procs"`
 	Events int `json:"events"`
@@ -72,7 +79,8 @@ type ProcConfidence struct {
 
 // errorBody is the JSON body of every non-2xx response.
 type errorBody struct {
-	Error string `json:"error"`
+	APIVersion string `json:"api_version"`
+	Error      string `json:"error"`
 }
 
 // BuildResponse converts an analysis result into the wire response,
@@ -85,6 +93,7 @@ func BuildResponse(a *core.Approximation) (*Response, error) {
 		return nil, fmt.Errorf("server: fingerprinting approximation: %w", err)
 	}
 	resp := &Response{
+		APIVersion:      APIVersion,
 		Procs:           a.Trace.Procs,
 		Events:          a.Trace.Len(),
 		Duration:        a.Duration,

@@ -1,6 +1,11 @@
 // Package server implements perturbd, an HTTP analysis service over the
-// perturbation pipeline. A request POSTs a trace in either codec to
-// /analyze and gets the approximation back as JSON.
+// perturbation pipeline. A request POSTs a trace in any codec to
+// /v1/analyze and gets the approximation back as JSON, or to
+// /v1/analyze/stream and gets windowed results back as NDJSON while the
+// upload is still in flight, closed by the batch-identical summary. The
+// unversioned /analyze path is a deprecated alias of /v1/analyze and
+// answers with a Deprecation header. See docs/http-api.md for the wire
+// contract.
 //
 // The service is built to degrade rather than fall over: a fixed number of
 // analyses run concurrently, a short queue absorbs bursts, and anything
@@ -22,6 +27,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"crypto/rand"
@@ -37,6 +43,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -186,7 +193,9 @@ func New(cfg Config) *Server {
 	s.version = s.build.Short()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/analyze/stream", s.handleAnalyzeStream)
+	mux.HandleFunc("/analyze", s.handleAnalyzeDeprecated)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -341,6 +350,38 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleAnalyzeDeprecated serves the pre-versioning /analyze path as an
+// alias of /v1/analyze, advertising the successor so clients can migrate:
+// the response carries a Deprecation header (RFC 9745) and a Link to the
+// versioned path. Behavior is otherwise identical.
+func (s *Server) handleAnalyzeDeprecated(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", "</v1/analyze>; rel=\"successor-version\"")
+	s.handleAnalyze(w, r)
+}
+
+// checkTraceContentType verifies a request's declared Content-Type
+// against the body's sniffed codec magic. Undeclared bodies, the generic
+// application/octet-stream, and non-trace types (curl's default form
+// encoding, say) all pass — the codec is authoritative either way, read
+// from the bytes. But a declared *trace* type that contradicts the magic
+// is a client bug worth rejecting loudly (415) instead of silently
+// analyzing something other than what the client labeled.
+func checkTraceContentType(declared string, prefix []byte) error {
+	ct := declared
+	if i := strings.Index(ct, ";"); i >= 0 {
+		ct = ct[:i]
+	}
+	ct = strings.TrimSpace(ct)
+	if !trace.IsTraceContentType(ct) {
+		return nil
+	}
+	if actual := trace.SniffContentType(prefix); actual != "" && actual != ct {
+		return fmt.Errorf("declared Content-Type %s does not match the body (%s by codec magic)", ct, actual)
+	}
+	return nil
+}
+
 // retryAfter estimates how long a shed client should back off: roughly one
 // request timeout's worth of queue turnover, floored at one second.
 func (s *Server) retryAfter() string {
@@ -455,7 +496,12 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 
 	sc.Phase("decode")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	tr, err := s.readTrace(ctx, r)
+	br := bufio.NewReader(r.Body)
+	prefix, _ := br.Peek(sniffLen)
+	if cterr := checkTraceContentType(r.Header.Get("Content-Type"), prefix); cterr != nil {
+		return http.StatusUnsupportedMediaType, cterr.Error()
+	}
+	tr, err := s.readTrace(ctx, br)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -569,6 +615,9 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		default:
 			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
 		}
+	}
+	if cterr := checkTraceContentType(r.Header.Get("Content-Type"), raw); cterr != nil {
+		return http.StatusUnsupportedMediaType, cterr.Error()
 	}
 
 	// Wire-byte fast path: a repeat upload of the exact same bytes skips
@@ -723,9 +772,14 @@ func (s *Server) CacheStats() (st cache.Stats, ok bool) {
 	return s.cache.Stats(), true
 }
 
-// readTrace decodes the request body in either trace codec.
-func (s *Server) readTrace(ctx context.Context, r *http.Request) (*trace.Trace, error) {
-	tr, err := trace.NewReader(r.Body)
+// sniffLen is how many leading body bytes the content-type check peeks
+// at: enough for either binary magic and a useful prefix of the text
+// header.
+const sniffLen = 32
+
+// readTrace decodes the request body in any trace codec.
+func (s *Server) readTrace(ctx context.Context, body io.Reader) (*trace.Trace, error) {
+	tr, err := trace.NewReader(body)
 	if err != nil {
 		return nil, err
 	}
@@ -750,5 +804,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorBody{Error: msg})
+	writeJSON(w, status, errorBody{APIVersion: APIVersion, Error: msg})
 }

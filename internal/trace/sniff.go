@@ -1,0 +1,49 @@
+package trace
+
+import "bytes"
+
+// Content types for the three trace codecs, used by perturbd and its
+// clients to declare trace bodies on the wire. SniffContentType maps codec
+// magic bytes to these names; the server rejects declared types that
+// contradict the sniffed codec with 415.
+const (
+	// ContentTypeBinary names the compact binary codec ("PTRACE1\x00").
+	ContentTypeBinary = "application/x-perturb-trace"
+	// ContentTypeColumnar names the block-compressed columnar codec
+	// ("PTRCOL1\x00").
+	ContentTypeColumnar = "application/x-perturb-trace-columnar"
+	// ContentTypeText names the line-oriented text codec
+	// ("# perturb-trace v1").
+	ContentTypeText = "text/x-perturb-trace"
+)
+
+// SniffContentType reports the content type of an encoded trace from its
+// leading bytes (the codec magic), or "" when the prefix matches no codec.
+// Eight bytes of prefix suffice for the binary codecs; the text codec is
+// recognized from however much of its header line the prefix holds, so a
+// short prefix of a text trace still sniffs correctly.
+func SniffContentType(prefix []byte) string {
+	if len(prefix) >= len(binMagic) && bytes.Equal(prefix[:len(binMagic)], binMagic[:]) {
+		return ContentTypeBinary
+	}
+	if len(prefix) >= len(colMagic) && bytes.Equal(prefix[:len(colMagic)], colMagic[:]) {
+		return ContentTypeColumnar
+	}
+	n := len(prefix)
+	if n > len(textMagic) {
+		n = len(textMagic)
+	}
+	if n > 0 && bytes.Equal(prefix[:n], []byte(textMagic)[:n]) {
+		return ContentTypeText
+	}
+	return ""
+}
+
+// IsTraceContentType reports whether ct names one of the trace codecs.
+func IsTraceContentType(ct string) bool {
+	switch ct {
+	case ContentTypeBinary, ContentTypeColumnar, ContentTypeText:
+		return true
+	}
+	return false
+}

@@ -214,32 +214,78 @@ var (
 // It returns nil if the trace is well formed, or an error describing the
 // first violation found (wrapping one of the Err* sentinel values).
 func (t *Trace) Validate() error {
-	last := make([]Time, t.Procs)
-	seen := make([]bool, t.Procs)
-	for i, e := range t.Events {
-		if e.Proc < 0 || e.Proc >= t.Procs {
-			return fmt.Errorf("event %d (%v): %w", i, e, ErrBadProc)
+	v := NewEventValidator(t.Procs)
+	for _, e := range t.Events {
+		if err := v.Check(e); err != nil {
+			return err
 		}
-		if !e.Kind.Valid() {
-			return fmt.Errorf("event %d (%v): %w", i, e, ErrBadKind)
-		}
-		// Await events record the paper's await(A, i) argument as Iter:
-		// the iteration being waited for, which may be negative for the
-		// first iterations of a distance-d DOACROSS loop (the advance
-		// history is pre-advanced for iterations before the first).
-		switch e.Kind {
-		case KindAdvance, KindAwaitB, KindAwaitE, KindLockReq, KindLockAcq, KindLockRel:
-			if e.Var == NoVar {
-				return fmt.Errorf("event %d (%v): %w", i, e, ErrSyncNoVar)
-			}
-		}
-		if seen[e.Proc] && e.Time < last[e.Proc] {
-			return fmt.Errorf("event %d (%v) precedes time %d on proc %d: %w",
-				i, e, int64(last[e.Proc]), e.Proc, ErrNonMonotonic)
-		}
-		last[e.Proc] = e.Time
-		seen[e.Proc] = true
 	}
+	return nil
+}
+
+// EventValidator checks the invariants of Trace.Validate incrementally,
+// one event at a time in arrival order — the validation mode of the
+// streaming analysis session, which sees events before any whole trace
+// exists. Check reports violations with the same errors (and the same
+// messages, indexed by arrival position) Validate would report for the
+// same events as a trace.
+type EventValidator struct {
+	procs int // 0 = unbounded: processor ids only need to be non-negative
+	n     int
+	last  []Time
+	seen  []bool
+}
+
+// NewEventValidator returns a validator for events on processors
+// [0, procs). procs <= 0 leaves the processor range unbounded (any
+// non-negative id), for streams whose processor count is discovered from
+// the events themselves.
+func NewEventValidator(procs int) *EventValidator {
+	if procs < 0 {
+		procs = 0
+	}
+	v := &EventValidator{procs: procs}
+	if procs > 0 {
+		v.last = make([]Time, procs)
+		v.seen = make([]bool, procs)
+	}
+	return v
+}
+
+// Check validates the next event of the stream.
+func (v *EventValidator) Check(e Event) error {
+	i := v.n
+	v.n++
+	if e.Proc < 0 || (v.procs > 0 && e.Proc >= v.procs) {
+		return fmt.Errorf("event %d (%v): %w", i, e, ErrBadProc)
+	}
+	if !e.Kind.Valid() {
+		return fmt.Errorf("event %d (%v): %w", i, e, ErrBadKind)
+	}
+	// Await events record the paper's await(A, i) argument as Iter:
+	// the iteration being waited for, which may be negative for the
+	// first iterations of a distance-d DOACROSS loop (the advance
+	// history is pre-advanced for iterations before the first).
+	switch e.Kind {
+	case KindAdvance, KindAwaitB, KindAwaitE, KindLockReq, KindLockAcq, KindLockRel:
+		if e.Var == NoVar {
+			return fmt.Errorf("event %d (%v): %w", i, e, ErrSyncNoVar)
+		}
+	}
+	if e.Proc >= len(v.last) {
+		grown := make([]Time, e.Proc+1)
+		copy(grown, v.last)
+		v.last = grown
+		grownSeen := make([]bool, e.Proc+1)
+		copy(grownSeen, v.seen)
+		v.seen = grownSeen
+	}
+	if v.seen[e.Proc] && e.Time < v.last[e.Proc] {
+		return fmt.Errorf("event %d (%v) precedes time %d on proc %d: %w",
+			i, e, int64(v.last[e.Proc]), e.Proc, ErrNonMonotonic)
+	}
+	v.last[e.Proc] = e.Time
+	v.seen[e.Proc] = true
 	return nil
 }
 

@@ -22,6 +22,12 @@
 //     event-based analysis (paper §4: synchronization modeling, sequential
 //     or sharded-parallel execution), and the liberal reschedule-aware
 //     variant — see AnalyzeOptions;
+//   - a streaming session API (NewStreamAnalyzer) — the incremental form
+//     of Analyze and the primary surface for live data: feed events as
+//     they arrive, observe windowed intermediate results (waiting,
+//     parallelism, per-processor timing over measured-time windows), and
+//     close to obtain exactly the batch result. Batch Analyze and the
+//     streaming session run the same engine; see StreamOptions;
 //   - a trace sanitizer (ValidateTrace via Trace.Validate, RepairTrace,
 //     AuditTrace) that classifies and repairs real-world trace defects —
 //     dropped probes, unmatched synchronization, clock skew, truncated
@@ -66,6 +72,24 @@
 //	approx, _ := perturb.Analyze(damaged, cal, perturb.AnalyzeOptions{Repair: true})
 //	// approx.Repair details what was fixed; approx.Confidence scores each
 //	// processor's share of conservative placeholders.
+//
+// # Streaming
+//
+// Live traces analyze incrementally through a session (see StreamAnalyzer
+// for details): feed events as they arrive, read windowed results while
+// the run is still going, close for the final answer:
+//
+//	sa, _ := perturb.NewStreamAnalyzer(cal, perturb.StreamOptions{
+//		Window: 100 * perturb.Microsecond,
+//	})
+//	for batch := range liveEvents {
+//		_ = sa.Feed(ctx, batch)
+//		for w := range sa.Results() {
+//			fmt.Printf("t=[%d,%d) waiting=%d parallelism=%.2f\n",
+//				w.Start, w.End, w.Waiting, w.AvgParallelism)
+//		}
+//	}
+//	approx, _ := sa.Close(ctx) // identical to batch Analyze
 package perturb
 
 import (

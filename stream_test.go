@@ -1,0 +1,177 @@
+package perturb_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"perturb"
+	"perturb/internal/testgen"
+)
+
+// The facade streaming tests mirror the core metamorphic suite one level
+// up: a StreamAnalyzer session over each golden trace — fed in random
+// chunks or through a codec reader — must reproduce batch Analyze
+// exactly, and the low-memory mode must actually bound the session's
+// heap on a million-event trace.
+
+func streamBatch(t *testing.T, m *perturb.Trace, cal perturb.Calibration) *perturb.Approximation {
+	t.Helper()
+	a, err := perturb.Analyze(m, cal, perturb.AnalyzeOptions{})
+	if err != nil {
+		t.Fatalf("batch Analyze: %v", err)
+	}
+	return a
+}
+
+func approxBinary(t *testing.T, a *perturb.Approximation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.Trace.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestStreamAnalyzerGolden(t *testing.T) {
+	cal := goldenCal()
+	for name, m := range goldenTraces() {
+		batch := streamBatch(t, m, cal)
+		sa, err := perturb.NewStreamAnalyzer(cal, perturb.StreamOptions{
+			Procs:  m.Procs,
+			Window: m.End()/4 + 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: NewStreamAnalyzer: %v", name, err)
+		}
+		r := rand.New(rand.NewSource(42))
+		events := m.Events
+		var windows []perturb.WindowResult
+		for len(events) > 0 {
+			n := 1 + r.Intn(len(events))
+			if err := sa.Feed(context.Background(), events[:n]); err != nil {
+				t.Fatalf("%s: Feed: %v", name, err)
+			}
+			events = events[n:]
+			for w := range sa.Results() {
+				windows = append(windows, w)
+			}
+		}
+		approx, err := sa.Close(context.Background())
+		if err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+		for w := range sa.Results() {
+			windows = append(windows, w)
+		}
+		if !bytes.Equal(approxBinary(t, approx), approxBinary(t, batch)) {
+			t.Errorf("%s: streaming trace differs from batch Analyze", name)
+		}
+		if approx.Duration != batch.Duration {
+			t.Errorf("%s: Duration = %d, batch %d", name, approx.Duration, batch.Duration)
+		}
+		if len(windows) == 0 {
+			t.Errorf("%s: no windows emitted", name)
+		}
+		var total int
+		for i, w := range windows {
+			if w.Index < 0 || w.End <= w.Start {
+				t.Errorf("%s: window %d has bad bounds [%d,%d)", name, i, w.Start, w.End)
+			}
+			total += w.Events
+		}
+		if total < m.Len() {
+			t.Errorf("%s: windows cover %d events, trace has %d", name, total, m.Len())
+		}
+	}
+}
+
+// TestStreamAnalyzerFeedReader round-trips a golden trace through the
+// binary codec and a TraceReader into a session — the live-file path the
+// perturb -follow mode uses — and checks equality with batch.
+func TestStreamAnalyzerFeedReader(t *testing.T) {
+	cal := goldenCal()
+	m := goldenTraces()["doacross"]
+	batch := streamBatch(t, m, cal)
+
+	var enc bytes.Buffer
+	if err := m.WriteBinary(&enc); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	r, err := perturb.NewTraceReader(&enc)
+	if err != nil {
+		t.Fatalf("NewTraceReader: %v", err)
+	}
+	sa, err := perturb.NewStreamAnalyzer(cal, perturb.StreamOptions{Procs: r.Procs()})
+	if err != nil {
+		t.Fatalf("NewStreamAnalyzer: %v", err)
+	}
+	if err := sa.FeedReader(context.Background(), r); err != nil {
+		t.Fatalf("FeedReader: %v", err)
+	}
+	approx, err := sa.Close(context.Background())
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !bytes.Equal(approxBinary(t, approx), approxBinary(t, batch)) {
+		t.Error("FeedReader session differs from batch Analyze")
+	}
+}
+
+// TestStreamAnalyzerLowMemoryFootprint feeds a million-event trace
+// through a low-memory session and a retaining session and checks the
+// low-memory session's live heap stays well below the retaining one's —
+// the property that lets a session follow a trace larger than memory.
+func TestStreamAnalyzerLowMemoryFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-event footprint comparison")
+	}
+	m := testgen.BackwardWave(8, 250000) // ~1M events
+	cal := goldenCal()
+
+	grown := func(low bool) uint64 {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		sa, err := perturb.NewStreamAnalyzer(cal, perturb.StreamOptions{
+			Procs:     m.Procs,
+			Window:    m.End() / 100,
+			LowMemory: low,
+		})
+		if err != nil {
+			t.Fatalf("NewStreamAnalyzer: %v", err)
+		}
+		for off := 0; off < len(m.Events); off += 4096 {
+			end := off + 4096
+			if end > len(m.Events) {
+				end = len(m.Events)
+			}
+			if err := sa.Feed(context.Background(), m.Events[off:end]); err != nil {
+				t.Fatalf("Feed: %v", err)
+			}
+			sa.Results()
+		}
+		// Measure the session's steady state before Close: the retaining
+		// session holds every event (and later its re-timed copy); the
+		// low-memory one holds only frontier synchronization state.
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if _, err := sa.Close(context.Background()); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		if after.HeapAlloc < before.HeapAlloc {
+			return 0
+		}
+		return after.HeapAlloc - before.HeapAlloc
+	}
+
+	full := grown(false)
+	low := grown(true)
+	t.Logf("live heap before Close: retaining %d bytes, low-memory %d bytes", full, low)
+	if low*2 >= full {
+		t.Errorf("low-memory session grew %d bytes, not well under retaining session's %d", low, full)
+	}
+}
