@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke metrics-smoke stream-smoke selfperturb selftrace api api-check vet fmt experiments examples clean
+.PHONY: all build test race bench bench-sim bench-obs bench-codec bench-cache codec-check workers-check stats-smoke service-smoke cache-smoke metrics-smoke stream-smoke chaos-smoke selfperturb selftrace api api-check vet fmt experiments examples clean
 
 all: build test
 
@@ -75,6 +75,19 @@ cache-smoke:
 stream-smoke:
 	$(GO) build -o /tmp/perturbd ./cmd/perturbd
 	sh scripts/stream_smoke.sh /tmp/perturbd
+
+# Resilience check: the deterministic chaos suites under -race (seeded
+# netchaos fault injection, the three-instance fleet survival soak,
+# mid-upload disconnects, memory-budget degradation), then a live-daemon
+# pass over the degraded/checksum/readyz surface
+# (scripts/chaos_smoke.sh, also CI's chaos-smoke job).
+chaos-smoke:
+	$(GO) test -race -count=1 ./internal/netchaos/
+	$(GO) test -race -count=1 \
+		-run 'TestFleetSurvivalSoak|TestFleetHedgingUnderChaosLatency|TestStreamMidUploadDisconnect|TestMemoryBudget|TestClientBreaker' \
+		./internal/server/
+	$(GO) build -o /tmp/perturbd ./cmd/perturbd
+	sh scripts/chaos_smoke.sh /tmp/perturbd
 
 # Cache hit/miss cost over HTTP plus the hedged fleet round-trip — the
 # numbers EXPERIMENTS.md's "Result cache" section quotes.

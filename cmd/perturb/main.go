@@ -52,6 +52,8 @@
 //	-hedge         with a multi-endpoint -remote, mirror a slow request
 //	               to the next-choice replica after the endpoint's recent
 //	               p90 latency; first answer wins, the loser is canceled
+//	-hedge-after D fix the hedge delay (e.g. 50ms) instead of deriving it
+//	               from the endpoint's recent p90 latency
 //	-quiet         print only the summary line
 //	-stats         print pipeline span timings and engine telemetry to
 //	               stderr: a human-readable summary followed by one JSON
@@ -100,17 +102,18 @@ type options struct {
 	slide      time.Duration
 	followIdle time.Duration
 
-	waiting   bool
-	timeline  bool
-	critpath  bool
-	profile   bool
-	svgFile   string
-	remote    string
-	hedge     bool
-	quiet     bool
-	stats     bool
-	debugAddr string
-	statsW    io.Writer // -stats destination; nil means os.Stderr
+	waiting    bool
+	timeline   bool
+	critpath   bool
+	profile    bool
+	svgFile    string
+	remote     string
+	hedge      bool
+	hedgeAfter time.Duration
+	quiet      bool
+	stats      bool
+	debugAddr  string
+	statsW     io.Writer // -stats destination; nil means os.Stderr
 }
 
 func main() {
@@ -142,6 +145,7 @@ func main() {
 	flag.StringVar(&o.svgFile, "svg", "", "write the approximated timeline as SVG to this file")
 	flag.StringVar(&o.remote, "remote", "", "analyze on a perturbd service instead of locally: one base URL, or a comma-separated fleet")
 	flag.BoolVar(&o.hedge, "hedge", false, "hedge slow fleet requests to the next-choice replica (needs a multi-endpoint -remote)")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "fixed hedge delay, e.g. 50ms (0 = derive from the endpoint's recent p90 latency; needs -hedge)")
 	flag.BoolVar(&o.quiet, "quiet", false, "print only the summary line")
 	flag.BoolVar(&o.stats, "stats", false, "print pipeline/telemetry statistics (human summary + one JSON line) to stderr")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
@@ -235,6 +239,12 @@ func validateOptions(o options, args []string) error {
 	}
 	if o.hedge && len(remoteEndpoints(o.remote)) < 2 {
 		return fmt.Errorf("-hedge needs a multi-endpoint -remote (comma-separated base URLs)")
+	}
+	if o.hedgeAfter < 0 {
+		return fmt.Errorf("-hedge-after must be non-negative, got %v", o.hedgeAfter)
+	}
+	if o.hedgeAfter > 0 && !o.hedge {
+		return fmt.Errorf("-hedge-after needs -hedge")
 	}
 	if o.remote != "" {
 		for _, ep := range remoteEndpoints(o.remote) {
@@ -494,7 +504,7 @@ func remotePhase(w io.Writer, o options, loop *perturb.Loop, measured *perturb.T
 	)
 	if eps := remoteEndpoints(o.remote); len(eps) > 1 {
 		var f *server.Fleet
-		f, err = server.NewFleet(server.FleetConfig{Endpoints: eps, Hedge: o.hedge})
+		f, err = server.NewFleet(server.FleetConfig{Endpoints: eps, Hedge: o.hedge, HedgeAfter: o.hedgeAfter})
 		if err != nil {
 			return err
 		}

@@ -197,6 +197,12 @@ func TestValidateOptions(t *testing.T) {
 		{"negative probe", func(o *options) { o.probe = -time.Microsecond }, nil},
 		{"load with save", func(o *options) { o.loadFile = "a"; o.saveFile = "b" }, nil},
 		{"hedge without fleet", func(o *options) { o.remote = "http://a:7077"; o.hedge = true }, nil},
+		{"hedge-after without hedge", func(o *options) { o.remote = "http://a:7077,http://b:7077"; o.hedgeAfter = 50 * time.Millisecond }, nil},
+		{"negative hedge-after", func(o *options) {
+			o.remote = "http://a:7077,http://b:7077"
+			o.hedge = true
+			o.hedgeAfter = -time.Millisecond
+		}, nil},
 		{"window without follow", func(o *options) { o.window = time.Millisecond }, nil},
 		{"negative slide", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.slide = -1 }, nil},
 		{"follow with load", func(o *options) { o.followFile = "a"; o.followIdle = time.Second; o.loadFile = "b" }, nil},

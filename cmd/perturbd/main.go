@@ -67,6 +67,7 @@ type options struct {
 	timeout      time.Duration
 	drainTimeout time.Duration
 	maxBody      int64
+	memoryBudget int64
 	cacheBytes   int64
 	debugAddr    string
 	selftrace    string
@@ -85,6 +86,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request deadline, body read included")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Int64Var(&o.maxBody, "max-body", 64<<20, "largest accepted trace body in bytes")
+	flag.Int64Var(&o.memoryBudget, "memory-budget", 0, "uploads larger than this run the low-memory streaming engine and return a summary-only degraded result (0 = never degrade)")
 	flag.Int64Var(&o.cacheBytes, "cache-bytes", server.DefaultCacheBytes, "result cache budget in bytes (0 disables caching)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	flag.StringVar(&o.selftrace, "selftrace", "", "record request spans and write them as a columnar event trace to this file at shutdown")
@@ -134,6 +136,9 @@ func validateOptions(o options, args []string) error {
 	}
 	if o.maxBody <= 0 {
 		return fmt.Errorf("-max-body must be positive, got %d", o.maxBody)
+	}
+	if o.memoryBudget < 0 {
+		return fmt.Errorf("-memory-budget must be >= 0 (0 = never degrade), got %d", o.memoryBudget)
 	}
 	if o.cacheBytes < 0 {
 		return fmt.Errorf("-cache-bytes must be >= 0 (0 disables caching), got %d", o.cacheBytes)
@@ -185,14 +190,15 @@ func run(o options) error {
 		cacheBytes = -1
 	}
 	srv := server.New(server.Config{
-		MaxConcurrency: o.maxConc,
-		QueueDepth:     o.queue,
-		RequestTimeout: o.timeout,
-		MaxBodyBytes:   o.maxBody,
-		CacheBytes:     cacheBytes,
-		Logger:         log.Default(),
-		Recorder:       recorder,
-		RequestLog:     requestLog,
+		MaxConcurrency:    o.maxConc,
+		QueueDepth:        o.queue,
+		RequestTimeout:    o.timeout,
+		MaxBodyBytes:      o.maxBody,
+		MemoryBudgetBytes: o.memoryBudget,
+		CacheBytes:        cacheBytes,
+		Logger:            log.Default(),
+		Recorder:          recorder,
+		RequestLog:        requestLog,
 	})
 
 	ln, err := net.Listen("tcp", o.addr)

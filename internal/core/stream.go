@@ -1217,3 +1217,45 @@ func (s *Stream) Close(ctx context.Context) (*Approximation, error) {
 	s.result = a
 	return a, nil
 }
+
+// Procs reports the processor count seen so far: the fixed count when
+// StreamOptions.Procs was set, the discovered count otherwise.
+func (s *Stream) Procs() int {
+	if s.g != nil {
+		return s.g.procs()
+	}
+	if s.buf == nil {
+		return s.opts.Procs
+	}
+	procs := s.buf.Procs
+	for _, e := range s.buf.Events {
+		if e.Proc >= procs {
+			procs = e.Proc + 1
+		}
+	}
+	return procs
+}
+
+// Events reports how many events have been fed so far.
+func (s *Stream) Events() int {
+	if s.g != nil {
+		return s.g.n
+	}
+	if s.buf == nil {
+		return 0
+	}
+	return s.buf.Len()
+}
+
+// Abort tears the session down without computing a result: engine state,
+// buffered feeds and pending windows are all discarded, deterministically
+// and immediately. Feed, Close and Windows on an aborted session fail or
+// return nothing. Use when the feed's source died mid-stream — there is
+// no watermark worth sealing, and keeping partial windows around would
+// leak the session's memory for the connection's lifetime.
+func (s *Stream) Abort() {
+	s.closed = true
+	s.result = nil
+	s.g = nil
+	s.buf = nil
+}

@@ -1,0 +1,234 @@
+package netchaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// faults drawn for its accept index under the current Spec. The spec can
+// be swapped at any time with SetSpec — already-accepted connections
+// keep the afflictions they were born with; new accepts draw under the
+// new spec.
+type Listener struct {
+	net.Listener
+	spec   atomic.Pointer[Spec]
+	n      atomic.Uint64
+	Report Report
+}
+
+// WrapListener wraps ln with fault injection under spec.
+func WrapListener(ln net.Listener, spec Spec) *Listener {
+	l := &Listener{Listener: ln}
+	l.spec.Store(&spec)
+	return l
+}
+
+// SetSpec replaces the spec used for subsequently accepted connections.
+// Passing the zero Spec turns the chaos off — the soak's "weather
+// clears" phase.
+func (l *Listener) SetSpec(spec Spec) { l.spec.Store(&spec) }
+
+// Spec returns the spec currently applied to new connections.
+func (l *Listener) Spec() Spec { return *l.spec.Load() }
+
+// Accept accepts the next connection and wraps it with that accept
+// index's drawn faults. Unafflicted connections are returned unwrapped.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return c, err
+	}
+	l.Report.Conns.Add(1)
+	cConns.Add(1)
+	spec := l.spec.Load()
+	if !spec.Enabled() {
+		return c, nil
+	}
+	f := spec.draw(l.n.Add(1) - 1)
+	if !f.any() {
+		return c, nil
+	}
+	l.Report.tally(f)
+	return &chaosConn{Conn: c, f: f, done: make(chan struct{})}, nil
+}
+
+// chaosConn applies one connection's drawn faults:
+//
+//   - black hole: every Read/Write stalls blackHole long, then resets
+//   - latency: the first Read and first Write are delayed
+//   - slow loris: Reads deliver at most slowChunk bytes, each after
+//     slowDelay — an upload trickling in
+//   - bandwidth: Reads and Writes sleep to pace the stream to bps
+//   - reset@N: the connection resets once resetAt bytes were written
+//   - truncate@N: writes stop at truncateAt bytes (reported as written
+//     so the server believes the response left), then the conn resets
+//   - corrupt@N: the byte at write-stream offset corruptAt is flipped
+//
+// Reads and writes each track their own stream offset; corruption and
+// reset/truncation apply to the write (response) stream only, so the
+// HTTP request line and headers the server parses stay intact and
+// injected damage surfaces as response-level failures the client's
+// integrity checks can catch.
+//
+// All sleeps select against done, so Close unblocks any stalled I/O —
+// nothing outlives the connection.
+type chaosConn struct {
+	net.Conn
+	f *faultSet
+
+	mu      sync.Mutex // serializes fault state; net.Conn allows concurrent Read/Write
+	written int        // write-stream offset
+	dead    bool       // reset already delivered
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// sleep waits d, or until the connection closes. It reports whether the
+// full wait elapsed (false: connection closed under us).
+func (c *chaosConn) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// reset hard-closes the underlying connection so the peer sees ECONNRESET
+// rather than a clean EOF, and marks this side dead.
+func (c *chaosConn) reset() error {
+	if tc, ok := c.Conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+	return errReset
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, errReset
+	}
+	f := c.f
+	if f.blackHole > 0 {
+		c.mu.Unlock()
+		c.sleep(f.blackHole)
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		return 0, c.reset()
+	}
+	first := f.latencyArmed.CompareAndSwap(false, true)
+	c.mu.Unlock()
+
+	if first && f.latency > 0 && !c.sleep(f.latency) {
+		return 0, net.ErrClosed
+	}
+	if f.slowChunk > 0 {
+		if !c.sleep(f.slowDelay) {
+			return 0, net.ErrClosed
+		}
+		if len(p) > f.slowChunk {
+			p = p[:f.slowChunk]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if f.bps > 0 && n > 0 {
+		c.sleep(time.Duration(n) * time.Second / time.Duration(f.bps))
+	}
+	return n, err
+}
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, errReset
+	}
+	f := c.f
+	if f.blackHole > 0 {
+		c.mu.Unlock()
+		c.sleep(f.blackHole)
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		return 0, c.reset()
+	}
+	first := f.latencyArmed.CompareAndSwap(false, true)
+	off := c.written
+
+	// Reset at offset: deliver what fits below the reset point, then kill.
+	if f.resetAt >= 0 && off+len(p) >= f.resetAt {
+		keep := f.resetAt - off
+		if keep > 0 {
+			c.written += keep
+			c.mu.Unlock()
+			c.Conn.Write(p[:keep])
+		} else {
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		return keep, c.reset()
+	}
+
+	// Truncate at offset: silently swallow everything past the cut,
+	// reporting full success so the handler finishes normally, then
+	// reset so the client sees a broken body rather than a clean close.
+	if f.truncateAt >= 0 && off >= f.truncateAt {
+		c.written += len(p)
+		c.dead = true
+		c.mu.Unlock()
+		c.reset()
+		return len(p), nil
+	}
+	if f.truncateAt >= 0 && off+len(p) > f.truncateAt {
+		keep := f.truncateAt - off
+		c.written += len(p)
+		c.mu.Unlock()
+		if first && f.latency > 0 {
+			c.sleep(f.latency)
+		}
+		c.Conn.Write(p[:keep])
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		c.reset()
+		return len(p), nil
+	}
+
+	// Corrupt at offset: flip one byte in flight; the bytes still arrive.
+	if f.corruptAt >= 0 && off <= f.corruptAt && f.corruptAt < off+len(p) {
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[f.corruptAt-off] ^= f.corruptMask
+		p = q
+	}
+	c.written += len(p)
+	c.mu.Unlock()
+
+	if first && f.latency > 0 && !c.sleep(f.latency) {
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Write(p)
+	if f.bps > 0 && n > 0 {
+		c.sleep(time.Duration(n) * time.Second / time.Duration(f.bps))
+	}
+	return n, err
+}
+
+func (c *chaosConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,359 @@
+// Package netchaos injects transport faults the way misbehaving networks
+// do: connections gain latency, bandwidth collapses, resets arrive
+// mid-stream, accepted connections black-hole, uploads trickle in
+// slow-loris style, responses truncate, and bytes flip in flight. It is
+// the wire-level sibling of internal/faults, which corrupts traces the
+// way tracers do — this package corrupts the *transport* the way
+// networks do, so the service tier's resilience (retries, circuit
+// breakers, checksums, hedging) can be exercised and asserted in
+// process.
+//
+// Injection is deterministic and seedable, mirroring internal/faults'
+// combinator style: a Spec holds one probability per fault class, every
+// connection (listener side) or request (transport side) draws its
+// afflictions from a splitmix64 stream keyed on (seed, index, class
+// salt), and the same seed always afflicts the same indexes the same
+// way. Two wrappers apply a Spec:
+//
+//   - WrapListener wraps a net.Listener so every accepted net.Conn
+//     carries that connection's drawn faults — the server-side hop.
+//   - WrapTransport wraps an http.RoundTripper so requests are delayed
+//     or dropped and bodies corrupted or truncated — the client-side
+//     hop.
+//
+// Both wrappers support SetSpec for flipping the chaos off (or
+// reshaping it) mid-run, which is how soaks assert that circuit
+// breakers close again once the weather clears.
+package netchaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"perturb/internal/obs"
+)
+
+// Chaos telemetry: one counter per fault class actually placed, visible
+// on /metrics and the obs debug surface so chaos runs are observable
+// through the same path as everything else.
+var (
+	cConns     = obs.NewCounter("netchaos.conns")
+	cRequests  = obs.NewCounter("netchaos.requests")
+	cLatency   = obs.NewCounter("netchaos.latency_injected")
+	cThrottled = obs.NewCounter("netchaos.throttled")
+	cResets    = obs.NewCounter("netchaos.resets")
+	cBlackhole = obs.NewCounter("netchaos.blackholes")
+	cSlowLoris = obs.NewCounter("netchaos.slowloris")
+	cTruncate  = obs.NewCounter("netchaos.truncations")
+	cCorrupt   = obs.NewCounter("netchaos.corruptions")
+)
+
+// ErrInjected is the root of every error the chaos layer fabricates
+// (resets, black-holed connections, dropped requests). Tests and
+// availability accounting unwrap it with errors.Is to separate injected
+// failures from real ones.
+var ErrInjected = errors.New("netchaos: injected fault")
+
+// errReset is an injected connection reset.
+var errReset = fmt.Errorf("%w: connection reset", ErrInjected)
+
+// Spec configures one chaos wrapper. The zero value injects nothing.
+//
+// Each fault class pairs a probability in [0, 1] — applied independently
+// per accepted connection (listener side) or per request (transport
+// side) — with the class's magnitude knobs, which default sanely when
+// zero.
+type Spec struct {
+	// Seed selects the deterministic random stream. Equal seeds and
+	// indexes always draw equal afflictions.
+	Seed uint64
+
+	// Latency delays the connection's first byte in each direction
+	// (listener) or the request's dispatch (transport) by a seeded
+	// duration in [LatencyD/2, LatencyD]. LatencyD defaults to 5ms.
+	Latency  float64
+	LatencyD time.Duration
+
+	// Bandwidth throttles the connection to roughly BandwidthBPS bytes
+	// per second (default 64 KiB/s). Listener side only.
+	Bandwidth    float64
+	BandwidthBPS int
+
+	// Reset kills the stream at a seeded byte offset in [1, ResetAfter]
+	// (default 1024): the listener side resets the connection once that
+	// many response bytes have been written; the transport side drops
+	// the request before dispatch, like a connection refused or reset by
+	// a middlebox.
+	Reset      float64
+	ResetAfter int
+
+	// BlackHole accepts the connection and delivers nothing: reads and
+	// writes stall for BlackHoleFor (default 100ms), then the connection
+	// resets. On the transport side the request stalls for BlackHoleFor
+	// before failing. Models a dead peer behind a live TCP accept.
+	BlackHole    float64
+	BlackHoleFor time.Duration
+
+	// SlowLoris paces the connection's reads: at most SlowLorisChunk
+	// bytes (default 512) are delivered per read, each preceded by
+	// SlowLorisDelay (default 1ms) — a client trickling its upload.
+	// Listener side only.
+	SlowLoris      float64
+	SlowLorisChunk int
+	SlowLorisDelay time.Duration
+
+	// Truncate cuts the stream short at a seeded byte offset in
+	// [1, TruncateAfter] (default 1024): the listener side stops writing
+	// response bytes and resets; the transport side ends the response
+	// body early with a clean EOF, like a connection closed mid-body.
+	Truncate      float64
+	TruncateAfter int
+
+	// Corrupt flips one byte at a seeded offset in [0, CorruptWindow)
+	// (default 4096): the listener side corrupts the response stream,
+	// the transport side corrupts the request body. Upload and download
+	// integrity checking is what turns these into retryable failures.
+	Corrupt       float64
+	CorruptWindow int
+}
+
+// Uniform returns a Spec injecting every fault class at the given rate —
+// the all-weather storm the survival soak runs at 5%.
+func Uniform(rate float64, seed uint64) Spec {
+	return Spec{
+		Seed:    seed,
+		Latency: rate, Bandwidth: rate, Reset: rate, BlackHole: rate,
+		SlowLoris: rate, Truncate: rate, Corrupt: rate,
+	}
+}
+
+// Enabled reports whether the spec injects anything at all.
+func (s Spec) Enabled() bool {
+	return s.Latency > 0 || s.Bandwidth > 0 || s.Reset > 0 || s.BlackHole > 0 ||
+		s.SlowLoris > 0 || s.Truncate > 0 || s.Corrupt > 0
+}
+
+// Defaulted magnitude accessors.
+
+func (s Spec) latencyD() time.Duration {
+	if s.LatencyD > 0 {
+		return s.LatencyD
+	}
+	return 5 * time.Millisecond
+}
+
+func (s Spec) bandwidthBPS() int {
+	if s.BandwidthBPS > 0 {
+		return s.BandwidthBPS
+	}
+	return 64 << 10
+}
+
+func (s Spec) resetAfter() int {
+	if s.ResetAfter > 0 {
+		return s.ResetAfter
+	}
+	return 1024
+}
+
+func (s Spec) blackHoleFor() time.Duration {
+	if s.BlackHoleFor > 0 {
+		return s.BlackHoleFor
+	}
+	return 100 * time.Millisecond
+}
+
+func (s Spec) slowLorisChunk() int {
+	if s.SlowLorisChunk > 0 {
+		return s.SlowLorisChunk
+	}
+	return 512
+}
+
+func (s Spec) slowLorisDelay() time.Duration {
+	if s.SlowLorisDelay > 0 {
+		return s.SlowLorisDelay
+	}
+	return time.Millisecond
+}
+
+func (s Spec) truncateAfter() int {
+	if s.TruncateAfter > 0 {
+		return s.TruncateAfter
+	}
+	return 1024
+}
+
+func (s Spec) corruptWindow() int {
+	if s.CorruptWindow > 0 {
+		return s.CorruptWindow
+	}
+	return 4096
+}
+
+// Salts separating the fault classes' random streams, so enabling one
+// class never changes another's draws — the same discipline as
+// internal/faults.
+const (
+	saltLatency = 0xC4A05 + iota
+	saltLatencyMag
+	saltBandwidth
+	saltReset
+	saltResetOff
+	saltBlackHole
+	saltSlowLoris
+	saltTruncate
+	saltTruncOff
+	saltCorrupt
+	saltCorruptOff
+)
+
+// mix is the splitmix64-style hash over (seed, index, salt) shared with
+// internal/faults and instr.Perturbed.
+func mix(seed, n, salt uint64) uint64 {
+	x := seed*0x9E3779B97F4A7C15 + n*0xBF58476D1CE4E5B9 + salt*0x94D049BB133111EB
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// hit decides one Bernoulli trial on the class stream for item n.
+func (s Spec) hit(n, salt uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return unit(mix(s.Seed, n, salt)) < p
+}
+
+// faultSet is one connection's (or request's) drawn afflictions. A
+// negative offset or zero duration means the class did not fire.
+type faultSet struct {
+	latency      time.Duration // first-byte delay; 0 = off
+	bps          int           // throttle; 0 = off
+	resetAt      int           // reset once this many bytes written; -1 = off
+	blackHole    time.Duration // stall then reset; 0 = off
+	slowChunk    int           // read pacing chunk; 0 = off
+	slowDelay    time.Duration
+	truncateAt   int // stop writing at this offset; -1 = off
+	corruptAt    int // flip the byte at this stream offset; -1 = off
+	corruptMask  byte
+	latencyArmed atomic.Bool // first-byte delay spent?
+}
+
+func (f *faultSet) any() bool {
+	return f.latency > 0 || f.bps > 0 || f.resetAt >= 0 || f.blackHole > 0 ||
+		f.slowChunk > 0 || f.truncateAt >= 0 || f.corruptAt >= 0
+}
+
+// draw resolves index n's afflictions under the spec and records them.
+func (s Spec) draw(n uint64) *faultSet {
+	f := &faultSet{resetAt: -1, truncateAt: -1, corruptAt: -1}
+	if s.hit(n, saltLatency, s.Latency) {
+		d := s.latencyD()
+		f.latency = d/2 + time.Duration(mix(s.Seed, n, saltLatencyMag)%uint64(d/2+1))
+		cLatency.Add(1)
+	}
+	if s.hit(n, saltBandwidth, s.Bandwidth) {
+		f.bps = s.bandwidthBPS()
+		cThrottled.Add(1)
+	}
+	if s.hit(n, saltReset, s.Reset) {
+		f.resetAt = 1 + int(mix(s.Seed, n, saltResetOff)%uint64(s.resetAfter()))
+		cResets.Add(1)
+	}
+	if s.hit(n, saltBlackHole, s.BlackHole) {
+		f.blackHole = s.blackHoleFor()
+		cBlackhole.Add(1)
+	}
+	if s.hit(n, saltSlowLoris, s.SlowLoris) {
+		f.slowChunk, f.slowDelay = s.slowLorisChunk(), s.slowLorisDelay()
+		cSlowLoris.Add(1)
+	}
+	if s.hit(n, saltTruncate, s.Truncate) {
+		f.truncateAt = 1 + int(mix(s.Seed, n, saltTruncOff)%uint64(s.truncateAfter()))
+		cTruncate.Add(1)
+	}
+	if s.hit(n, saltCorrupt, s.Corrupt) {
+		h := mix(s.Seed, n, saltCorruptOff)
+		f.corruptAt = int(h % uint64(s.corruptWindow()))
+		// Flip at least one bit; h's low byte may be zero.
+		f.corruptMask = byte(h>>8) | 1
+		cCorrupt.Add(1)
+	}
+	return f
+}
+
+// Report counts the faults a wrapper actually placed, by class. All
+// fields are atomic: chaos wrappers are exercised concurrently.
+type Report struct {
+	Conns      atomic.Int64 // connections accepted (listener) / requests seen (transport)
+	Latencies  atomic.Int64
+	Throttled  atomic.Int64
+	Resets     atomic.Int64
+	BlackHoles atomic.Int64
+	SlowLoris  atomic.Int64
+	Truncated  atomic.Int64
+	Corrupted  atomic.Int64
+}
+
+// Total returns the number of afflicted connections/requests' faults.
+func (r *Report) Total() int64 {
+	return r.Latencies.Load() + r.Throttled.Load() + r.Resets.Load() +
+		r.BlackHoles.Load() + r.SlowLoris.Load() + r.Truncated.Load() +
+		r.Corrupted.Load()
+}
+
+// String renders a compact human-readable summary.
+func (r *Report) String() string {
+	if r.Total() == 0 {
+		return fmt.Sprintf("no faults over %d conns", r.Conns.Load())
+	}
+	var parts []string
+	add := func(n int64, what string) {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, what))
+		}
+	}
+	add(r.Latencies.Load(), "delayed")
+	add(r.Throttled.Load(), "throttled")
+	add(r.Resets.Load(), "reset")
+	add(r.BlackHoles.Load(), "black-holed")
+	add(r.SlowLoris.Load(), "slow-loris")
+	add(r.Truncated.Load(), "truncated")
+	add(r.Corrupted.Load(), "corrupted")
+	return fmt.Sprintf("%s over %d conns", strings.Join(parts, ", "), r.Conns.Load())
+}
+
+// tally records a drawn fault set into the report.
+func (r *Report) tally(f *faultSet) {
+	if f.latency > 0 {
+		r.Latencies.Add(1)
+	}
+	if f.bps > 0 {
+		r.Throttled.Add(1)
+	}
+	if f.resetAt >= 0 {
+		r.Resets.Add(1)
+	}
+	if f.blackHole > 0 {
+		r.BlackHoles.Add(1)
+	}
+	if f.slowChunk > 0 {
+		r.SlowLoris.Add(1)
+	}
+	if f.truncateAt >= 0 {
+		r.Truncated.Add(1)
+	}
+	if f.corruptAt >= 0 {
+		r.Corrupted.Add(1)
+	}
+}

@@ -1,0 +1,329 @@
+package netchaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDrawsDeterministic(t *testing.T) {
+	s := Uniform(0.3, 42)
+	for n := uint64(0); n < 64; n++ {
+		a, b := s.draw(n), s.draw(n)
+		if a.latency != b.latency || a.bps != b.bps || a.resetAt != b.resetAt ||
+			a.blackHole != b.blackHole || a.slowChunk != b.slowChunk ||
+			a.truncateAt != b.truncateAt || a.corruptAt != b.corruptAt ||
+			a.corruptMask != b.corruptMask {
+			t.Fatalf("draw(%d) not deterministic: %+v vs %+v", n, a, b)
+		}
+	}
+}
+
+func TestClassStreamsIndependent(t *testing.T) {
+	// Enabling one class must not change another's draws.
+	only := Spec{Seed: 7, Corrupt: 0.5}
+	both := Spec{Seed: 7, Corrupt: 0.5, Reset: 0.5}
+	for n := uint64(0); n < 256; n++ {
+		a, b := only.draw(n), both.draw(n)
+		if a.corruptAt != b.corruptAt || a.corruptMask != b.corruptMask {
+			t.Fatalf("corrupt draw for %d changed when reset enabled", n)
+		}
+	}
+}
+
+func TestUniformRates(t *testing.T) {
+	s := Uniform(0.05, 99)
+	hits := 0
+	for n := uint64(0); n < 4000; n++ {
+		if s.draw(n).resetAt >= 0 {
+			hits++
+		}
+	}
+	// 5% of 4000 = 200 expected; allow wide tolerance.
+	if hits < 120 || hits > 300 {
+		t.Fatalf("reset rate off: %d/4000 at p=0.05", hits)
+	}
+	if (Spec{}).Enabled() {
+		t.Fatal("zero Spec reports Enabled")
+	}
+	if !s.Enabled() {
+		t.Fatal("uniform Spec reports disabled")
+	}
+}
+
+// chaosPair starts a server that writes payload to every accepted
+// connection through a chaos listener, dials it, and returns the bytes
+// the client managed to read plus the read error.
+func chaosPair(t *testing.T, spec Spec, payload []byte) (*Listener, []byte, error) {
+	t.Helper()
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, spec)
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		// An instant injected reset can race the dial itself on loopback;
+		// that is still the fault arriving, just earlier.
+		return ln, nil, err
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, rerr := io.ReadAll(conn)
+	return ln, got, rerr
+}
+
+func TestListenerPassthrough(t *testing.T) {
+	payload := bytes.Repeat([]byte("event "), 64)
+	ln, got, err := chaosPair(t, Spec{}, payload)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean conn mangled: %d/%d bytes, err=%v", len(got), len(payload), err)
+	}
+	if ln.Report.Total() != 0 {
+		t.Fatalf("faults reported on zero spec: %s", ln.Report.String())
+	}
+}
+
+func TestListenerCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte("event "), 64)
+	spec := Spec{Seed: 3, Corrupt: 1, CorruptWindow: len(payload)}
+	ln, got, err := chaosPair(t, spec, payload)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(payload))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 corrupted byte, got %d", diff)
+	}
+	if ln.Report.Corrupted.Load() != 1 {
+		t.Fatalf("report: %s", ln.Report.String())
+	}
+}
+
+func TestListenerReset(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 8192)
+	spec := Spec{Seed: 5, Reset: 1, ResetAfter: 128}
+	ln, got, err := chaosPair(t, spec, payload)
+	if err == nil && len(got) == len(payload) {
+		t.Fatal("reset conn delivered the full payload cleanly")
+	}
+	if len(got) > 128 {
+		t.Fatalf("reset@<=128 delivered %d bytes", len(got))
+	}
+	if ln.Report.Resets.Load() != 1 {
+		t.Fatalf("report: %s", ln.Report.String())
+	}
+}
+
+func TestListenerTruncation(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 8192)
+	spec := Spec{Seed: 11, Truncate: 1, TruncateAfter: 256}
+	_, got, _ := chaosPair(t, spec, payload)
+	if len(got) > 256 {
+		t.Fatalf("truncate@<=256 delivered %d bytes", len(got))
+	}
+	if len(got) == len(payload) {
+		t.Fatal("truncated conn delivered the full payload")
+	}
+}
+
+func TestListenerBlackHoleBounded(t *testing.T) {
+	payload := []byte("hello")
+	spec := Spec{Seed: 13, BlackHole: 1, BlackHoleFor: 20 * time.Millisecond}
+	start := time.Now()
+	ln, got, err := chaosPair(t, spec, payload)
+	if len(got) != 0 {
+		t.Fatalf("black hole delivered %d bytes", len(got))
+	}
+	if err == nil {
+		t.Fatal("black hole read ended cleanly")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("black hole unbounded: %v", d)
+	}
+	if ln.Report.BlackHoles.Load() != 1 {
+		t.Fatalf("report: %s", ln.Report.String())
+	}
+}
+
+func TestListenerSlowLorisAndThrottleDeliver(t *testing.T) {
+	// Pacing faults slow the stream but must not damage it.
+	payload := bytes.Repeat([]byte("z"), 4096)
+	spec := Spec{
+		Seed: 17, SlowLoris: 1, SlowLorisChunk: 1024, SlowLorisDelay: time.Microsecond,
+		Bandwidth: 1, BandwidthBPS: 32 << 20,
+	}
+	_, got, err := chaosPair(t, spec, payload)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("paced conn mangled: %d/%d bytes, err=%v", len(got), len(payload), err)
+	}
+}
+
+func TestSetSpecClearsFaults(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := WrapListener(raw, Spec{Seed: 1, Reset: 1, ResetAfter: 1})
+	defer ln.Close()
+	payload := []byte("all clear")
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				c.Write(payload)
+			}(c)
+		}
+	}()
+
+	dial := func() ([]byte, error) {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		return io.ReadAll(conn)
+	}
+
+	if got, err := dial(); err == nil && bytes.Equal(got, payload) {
+		t.Fatal("reset spec delivered cleanly")
+	}
+	ln.SetSpec(Spec{})
+	if got, err := dial(); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("after SetSpec(zero): %d bytes, err=%v", len(got), err)
+	}
+}
+
+func TestTransportLatencyAndPassthrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(w, r.Body)
+	}))
+	defer srv.Close()
+	tr := WrapTransport(nil, Spec{Seed: 2, Latency: 1, LatencyD: 2 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ping" {
+		t.Fatalf("latency fault mangled body: %q", body)
+	}
+	if tr.Report.Latencies.Load() != 1 {
+		t.Fatalf("report: %s", tr.Report.String())
+	}
+}
+
+func TestTransportDropsAreInjected(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+	tr := WrapTransport(nil, Spec{Seed: 4, Reset: 1})
+	client := &http.Client{Transport: tr}
+	_, err := client.Get(srv.URL)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+}
+
+func TestTransportCorruptsRequestBody(t *testing.T) {
+	var got []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, _ = io.ReadAll(r.Body)
+	}))
+	defer srv.Close()
+	sent := bytes.Repeat([]byte("payload "), 32)
+	tr := WrapTransport(nil, Spec{Seed: 6, Corrupt: 1, CorruptWindow: len(sent)})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(srv.URL, "application/octet-stream", bytes.NewReader(sent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(got) != len(sent) {
+		t.Fatalf("server saw %d bytes, want %d", len(got), len(sent))
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != sent[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("want exactly 1 corrupted byte on the wire, got %d", diff)
+	}
+}
+
+func TestTransportTruncatesResponse(t *testing.T) {
+	payload := bytes.Repeat([]byte("r"), 8192)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer srv.Close()
+	tr := WrapTransport(nil, Spec{Seed: 8, Truncate: 1, TruncateAfter: 512})
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, rerr := io.ReadAll(resp.Body)
+	if rerr == nil {
+		t.Fatalf("truncated response read cleanly (%d bytes)", len(got))
+	}
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v", rerr)
+	}
+	if len(got) > 512 {
+		t.Fatalf("truncate@<=512 delivered %d bytes", len(got))
+	}
+}
+
+func TestReportString(t *testing.T) {
+	var r Report
+	if s := r.String(); !strings.Contains(s, "no faults") {
+		t.Fatalf("empty report: %q", s)
+	}
+	r.Conns.Store(10)
+	r.Resets.Store(2)
+	r.Corrupted.Store(1)
+	s := r.String()
+	if !strings.Contains(s, "2 reset") || !strings.Contains(s, "1 corrupted") {
+		t.Fatalf("report string: %q", s)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total: %d", r.Total())
+	}
+}

@@ -1,0 +1,164 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper so every request draws faults for
+// its dispatch index under the current Spec — the client-side hop of the
+// chaos layer. Where the Listener damages the server's view of the
+// wire, the Transport damages the client's: requests are delayed,
+// dropped, or their upload bodies corrupted; responses are truncated or
+// corrupted on the way in.
+type Transport struct {
+	// Base is the wrapped round tripper; http.DefaultTransport when nil.
+	Base http.RoundTripper
+
+	spec   atomic.Pointer[Spec]
+	n      atomic.Uint64
+	Report Report
+}
+
+// WrapTransport wraps rt (http.DefaultTransport when nil) with fault
+// injection under spec.
+func WrapTransport(rt http.RoundTripper, spec Spec) *Transport {
+	t := &Transport{Base: rt}
+	t.spec.Store(&spec)
+	return t
+}
+
+// SetSpec replaces the spec used for subsequent requests.
+func (t *Transport) SetSpec(spec Spec) { t.spec.Store(&spec) }
+
+// Spec returns the spec currently applied to new requests.
+func (t *Transport) Spec() Spec { return *t.spec.Load() }
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip applies the request's drawn faults:
+//
+//   - latency: dispatch is delayed (context-aware)
+//   - black hole: the request stalls blackHoleFor, then fails — the
+//     remote accepted and went silent
+//   - reset: the request fails immediately, as a mid-dial reset would
+//   - corrupt@N: one byte of the outgoing request body is flipped —
+//     upload integrity checking turns this into a retryable rejection
+//   - truncate@N: the response body ends early with an unexpected EOF
+//   - slow loris / bandwidth are listener-side faults and do not apply
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.Report.Conns.Add(1)
+	cRequests.Add(1)
+	spec := t.spec.Load()
+	if !spec.Enabled() {
+		return t.base().RoundTrip(req)
+	}
+	f := spec.draw(t.n.Add(1) - 1)
+	if !f.any() {
+		return t.base().RoundTrip(req)
+	}
+	t.Report.tally(f)
+
+	if f.latency > 0 {
+		timer := time.NewTimer(f.latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if f.blackHole > 0 {
+		timer := time.NewTimer(f.blackHole)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+		closeRequestBody(req)
+		return nil, fmt.Errorf("%w: black hole", ErrInjected)
+	}
+	if f.resetAt >= 0 {
+		closeRequestBody(req)
+		return nil, errReset
+	}
+	if f.corruptAt >= 0 && req.Body != nil {
+		body, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if len(body) > 0 {
+			body[f.corruptAt%len(body)] ^= f.corruptMask
+		}
+		req = req.Clone(req.Context())
+		req.Body = io.NopCloser(bytes.NewReader(body))
+		req.ContentLength = int64(len(body))
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	if f.truncateAt >= 0 {
+		resp.Body = &truncatedBody{rc: resp.Body, remain: f.truncateAt}
+	}
+	return resp, nil
+}
+
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// truncatedBody delivers at most remain bytes of the response body, then
+// reports an unexpected EOF — Content-Length promised more than arrived.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, fmt.Errorf("%w: response truncated: %w", ErrInjected, io.ErrUnexpectedEOF)
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= n
+	if err == io.EOF && b.remain > 0 {
+		// The real body ended before the cut: pass the clean EOF through.
+		return n, err
+	}
+	if b.remain <= 0 && err == nil {
+		err = fmt.Errorf("%w: response truncated: %w", ErrInjected, io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// CloseIdleConnections forwards to the wrapped transport, so reweighting
+// the spec (clearing faults, starting a blackout) can also flush pooled
+// connections that were dialed under the old weather.
+func (t *Transport) CloseIdleConnections() {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if c, ok := base.(interface{ CloseIdleConnections() }); ok {
+		c.CloseIdleConnections()
+	}
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"perturb/internal/obs"
+)
+
+// Breaker telemetry: transitions and the number of currently-open
+// breakers, on the same obs surface as everything else.
+var (
+	cBreakerOpens  = obs.NewCounter("breaker.opens")
+	cBreakerCloses = obs.NewCounter("breaker.closes")
+	cBreakerProbes = obs.NewCounter("breaker.probes")
+	gBreakersOpen  = obs.NewGauge("breaker.open")
+)
+
+// ErrBreakerOpen is returned (wrapped) when a request is refused locally
+// because the target's circuit breaker is open. It is retryable: the
+// breaker will half-open and probe on its own schedule.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all traffic; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses all traffic until the open window elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe request; its outcome closes
+	// or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a circuit breaker over one upstream target. It sits *under*
+// retry and cooldown logic: retries decide when to try again, the
+// breaker decides whether trying is allowed at all, converting a
+// persistently dead endpoint from a timeout per attempt into an
+// immediate local refusal.
+//
+// Closed → Open after Threshold consecutive failures; Open → HalfOpen
+// once OpenFor has elapsed; HalfOpen admits one probe, whose success
+// closes the breaker and whose failure re-opens it. A probe whose
+// outcome never gets recorded (e.g. its context was cancelled) expires
+// after another OpenFor, so a lost probe cannot wedge the breaker open
+// forever.
+//
+// All methods are safe for concurrent use and take the current time
+// explicitly, keeping tests deterministic.
+type Breaker struct {
+	threshold int
+	openFor   time.Duration
+
+	mu       sync.Mutex
+	failures int       // consecutive failures while closed
+	openedAt time.Time // zero = closed
+	probeAt  time.Time // last probe admission while half-open
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures (default 5) and stays open for openFor
+// (default 3s) before probing.
+func NewBreaker(threshold int, openFor time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if openFor <= 0 {
+		openFor = 3 * time.Second
+	}
+	return &Breaker{threshold: threshold, openFor: openFor}
+}
+
+// State reports the automaton state at the given time.
+func (b *Breaker) State(now time.Time) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state(now)
+}
+
+func (b *Breaker) state(now time.Time) BreakerState {
+	if b.openedAt.IsZero() {
+		return BreakerClosed
+	}
+	if now.Sub(b.openedAt) < b.openFor {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
+// Willing reports whether a request would currently be admitted, without
+// consuming the half-open probe slot — the peek used for ordering
+// endpoint preference lists.
+func (b *Breaker) Willing(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state(now) {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return false
+	default: // half-open: one probe at a time, expired probes re-admit
+		return b.probeAt.IsZero() || now.Sub(b.probeAt) >= b.openFor
+	}
+}
+
+// Allow reports whether a request may proceed now. In the half-open
+// state the first Allow consumes the probe slot; callers must follow a
+// true Allow with a Record of the outcome.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state(now) {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return false
+	default:
+		if b.probeAt.IsZero() || now.Sub(b.probeAt) >= b.openFor {
+			b.probeAt = now
+			cBreakerProbes.Add(1)
+			return true
+		}
+		return false
+	}
+}
+
+// Record feeds one request outcome into the automaton. Callers decide
+// what counts as failure (transport errors and 5xx overload, typically —
+// a 429 proves the endpoint alive and should be recorded as success).
+func (b *Breaker) Record(now time.Time, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wasOpen := !b.openedAt.IsZero()
+	if success {
+		b.failures = 0
+		b.openedAt = time.Time{}
+		b.probeAt = time.Time{}
+		if wasOpen {
+			cBreakerCloses.Add(1)
+			gBreakersOpen.Add(-1)
+		}
+		return
+	}
+	if wasOpen {
+		// Half-open probe failed (or a straggler failure arrived while
+		// open): restart the open window.
+		b.openedAt = now
+		b.probeAt = time.Time{}
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openedAt = now
+		b.probeAt = time.Time{}
+		cBreakerOpens.Add(1)
+		gBreakersOpen.Add(1)
+	}
+}
+
+// breakerFailure classifies an exchange outcome for breaker purposes:
+// transport-level errors and overloaded/dead statuses (503, 504) trip
+// the breaker; any other HTTP answer — including 429 and 4xx rejections —
+// proves the endpoint alive.
+func breakerFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode == http.StatusServiceUnavailable ||
+			se.StatusCode == http.StatusGatewayTimeout
+	}
+	return true
+}

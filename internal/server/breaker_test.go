@@ -1,0 +1,119 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Second)
+
+	if b.State(t0) != BreakerClosed || !b.Allow(t0) {
+		t.Fatal("new breaker not closed")
+	}
+	// Two failures: still closed (threshold 3).
+	b.Record(t0, false)
+	b.Record(t0, false)
+	if b.State(t0) != BreakerClosed {
+		t.Fatalf("state after 2 failures: %v", b.State(t0))
+	}
+	// A success resets the consecutive count.
+	b.Record(t0, true)
+	b.Record(t0, false)
+	b.Record(t0, false)
+	if b.State(t0) != BreakerClosed {
+		t.Fatal("success did not reset the failure count")
+	}
+	// Third consecutive failure opens.
+	b.Record(t0, false)
+	if b.State(t0) != BreakerOpen {
+		t.Fatalf("state after threshold: %v", b.State(t0))
+	}
+	if b.Allow(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("open breaker allowed traffic")
+	}
+
+	// OpenFor elapses: half-open, exactly one probe admitted.
+	t1 := t0.Add(time.Second)
+	if b.State(t1) != BreakerHalfOpen {
+		t.Fatalf("state after open window: %v", b.State(t1))
+	}
+	if !b.Willing(t1) {
+		t.Fatal("half-open breaker unwilling")
+	}
+	if !b.Allow(t1) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow(t1.Add(time.Millisecond)) {
+		t.Fatal("second probe admitted while the first is outstanding")
+	}
+
+	// Probe fails: re-open for another full window.
+	b.Record(t1.Add(10*time.Millisecond), false)
+	if st := b.State(t1.Add(20 * time.Millisecond)); st != BreakerOpen {
+		t.Fatalf("state after failed probe: %v", st)
+	}
+
+	// Next window, probe succeeds: closed, traffic flows.
+	t2 := t1.Add(10*time.Millisecond + time.Second)
+	if !b.Allow(t2) {
+		t.Fatal("second probe refused")
+	}
+	b.Record(t2, true)
+	if b.State(t2) != BreakerClosed {
+		t.Fatalf("state after successful probe: %v", b.State(t2))
+	}
+	if !b.Allow(t2) {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerLostProbeExpires(t *testing.T) {
+	t0 := time.Unix(2000, 0)
+	b := NewBreaker(1, time.Second)
+	b.Record(t0, false) // opens
+	t1 := t0.Add(time.Second)
+	if !b.Allow(t1) {
+		t.Fatal("probe refused")
+	}
+	// The probe's outcome is never recorded (cancelled mid-flight). After
+	// another open window the breaker must re-admit a probe rather than
+	// wedge.
+	if b.Allow(t1.Add(500 * time.Millisecond)) {
+		t.Fatal("probe slot not exclusive")
+	}
+	if !b.Allow(t1.Add(time.Second)) {
+		t.Fatal("lost probe wedged the breaker")
+	}
+}
+
+func TestBreakerFailureClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		fail bool
+	}{
+		{nil, false},
+		{&StatusError{StatusCode: http.StatusTooManyRequests}, false}, // alive, just busy
+		{&StatusError{StatusCode: http.StatusBadRequest}, false},      // alive, rejecting
+		{&StatusError{StatusCode: http.StatusServiceUnavailable}, true},
+		{&StatusError{StatusCode: http.StatusGatewayTimeout}, true},
+		{ErrBreakerOpen, true}, // transport-grade
+	}
+	for _, c := range cases {
+		if got := breakerFailure(c.err); got != c.fail {
+			t.Errorf("breakerFailure(%v) = %v, want %v", c.err, got, c.fail)
+		}
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}

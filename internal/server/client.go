@@ -3,7 +3,10 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,6 +36,11 @@ type Client struct {
 	BaseDelay time.Duration
 	// MaxDelay caps a single backoff sleep. Default: 5s.
 	MaxDelay time.Duration
+	// Breaker, when non-nil, circuit-breaks the endpoint under the retry
+	// loop: while open, attempts fail locally with ErrBreakerOpen (still
+	// consuming retry budget and backoff), and the breaker's own
+	// half-open probe schedule decides when traffic flows again.
+	Breaker *Breaker
 }
 
 // Request selects the analysis the service should run; zero values mean
@@ -56,25 +64,95 @@ type Request struct {
 	Attempt string
 }
 
-// StatusError is a non-2xx terminal response from the service.
+// StatusError is a non-2xx response from the service whose error body
+// decoded cleanly — the server answered and meant it. Responses whose
+// error body is damaged or not perturbd JSON surface as plain
+// (transport-grade, retryable) errors instead.
 type StatusError struct {
 	StatusCode int
 	Message    string
+	// Code is the machine-readable errorBody code, when the server sent
+	// one ("checksum_mismatch" marks a damaged upload worth resending).
+	Code string
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("perturbd: %d %s: %s", e.StatusCode, http.StatusText(e.StatusCode), e.Message)
 }
 
+// ErrBodyNotReplayable means a retry or failover wanted to resend a
+// request whose body reader cannot seek back to the start. The client
+// refuses rather than sending a truncated re-read; callers who want
+// retries should hand AnalyzeReader an io.ReadSeeker (bytes.Reader,
+// os.File) or use Analyze, which owns its buffer.
+var ErrBodyNotReplayable = errors.New("request body is not replayable (no Seek)")
+
 // Analyze posts t to the service and returns the decoded response. Shed
-// responses (429, 503) and transport errors are retried; other statuses
-// return a *StatusError immediately. ctx bounds the whole exchange,
-// sleeps included.
+// responses (429, 503, 504), damaged exchanges (upload checksum
+// rejections, response hash mismatches) and transport errors are
+// retried; other statuses return a *StatusError immediately. ctx bounds
+// the whole exchange, sleeps included.
 func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Response, error) {
 	var body bytes.Buffer
 	if err := t.WriteBinary(&body); err != nil {
 		return nil, fmt.Errorf("encoding trace: %w", err)
 	}
+	return c.analyzeBytes(ctx, req, body.Bytes())
+}
+
+// AnalyzeReader posts an already-encoded trace body. Seekable bodies
+// (bytes.Reader, os.File) are rewound to the start for every attempt, so
+// retries and failovers resend the full upload; a body that cannot seek
+// gets exactly one attempt, and a failure that would otherwise be
+// retried returns ErrBodyNotReplayable instead of a truncated re-send.
+func (c *Client) AnalyzeReader(ctx context.Context, body io.Reader, req Request) (*Response, error) {
+	if rs, ok := body.(io.ReadSeeker); ok {
+		if _, err := rs.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("perturbd client: rewinding body: %w", err)
+		}
+		raw, err := io.ReadAll(rs)
+		if err != nil {
+			return nil, fmt.Errorf("perturbd client: reading body: %w", err)
+		}
+		return c.analyzeBytes(ctx, req, raw)
+	}
+
+	// One shot: the body can only be read once.
+	u, err := c.analyzeURL(req)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	if c.Breaker != nil && !c.Breaker.Allow(time.Now()) {
+		return nil, fmt.Errorf("perturbd: %w", ErrBreakerOpen)
+	}
+	traceID := req.TraceID
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hreq.Header.Set(traceIDHeader, traceID)
+	hreq.Header.Set(attemptHeader, "try0")
+	resp, _, err := c.do(httpc, hreq)
+	if c.Breaker != nil && ctx.Err() == nil {
+		c.Breaker.Record(time.Now(), !breakerFailure(err))
+	}
+	if err != nil && clientRetryable(err) {
+		return nil, fmt.Errorf("perturbd: refusing to retry after %v: %w", err, ErrBodyNotReplayable)
+	}
+	return resp, err
+}
+
+// analyzeBytes is the shared retry loop over a fully-buffered body,
+// which every attempt resends from the start.
+func (c *Client) analyzeBytes(ctx context.Context, req Request, body []byte) (*Response, error) {
 	u, err := c.analyzeURL(req)
 	if err != nil {
 		return nil, err
@@ -106,22 +184,34 @@ func (c *Client) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Res
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body.Bytes()))
-		if err != nil {
-			return nil, err
-		}
-		hreq.Header.Set("Content-Type", traceContentType(body.Bytes()))
-		hreq.Header.Set(traceIDHeader, traceID)
-		hreq.Header.Set(attemptHeader, fmt.Sprintf("try%d", attempt))
+		var resp *Response
+		var retryAfter time.Duration
+		var err error
+		if c.Breaker != nil && !c.Breaker.Allow(time.Now()) {
+			// Refused locally: the endpoint is known-dead. Burn a retry
+			// slot and back off; the breaker half-opens on its own clock.
+			err = fmt.Errorf("perturbd: %w", ErrBreakerOpen)
+		} else {
+			var hreq *http.Request
+			hreq, err = http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			hreq.Header.Set("Content-Type", traceContentType(body))
+			hreq.Header.Set(contentSHAHeader, bodySHA(body))
+			hreq.Header.Set(traceIDHeader, traceID)
+			hreq.Header.Set(attemptHeader, fmt.Sprintf("try%d", attempt))
 
-		resp, retryAfter, err := c.do(httpc, hreq)
+			resp, retryAfter, err = c.do(httpc, hreq)
+			if c.Breaker != nil && ctx.Err() == nil {
+				c.Breaker.Record(time.Now(), !breakerFailure(err))
+			}
+		}
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
-		if se, ok := err.(*StatusError); ok &&
-			se.StatusCode != http.StatusTooManyRequests &&
-			se.StatusCode != http.StatusServiceUnavailable {
+		if !clientRetryable(err) {
 			return nil, err
 		}
 		if attempt >= maxRetries {
@@ -162,6 +252,7 @@ func (c *Client) analyzeOnce(ctx context.Context, req Request, body []byte) (*Re
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", traceContentType(body))
+	hreq.Header.Set(contentSHAHeader, bodySHA(body))
 	if req.TraceID != "" {
 		hreq.Header.Set(traceIDHeader, req.TraceID)
 	}
@@ -172,32 +263,72 @@ func (c *Client) analyzeOnce(ctx context.Context, req Request, body []byte) (*Re
 	return resp, err
 }
 
-// do runs one attempt, returning the decoded response or an error plus any
-// Retry-After hint from the server.
+// bodySHA is the hex SHA-256 a request stamps on its upload for
+// server-side verification.
+func bodySHA(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// do runs one attempt, returning the decoded response or an error plus
+// any Retry-After hint from the server.
+//
+// The body is read in full and verified against the server's
+// X-Perturb-Body-SHA256 before any decoding: a mismatch, an undecodable
+// body, or a non-perturbd error shape (a middlebox's plain-text 400, a
+// response corrupted into syntactically-valid-but-wrong JSON) all
+// surface as transport-grade errors — retryable — rather than as a
+// terminal StatusError or, worse, a silently wrong Response.
 func (c *Client) do(httpc *http.Client, hreq *http.Request) (*Response, time.Duration, error) {
 	hresp, err := httpc.Do(hreq)
 	if err != nil {
 		return nil, 0, err
 	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
-		hresp.Body.Close()
-	}()
+	defer hresp.Body.Close()
 
 	retryAfter := parseRetryAfter(hresp.Header.Get("Retry-After"), time.Now())
+	limit := int64(1 << 16)
+	if hresp.StatusCode == http.StatusOK {
+		limit = 1 << 28
+	}
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, limit))
+	if err != nil {
+		return nil, retryAfter, fmt.Errorf("reading response body: %w", err)
+	}
+	if want := hresp.Header.Get(bodySHAHeader); want != "" && bodySHA(raw) != strings.ToLower(want) {
+		return nil, retryAfter, fmt.Errorf("perturbd client: response body hash mismatch (transit damage), status %d", hresp.StatusCode)
+	}
 	if hresp.StatusCode != http.StatusOK {
-		msg := "no detail"
 		var eb errorBody
-		if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<16)).Decode(&eb); err == nil && eb.Error != "" {
-			msg = eb.Error
+		if err := json.Unmarshal(raw, &eb); err != nil || eb.Error == "" {
+			// Not a perturbd error body: whatever produced this status, it
+			// was not the service's handler answering this request.
+			return nil, retryAfter, fmt.Errorf("perturbd client: status %d with undecodable error body", hresp.StatusCode)
 		}
-		return nil, retryAfter, &StatusError{StatusCode: hresp.StatusCode, Message: msg}
+		return nil, retryAfter, &StatusError{StatusCode: hresp.StatusCode, Message: eb.Error, Code: eb.Code}
 	}
 	var resp Response
-	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+	if err := json.Unmarshal(raw, &resp); err != nil {
 		return nil, retryAfter, fmt.Errorf("decoding response: %w", err)
 	}
 	return &resp, 0, nil
+}
+
+// clientRetryable reports whether the single-endpoint retry loop should
+// try again: shed/overload statuses (429, 503, 504), explicitly
+// retryable error codes from the service (a checksum mismatch means the
+// upload was damaged in flight — resending is exactly the remedy), local
+// breaker refusals, and anything transport-level. Other HTTP statuses
+// are terminal: the server understood the request and rejected it.
+func clientRetryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.StatusCode == http.StatusTooManyRequests ||
+			se.StatusCode == http.StatusServiceUnavailable ||
+			se.StatusCode == http.StatusGatewayTimeout ||
+			se.Code == errCodeChecksumMismatch
+	}
+	return true
 }
 
 // parseRetryAfter interprets a Retry-After header value in either RFC

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// damageFirst is a RoundTripper that flips one byte of the first
+// request's body before forwarding it — a deterministic stand-in for a
+// network that corrupts exactly one upload. Later requests pass clean.
+type damageFirst struct {
+	calls atomic.Int64
+}
+
+func (d *damageFirst) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := d.calls.Add(1)
+	if n == 1 && req.Body != nil {
+		raw, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		raw[len(raw)/2] ^= 0x40
+		req = req.Clone(req.Context())
+		req.Body = io.NopCloser(bytes.NewReader(raw))
+		req.ContentLength = int64(len(raw))
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestClientRetriesChecksumMismatch: a request body damaged in transit is
+// caught by the server's checksum verify (400 checksum_mismatch), which
+// the client must treat as retryable — the resend is clean and succeeds.
+func TestClientRetriesChecksumMismatch(t *testing.T) {
+	tr := testTrace(t, 3)
+	_, base := startServer(t, Config{MaxConcurrency: 2})
+
+	rt := &damageFirst{}
+	c := fastClient(base)
+	c.HTTPClient = &http.Client{Transport: rt}
+	got, err := c.Analyze(context.Background(), tr, Request{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if got.TraceSHA256 == "" {
+		t.Fatal("response lost its fingerprint")
+	}
+	if n := rt.calls.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (damaged then clean)", n)
+	}
+}
+
+// TestClientRetriesResponseHashMismatch: a response body that fails the
+// client-side hash check is transit damage, not a server verdict — retry.
+func TestClientRetriesResponseHashMismatch(t *testing.T) {
+	tr := testTrace(t, 3)
+	var calls atomic.Int64
+	var inner http.Handler
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// A correct body under a hash of different bytes: only the
+			// client-side verify can catch this.
+			w.Header().Set(bodySHAHeader, bodySHA([]byte("not the body")))
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"api_version":"v1","procs":1,"events":1}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s, _ := startServer(t, Config{MaxConcurrency: 2})
+	inner = s.Handler()
+
+	got, err := fastClient(srv.URL).Analyze(context.Background(), tr, Request{})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if got.TraceSHA256 == "" {
+		t.Fatal("retried response lost its fingerprint")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// TestClientRetriesUndecodableErrorBody: a 503 whose body is not perturbd
+// JSON (a proxy or truncation wrote it) is transport-grade and retryable.
+func TestClientRetriesUndecodableErrorBody(t *testing.T) {
+	tr := testTrace(t, 3)
+	var calls atomic.Int64
+	var inner http.Handler
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "bad gateway fragment", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s, _ := startServer(t, Config{MaxConcurrency: 2})
+	inner = s.Handler()
+
+	if _, err := fastClient(srv.URL).Analyze(context.Background(), tr, Request{}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// TestAnalyzeReaderReplaysSeekableBody: a seekable body is rewound and
+// resent in full on every retry — the second attempt must carry every
+// byte, not the leftover tail of the first read.
+func TestAnalyzeReaderReplaysSeekableBody(t *testing.T) {
+	body := traceBody(t, testTrace(t, 3))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		got, _ := io.ReadAll(r.Body)
+		if !bytes.Equal(got, body) {
+			writeError(w, http.StatusBadRequest, "partial resend")
+			return
+		}
+		writeJSON(w, http.StatusOK, &Response{APIVersion: APIVersion, Procs: 3, Events: len(body)})
+	}))
+	defer srv.Close()
+
+	got, err := fastClient(srv.URL).AnalyzeReader(context.Background(), bytes.NewReader(body), Request{})
+	if err != nil {
+		t.Fatalf("AnalyzeReader: %v", err)
+	}
+	if got.Events != len(body) {
+		t.Fatalf("decoded response does not match what the handler wrote: %+v", got)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("server saw %d attempts, want 2", n)
+	}
+}
+
+// TestAnalyzeReaderRefusesNonReplayable: a one-way reader gets exactly
+// one attempt; a retryable failure surfaces ErrBodyNotReplayable rather
+// than a truncated re-send.
+func TestAnalyzeReaderRefusesNonReplayable(t *testing.T) {
+	body := traceBody(t, testTrace(t, 3))
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	}))
+	defer srv.Close()
+
+	// bytes.Buffer reads destructively and cannot seek.
+	_, err := fastClient(srv.URL).AnalyzeReader(context.Background(), bytes.NewBuffer(body), Request{})
+	if !errors.Is(err, ErrBodyNotReplayable) {
+		t.Fatalf("err = %v, want ErrBodyNotReplayable", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", n)
+	}
+}
+
+// TestClientBreakerOpensAndFailsFast: consecutive failures open the
+// client's breaker mid-retry-loop; once open, further attempts (and
+// whole further calls) fail locally without touching the endpoint.
+func TestClientBreakerOpensAndFailsFast(t *testing.T) {
+	tr := testTrace(t, 3)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "down hard")
+	}))
+	defer srv.Close()
+
+	c := fastClient(srv.URL)
+	c.MaxRetries = 4
+	c.Breaker = NewBreaker(2, time.Hour)
+
+	_, err := c.Analyze(context.Background(), tr, Request{})
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want it to end at ErrBreakerOpen", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("endpoint saw %d attempts, want 2 (threshold) with the rest refused locally", n)
+	}
+	if st := c.Breaker.State(time.Now()); st != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", st)
+	}
+
+	// A whole new call while open: zero additional endpoint traffic.
+	if _, err := c.Analyze(context.Background(), tr, Request{}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("open breaker leaked %d extra attempts to the endpoint", n-2)
+	}
+}

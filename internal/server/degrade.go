@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strings"
+
+	"perturb/internal/cancel"
+	"perturb/internal/core"
+	"perturb/internal/obs"
+	"perturb/internal/trace"
+)
+
+// Degradation telemetry: how often the memory budget rerouted an upload,
+// and how many degraded analyses are running right now.
+var (
+	cDegraded       = obs.NewCounter("server.degraded")
+	gDegradedActive = obs.NewGauge("server.degraded_active")
+)
+
+// shouldDegrade reports whether this upload is too large to buffer under
+// the memory budget and should run through the LowMemory streaming
+// engine instead. Requests without a declared length cannot be sized up
+// front and take the normal path (where MaxBytesReader still caps them).
+func (s *Server) shouldDegrade(r *http.Request) bool {
+	return s.cfg.MemoryBudgetBytes > 0 && r.ContentLength > s.cfg.MemoryBudgetBytes
+}
+
+// handleAnalyzeDegraded serves an /analyze upload that exceeds the
+// memory budget: instead of buffering (cache path) or materializing the
+// full trace (batch engine) — either of which is exactly the OOM the
+// budget exists to prevent — the body streams through the LowMemory
+// incremental engine, which keeps only per-processor frontier state and
+// emits a summary-only result. The response is the same wire shape with
+// "degraded": true and no trace fingerprint: the approximated trace was
+// never materialized, so there is nothing to hash.
+//
+// Admission is identical to an uncached batch request — a degraded
+// analysis still holds an analysis slot for its whole life. The result
+// cache is bypassed: content-addressing requires decoding the whole
+// trace into memory first.
+func (s *Server) handleAnalyzeDegraded(w http.ResponseWriter, r *http.Request, line *requestLogLine) {
+	line.Cache = "bypass"
+
+	sc := s.cfg.Recorder.Begin()
+	defer sc.End()
+	sc.Phase("admission")
+
+	select {
+	case s.slots <- struct{}{}:
+		defer func() { <-s.slots }()
+	default:
+		w.Header().Set("Retry-After", s.retryAfter())
+		line.Status = http.StatusTooManyRequests
+		writeError(w, line.Status, "server at capacity, retry later")
+		cShed.Add(1)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	ctx, cancelReq := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancelReq()
+	stop := context.AfterFunc(s.forceCtx, cancelReq)
+	defer stop()
+
+	qw := sc.Wait("queue")
+	select {
+	case s.running <- struct{}{}:
+		qw.End()
+		defer func() { <-s.running }()
+	case <-ctx.Done():
+		qw.End()
+		w.Header().Set("Retry-After", s.retryAfter())
+		line.Status = http.StatusServiceUnavailable
+		writeError(w, line.Status, "timed out waiting for an analysis slot")
+		cShed.Add(1)
+		return
+	}
+
+	status, body := s.analyzeDegraded(ctx, w, r, sc)
+	line.Status = status
+	if status != http.StatusOK {
+		writeErrorAny(w, status, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// analyzeDegraded runs one admitted over-budget request through the
+// LowMemory streaming engine and returns the status plus either a
+// degraded *Response (200) or an error body.
+func (s *Server) analyzeDegraded(ctx context.Context, w http.ResponseWriter, r *http.Request, sc *obs.Scope) (status int, body any) {
+	defer func() {
+		if p := recover(); p != nil {
+			cPanics.Add(1)
+			s.cfg.Logger.Printf("perturbd: panic serving %s (degraded): %v\n%s", r.URL.Path, p, debug.Stack())
+			status, body = http.StatusInternalServerError, "internal error during analysis"
+		}
+	}()
+
+	opts, cal, err := parseQuery(r.URL.Query())
+	if err != nil {
+		return http.StatusBadRequest, err.Error()
+	}
+	if opts.Repair {
+		// Repair needs the complete trace in memory — precisely what the
+		// budget forbids. Be honest instead of OOMing.
+		return http.StatusRequestEntityTooLarge, fmt.Sprintf(
+			"repair needs the full trace buffered, and this upload (%d bytes) exceeds the memory budget (%d bytes): retry without repair=1 or raise -memory-budget",
+			r.ContentLength, s.cfg.MemoryBudgetBytes)
+	}
+
+	cDegraded.Add(1)
+	s.degradedActive.Add(1)
+	gDegradedActive.Add(1)
+	defer func() {
+		s.degradedActive.Add(-1)
+		gDegradedActive.Add(-1)
+	}()
+
+	sc.Phase("decode")
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	// Upload integrity without buffering: hash the bytes as they stream
+	// past and verify at EOF — before any response is committed.
+	var hasher hash.Hash
+	var rdSrc io.Reader = r.Body
+	if r.Header.Get(contentSHAHeader) != "" {
+		hasher = sha256.New()
+		rdSrc = io.TeeReader(r.Body, hasher)
+	}
+	br := bufio.NewReader(rdSrc)
+	prefix, _ := br.Peek(sniffLen)
+	if cterr := checkTraceContentType(r.Header.Get("Content-Type"), prefix); cterr != nil {
+		return http.StatusUnsupportedMediaType, cterr.Error()
+	}
+	rd, err := trace.NewReader(br)
+	if err != nil {
+		return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
+	}
+	sess, err := core.NewStream(cal, core.StreamOptions{
+		Mode:      opts.Mode,
+		Procs:     rd.Procs(),
+		LowMemory: true,
+	})
+	if err != nil {
+		return http.StatusBadRequest, fmt.Sprintf("stream session: %v", err)
+	}
+	// Abort after the response is built: on error paths this frees the
+	// engine state immediately; after a clean Close it merely drops the
+	// references early.
+	defer sess.Abort()
+
+	sc.Phase("stream")
+	batch := make([]trace.Event, streamBatchLen)
+	for {
+		n, rerr := rd.Read(batch)
+		if n > 0 {
+			if ferr := sess.Feed(ctx, batch[:n]); ferr != nil {
+				return degradeErrStatus(ferr), fmt.Sprintf("analysis failed: %v", ferr)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			if ctx.Err() != nil {
+				return degradeErrStatus(cancel.Err(ctx)), fmt.Sprintf("reading trace: %v", rerr)
+			}
+			var tooBig *http.MaxBytesError
+			if errors.As(rerr, &tooBig) {
+				return http.StatusRequestEntityTooLarge, fmt.Sprintf("trace body exceeds %d bytes", tooBig.Limit)
+			}
+			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", rerr)
+		}
+	}
+	// Drain codec framing leftovers so the hash covers the whole body.
+	io.Copy(io.Discard, br)
+	if hasher != nil {
+		want := r.Header.Get(contentSHAHeader)
+		if got := hex.EncodeToString(hasher.Sum(nil)); !strings.EqualFold(got, want) {
+			cChecksum.Add(1)
+			return http.StatusBadRequest, errorBody{
+				Code:  errCodeChecksumMismatch,
+				Error: fmt.Sprintf("request body checksum mismatch (got sha256 %s, header said %s): upload damaged in transit, resend", got, want),
+			}
+		}
+	}
+
+	sc.Phase("close")
+	approx, err := sess.Close(ctx)
+	if err != nil {
+		return degradeErrStatus(err), fmt.Sprintf("analysis failed: %v", err)
+	}
+	sc.Phase("encode")
+	cOK.Add(1)
+	return http.StatusOK, buildDegradedResponse(sess, approx)
+}
+
+// buildDegradedResponse renders a LowMemory result: the summary fields
+// are exact (identical to what a full analysis computes), but there is
+// no approximated trace to fingerprint, so TraceSHA256 is absent and
+// Degraded marks the response as summary-only.
+func buildDegradedResponse(sess *core.Stream, a *core.Approximation) *Response {
+	return &Response{
+		APIVersion:      APIVersion,
+		Procs:           sess.Procs(),
+		Events:          sess.Events(),
+		Duration:        a.Duration,
+		WaitsKept:       a.WaitsKept,
+		WaitsRemoved:    a.WaitsRemoved,
+		WaitsIntroduced: a.WaitsIntroduced,
+		Degraded:        true,
+	}
+}
+
+// degradeErrStatus maps a degraded-path analysis error onto a status,
+// counting deadline and cancellation like the batch path does.
+func degradeErrStatus(err error) int {
+	switch {
+	case errors.Is(err, cancel.ErrDeadlineExceeded):
+		cDeadline.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, cancel.ErrCanceled):
+		cCanceled.Add(1)
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}

@@ -20,9 +20,10 @@ import (
 // Fleet telemetry, alongside the service's own counters on the obs
 // debug surface.
 var (
-	cFleetFailovers = obs.NewCounter("fleet.failovers")
-	cFleetHedges    = obs.NewCounter("fleet.hedges")
-	cFleetHedgeWins = obs.NewCounter("fleet.hedge_wins")
+	cFleetFailovers    = obs.NewCounter("fleet.failovers")
+	cFleetHedges       = obs.NewCounter("fleet.hedges")
+	cFleetHedgeWins    = obs.NewCounter("fleet.hedge_wins")
+	cFleetBreakerSkips = obs.NewCounter("fleet.breaker_skips")
 )
 
 // Fleet fans analysis requests out over several perturbd endpoints.
@@ -61,6 +62,12 @@ type FleetConfig struct {
 	Rounds int
 	// BaseDelay seeds the inter-round backoff. Default 200ms.
 	BaseDelay time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// endpoint's circuit breaker. Default 5.
+	BreakerThreshold int
+	// BreakerOpenFor is how long an opened breaker refuses traffic before
+	// half-opening a probe. Default: Cooldown.
+	BreakerOpenFor time.Duration
 }
 
 // Fleet is created by NewFleet and is safe for concurrent use.
@@ -77,6 +84,10 @@ type endpoint struct {
 	// downUntil is the unix-nano timestamp until which the endpoint is
 	// cooling down after a failure; 0 or past means healthy.
 	downUntil atomic.Int64
+	// breaker circuit-breaks the endpoint under the cooldown logic:
+	// cooldown reorders preferences after one failure, the breaker stops
+	// dialing entirely after several consecutive ones.
+	breaker *Breaker
 
 	// Recent request latencies, a fixed ring buffer for the hedge
 	// percentile.
@@ -111,6 +122,9 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.BaseDelay <= 0 {
 		cfg.BaseDelay = 200 * time.Millisecond
 	}
+	if cfg.BreakerOpenFor <= 0 {
+		cfg.BreakerOpenFor = cfg.Cooldown
+	}
 	f := &Fleet{cfg: cfg}
 	seen := map[string]bool{}
 	for _, base := range cfg.Endpoints {
@@ -122,9 +136,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		// (analyzeOnce) so failover happens immediately, not after a
 		// per-endpoint backoff dance.
 		ep := &endpoint{
-			base:   base,
-			latCap: 64,
-			client: &Client{BaseURL: base, HTTPClient: cfg.HTTPClient},
+			base:    base,
+			latCap:  64,
+			client:  &Client{BaseURL: base, HTTPClient: cfg.HTTPClient},
+			breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerOpenFor),
 		}
 		f.endpoints = append(f.endpoints, ep)
 		for v := 0; v < vnodes; v++ {
@@ -203,10 +218,31 @@ func (f *Fleet) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Resp
 				ordered = append(ordered, ep)
 			}
 		}
-		for i, ep := range ordered {
+		// Circuit breakers sit under the cooldown ordering: endpoints
+		// whose breaker is unwilling are skipped outright this round.
+		// When every breaker refuses — total blackout — try them all
+		// anyway: successes are the only thing that closes breakers, and
+		// refusing all work is strictly worse than probing.
+		attemptList := make([]*endpoint, 0, len(ordered))
+		for _, ep := range ordered {
+			if ep.breaker.Willing(now) {
+				attemptList = append(attemptList, ep)
+			}
+		}
+		blackout := len(attemptList) == 0
+		if blackout {
+			attemptList = ordered
+		} else if skipped := len(ordered) - len(attemptList); skipped > 0 {
+			cFleetBreakerSkips.Add(int64(skipped))
+		}
+		for i, ep := range attemptList {
+			if !blackout && !ep.breaker.Allow(now) {
+				// A concurrent request took this half-open probe slot.
+				continue
+			}
 			var next *endpoint
-			if f.cfg.Hedge && i+1 < len(ordered) {
-				next = ordered[i+1]
+			if f.cfg.Hedge && i+1 < len(attemptList) {
+				next = attemptList[i+1]
 			}
 			req.Attempt = fmt.Sprintf("r%dp%d", round, i)
 			resp, err := f.attempt(ctx, ep, next, req, body.Bytes())
@@ -223,7 +259,7 @@ func (f *Fleet) Analyze(ctx context.Context, t *trace.Trace, req Request) (*Resp
 			if marksDown(err) {
 				ep.markDown(now.Add(f.cfg.Cooldown))
 			}
-			if i+1 < len(ordered) {
+			if i+1 < len(attemptList) {
 				cFleetFailovers.Add(1)
 			}
 		}
@@ -296,15 +332,43 @@ func (f *Fleet) attempt(ctx context.Context, ep, next *endpoint, req Request, bo
 	return nil, firstErr
 }
 
-// post runs a single no-retry exchange against ep and records its
-// latency on success.
+// post runs a single no-retry exchange against ep, records its latency
+// on success, and feeds the outcome to the endpoint's circuit breaker.
+// Cancelled attempts (a hedge that lost the race, a caller that gave up)
+// say nothing about the endpoint's health and are not recorded.
 func (f *Fleet) post(ctx context.Context, ep *endpoint, req Request, body []byte) (*Response, error) {
 	start := time.Now()
 	resp, err := ep.client.analyzeOnce(ctx, req, body)
 	if err == nil {
 		ep.recordLatency(time.Since(start))
 	}
+	if ctx.Err() == nil {
+		ep.breaker.Record(time.Now(), !breakerFailure(err))
+	}
 	return resp, err
+}
+
+// EndpointHealth is one endpoint's health snapshot as reported by Health.
+type EndpointHealth struct {
+	Base        string
+	CoolingDown bool
+	Breaker     BreakerState
+}
+
+// Health reports every endpoint's cooldown and breaker state — the
+// fleet-side view an operator (or a soak assertion) reads after the
+// weather changes.
+func (f *Fleet) Health() []EndpointHealth {
+	now := time.Now()
+	out := make([]EndpointHealth, 0, len(f.endpoints))
+	for _, ep := range f.endpoints {
+		out = append(out, EndpointHealth{
+			Base:        ep.base,
+			CoolingDown: ep.coolingDown(now),
+			Breaker:     ep.breaker.State(now),
+		})
+	}
+	return out
 }
 
 // hedgeDelay is how long to wait for ep before mirroring the request.
@@ -318,15 +382,11 @@ func (f *Fleet) hedgeDelay(ep *endpoint) time.Duration {
 // retryable reports whether another endpoint might succeed where this
 // error occurred: transport failures and shed/overload statuses.
 func retryable(err error) bool {
-	var se *StatusError
-	if errors.As(err, &se) {
-		return se.StatusCode == http.StatusTooManyRequests ||
-			se.StatusCode == http.StatusServiceUnavailable ||
-			se.StatusCode == http.StatusGatewayTimeout
-	}
-	// Anything that is not an HTTP status is a transport-level failure:
-	// connection refused, reset, EOF mid-body.
-	return true
+	// Same classification as the single-endpoint client: shed statuses,
+	// damaged-upload rejections (resend to a replica is the remedy), and
+	// everything transport-level — connection refused, reset, EOF
+	// mid-body.
+	return clientRetryable(err)
 }
 
 // marksDown reports whether the error indicates an unhealthy endpoint

@@ -38,8 +38,9 @@ type Response struct {
 	WaitsIntroduced int `json:"waits_introduced"`
 	// TraceSHA256 is the hex SHA-256 of the approximated trace's binary
 	// encoding: a byte-exact fingerprint of the full analysis output
-	// without shipping every event back.
-	TraceSHA256 string `json:"trace_sha256"`
+	// without shipping every event back. Absent only on degraded
+	// responses, where the approximated trace was never materialized.
+	TraceSHA256 string `json:"trace_sha256,omitempty"`
 	// InputSHA256 is the content address of the request: the hex SHA-256
 	// of the uploaded trace's decoded events (codec-independent — the
 	// cache key's trace component). Present only when the service runs
@@ -56,6 +57,12 @@ type Response struct {
 	// Confidence carries the degraded-mode per-processor quality scores
 	// when present on the result.
 	Confidence []ProcConfidence `json:"confidence,omitempty"`
+	// Degraded marks a summary-only response: the upload exceeded the
+	// service's memory budget, so the analysis ran through the LowMemory
+	// streaming engine — every summary field above is exact, but no
+	// approximated trace exists to fingerprint (TraceSHA256 is absent)
+	// and the result was not cached.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // RepairSummary is the wire form of a trace.RepairReport.
@@ -77,10 +84,14 @@ type ProcConfidence struct {
 	Score        float64 `json:"score"`
 }
 
-// errorBody is the JSON body of every non-2xx response.
+// errorBody is the JSON body of every non-2xx response. Code, when
+// present, is a machine-readable discriminator for errors whose remedy
+// differs from their status's default (a 400 checksum_mismatch is
+// retryable; other 400s are not).
 type errorBody struct {
 	APIVersion string `json:"api_version"`
 	Error      string `json:"error"`
+	Code       string `json:"code,omitempty"`
 }
 
 // BuildResponse converts an analysis result into the wire response,

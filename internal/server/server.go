@@ -90,6 +90,13 @@ type Config struct {
 	// caching entirely, reproducing the pre-cache request path and wire
 	// format byte for byte.
 	CacheBytes int64
+	// MemoryBudgetBytes, when positive, is the largest upload the
+	// service will buffer in memory. Batch /analyze requests declaring a
+	// larger Content-Length (but still within MaxBodyBytes) degrade
+	// gracefully: they stream through the LowMemory incremental engine
+	// and return a summary-only response flagged "degraded": true,
+	// instead of 413 or an OOM. 0 disables degradation.
+	MemoryBudgetBytes int64
 	// Logger receives request errors and panic stacks. Default: the
 	// standard logger.
 	Logger *log.Logger
@@ -148,6 +155,10 @@ type Server struct {
 
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// degradedActive counts memory-budget degraded analyses currently
+	// running; /readyz reports "degraded" while it is non-zero.
+	degradedActive atomic.Int64
 
 	// forceCtx is cancelled when Shutdown's grace period expires; every
 	// request context is parented on it via context.AfterFunc so drain can
@@ -290,6 +301,32 @@ const (
 	attemptHeader = "X-Perturb-Attempt"
 )
 
+// End-to-end integrity headers. A network that corrupts bytes in flight
+// produces requests that decode as garbage and responses that parse as
+// the wrong numbers; checksums turn both into *detected, retryable*
+// failures instead of silent wrong answers or spurious terminal 400s.
+const (
+	// contentSHAHeader carries the hex SHA-256 of the request body. When
+	// present, the server verifies it before decoding and rejects a
+	// mismatch with 400 + code "checksum_mismatch" — which clients treat
+	// as retryable, since resending is exactly the remedy for transit
+	// damage.
+	contentSHAHeader = "X-Perturb-Content-SHA256"
+	// bodySHAHeader carries the hex SHA-256 of the response's JSON body.
+	// Clients verify it before decoding; a mismatch is a transport-grade
+	// (retryable) failure.
+	bodySHAHeader = "X-Perturb-Body-SHA256"
+)
+
+// errCodeChecksumMismatch is the machine-readable errorBody.Code for a
+// request whose body hash contradicts its X-Perturb-Content-SHA256.
+const errCodeChecksumMismatch = "checksum_mismatch"
+
+// cChecksum counts uploads rejected for checksum mismatch — the
+// /metrics signal that the network between clients and this box is
+// damaging bytes.
+var cChecksum = obs.NewCounter("server.checksum_mismatch")
+
 // requestTraceID resolves (or mints) the request's trace id.
 func requestTraceID(r *http.Request) string {
 	if id := r.Header.Get(traceIDHeader); id != "" {
@@ -339,15 +376,46 @@ func (s *Server) logRequest(line requestLogLine) {
 	s.logMu.Unlock()
 }
 
+// readyzBody is the /readyz JSON: status is "ready", "degraded"
+// (serving, but load balancers should weight traffic away) or
+// "draining" (refusing new work, 503). Degraded is still 200 — the box
+// works, it is just not a good place to send more load.
+type readyzBody struct {
+	APIVersion string `json:"api_version"`
+	Status     string `json:"status"`
+	// Detail lists why the status is degraded; empty otherwise.
+	Detail []string `json:"detail,omitempty"`
+	// QueueUsed/QueueCap describe the admission queue (running+queued
+	// slots in use vs total).
+	QueueUsed int `json:"queue_used"`
+	QueueCap  int `json:"queue_cap"`
+	// DegradedActive counts memory-budget degraded analyses in flight.
+	DegradedActive int64 `json:"degraded_active,omitempty"`
+}
+
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	body := readyzBody{
+		APIVersion: APIVersion,
+		Status:     "ready",
+		QueueUsed:  len(s.slots),
+		QueueCap:   cap(s.slots),
+	}
 	if s.draining.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ready")
+	if body.QueueUsed >= body.QueueCap {
+		body.Status = "degraded"
+		body.Detail = append(body.Detail, "admission queue saturated: new requests are being shed with 429")
+	}
+	if n := s.degradedActive.Load(); n > 0 {
+		body.Status = "degraded"
+		body.DegradedActive = n
+		body.Detail = append(body.Detail,
+			fmt.Sprintf("memory-budget degradation active: %d oversized upload(s) running on the low-memory engine", n))
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleAnalyzeDeprecated serves the pre-versioning /analyze path as an
@@ -420,6 +488,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		cShed.Add(1)
 		return
 	}
+	if s.shouldDegrade(r) {
+		s.handleAnalyzeDegraded(w, r, &line)
+		return
+	}
 	if s.cache != nil {
 		s.handleAnalyzeCached(w, r, &line)
 		return
@@ -471,7 +543,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	status, body := s.analyze(ctx, w, r, sc)
 	line.Status = status
 	if status != http.StatusOK {
-		writeError(w, status, body.(string))
+		writeErrorAny(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -501,7 +573,21 @@ func (s *Server) analyze(ctx context.Context, w http.ResponseWriter, r *http.Req
 	if cterr := checkTraceContentType(r.Header.Get("Content-Type"), prefix); cterr != nil {
 		return http.StatusUnsupportedMediaType, cterr.Error()
 	}
-	tr, err := s.readTrace(ctx, br)
+	var tr *trace.Trace
+	if r.Header.Get(contentSHAHeader) != "" {
+		// The client asked for upload verification: that takes the whole
+		// body, so this request buffers like the cached path does.
+		var raw []byte
+		raw, err = io.ReadAll(br)
+		if err == nil {
+			if eb, ok := verifyContentSHA(r, raw); !ok {
+				return http.StatusBadRequest, eb
+			}
+			tr, err = decodeTrace(ctx, raw)
+		}
+	} else {
+		tr, err = s.readTrace(ctx, br)
+	}
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		switch {
@@ -576,7 +662,7 @@ func (s *Server) handleAnalyzeCached(w http.ResponseWriter, r *http.Request, lin
 		if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", s.retryAfter())
 		}
-		writeError(w, status, body.(string))
+		writeErrorAny(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -615,6 +701,9 @@ func (s *Server) analyzeCached(ctx context.Context, w http.ResponseWriter, r *ht
 		default:
 			return http.StatusBadRequest, fmt.Sprintf("reading trace: %v", err)
 		}
+	}
+	if eb, ok := verifyContentSHA(r, raw); !ok {
+		return http.StatusBadRequest, eb
 	}
 	if cterr := checkTraceContentType(r.Header.Get("Content-Type"), raw); cterr != nil {
 		return http.StatusUnsupportedMediaType, cterr.Error()
@@ -795,14 +884,57 @@ func decodeTrace(ctx context.Context, raw []byte) (*trace.Trace, error) {
 	return trace.ReadAllContext(ctx, tr)
 }
 
+// verifyContentSHA checks the request body against its
+// X-Perturb-Content-SHA256, when the client sent one. On mismatch it
+// returns the coded error body the caller should serve with 400.
+func verifyContentSHA(r *http.Request, raw []byte) (errorBody, bool) {
+	want := r.Header.Get(contentSHAHeader)
+	if want == "" {
+		return errorBody{}, true
+	}
+	sum := sha256.Sum256(raw)
+	if got := hex.EncodeToString(sum[:]); !strings.EqualFold(got, want) {
+		cChecksum.Add(1)
+		return errorBody{
+			Code:  errCodeChecksumMismatch,
+			Error: fmt.Sprintf("request body checksum mismatch (got sha256 %s, header said %s): upload damaged in transit, resend", got, want),
+		}, false
+	}
+	return errorBody{}, true
+}
+
+// writeJSON renders v indented, stamping the body's SHA-256 on the
+// response so clients can detect transit damage. The bytes written are
+// exactly what the pre-hashing encoder produced — the hash rides in a
+// header, never in the body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Unreachable for the wire types; fail loudly rather than hash
+		// a half-encoded body.
+		http.Error(w, "encoding response", http.StatusInternalServerError)
+		return
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	w.Header().Set(bodySHAHeader, hex.EncodeToString(sum[:]))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v) // past WriteHeader, nothing useful to do on error
+	w.Write(buf.Bytes())
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, errorBody{APIVersion: APIVersion, Error: msg})
+}
+
+// writeErrorAny serves an analysis error that is either a plain message
+// or an errorBody carrying a machine-readable code.
+func writeErrorAny(w http.ResponseWriter, status int, body any) {
+	if eb, ok := body.(errorBody); ok {
+		eb.APIVersion = APIVersion
+		writeJSON(w, status, eb)
+		return
+	}
+	writeError(w, status, body.(string))
 }

@@ -170,6 +170,13 @@ func (s *Server) analyzeStream(ctx context.Context, w http.ResponseWriter, r *ht
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("stream session: %v", err))
 		return http.StatusBadRequest
 	}
+	// Deterministic teardown on every exit: a client that vanishes
+	// mid-upload must not strand the session's watermark state, buffered
+	// repair feed, or pending windows until some later GC — Abort frees
+	// them before the handler returns (and with it the admission slots
+	// held by the deferred releases upstream). After a clean Close this
+	// only drops already-surrendered references.
+	defer sess.Abort()
 
 	// Window lines go out while the upload is still being read, which on
 	// HTTP/1.x needs explicit full-duplex: by default the server closes
@@ -226,6 +233,16 @@ func (s *Server) analyzeStream(ctx context.Context, w http.ResponseWriter, r *ht
 			break
 		}
 		if rerr != nil {
+			// Distinguish the peer vanishing mid-upload (cancelled
+			// context: the disconnect propagated) from a body that is
+			// actually malformed — a reset connection is not a client bug.
+			if ctx.Err() != nil {
+				return fail(streamErrStatus(cancel.Err(ctx)), fmt.Sprintf("reading trace: %v", rerr))
+			}
+			var tooBig *http.MaxBytesError
+			if errors.As(rerr, &tooBig) {
+				return fail(http.StatusRequestEntityTooLarge, fmt.Sprintf("trace body exceeds %d bytes", tooBig.Limit))
+			}
 			return fail(http.StatusBadRequest, fmt.Sprintf("reading trace: %v", rerr))
 		}
 	}
